@@ -1,0 +1,49 @@
+"""Shared benchmark infrastructure.
+
+All figure benchmarks share one session-scoped :class:`ExperimentRunner`
+so runs are paired and cached across figures (Figures 6, 7 and 8 reuse
+the same transactional runs, exactly like the paper's methodology).
+
+Fidelity knobs (environment):
+
+* ``REPRO_BENCH_REFS``    measured references per core (default 8000)
+* ``REPRO_BENCH_WARMUP``  warm-up references per core (default 6000)
+* ``REPRO_BENCH_SEEDS``   perturbed runs per data point (default 1)
+* ``REPRO_SCALE``         capacity scale factor (default 8)
+
+The defaults keep ``pytest benchmarks/ --benchmark-only`` in the
+tens-of-minutes range; raise the knobs for publication-fidelity runs
+(see EXPERIMENTS.md for the settings used there).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+import pytest
+
+from repro.harness.runner import ExperimentRunner, RunSettings
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@pytest.fixture(scope="session")
+def runner():
+    settings = RunSettings(
+        capacity_factor=_env_int("REPRO_SCALE", 8),
+        refs_per_core=_env_int("REPRO_BENCH_REFS", 8_000),
+        warmup_refs_per_core=_env_int("REPRO_BENCH_WARMUP", 6_000),
+        num_seeds=_env_int("REPRO_BENCH_SEEDS", 1),
+    )
+    return ExperimentRunner(settings)
+
+
+def emit(report) -> None:
+    """Print a report so the series appear in the benchmark log."""
+    print()
+    print(report.format())

@@ -1,0 +1,44 @@
+"""Extra-baseline ablations beyond the paper's headline comparison.
+
+* **Victim Replication** — the excluded ancestor (Section 6.1 drops it
+  as "outperformed by both ASR and Cooperative Caching"); here it
+  quantifies what ESP-NUCA's *protected* replication adds over
+  unrestricted replication on the same shared substrate.
+* **ESP-NUCA-QoS** — the paper's future-work extension; with all cores
+  in the NORMAL class it must behave like plain ESP-NUCA (a regression
+  guard for the extension).
+"""
+
+from benchmarks.conftest import emit
+from repro.harness.reporting import ExperimentReport
+
+
+WORKLOADS = ["apache", "oltp", "art-4", "CG"]
+
+
+def _build(runner):
+    report = ExperimentReport(
+        experiment="ablation-baselines",
+        title="Extra baselines (normalized to shared)",
+        columns=list(WORKLOADS))
+    for arch in ("shared", "victim-replication", "esp-nuca",
+                 "esp-nuca-qos"):
+        report.series[arch] = [
+            runner.aggregate(arch, wl).performance
+            / runner.aggregate("shared", wl).performance
+            for wl in WORKLOADS
+        ]
+    return report
+
+
+def test_ablation_baselines(benchmark, runner):
+    report = benchmark.pedantic(_build, args=(runner,),
+                                rounds=1, iterations=1)
+    emit(report)
+    esp = report.series["esp-nuca"]
+    qos = report.series["esp-nuca-qos"]
+    # All-NORMAL QoS is plain ESP-NUCA up to duel-timing noise.
+    for a, b in zip(esp, qos):
+        assert abs(a - b) < 0.08
+    # Victim replication must at least run sanely everywhere.
+    assert all(v > 0.5 for v in report.series["victim-replication"])

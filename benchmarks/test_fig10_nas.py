@@ -1,0 +1,25 @@
+"""Figure 10 — shared-normalized performance, NAS parallel benchmarks.
+
+Eight kernels, low sharing, footprints dominated by private data.
+Expected shape: private-derived architectures lead the shared baseline
+(latency and isolation), and ESP-NUCA is the only shared-substrate
+derivative that reaches them (paper Section 6.4).
+"""
+
+from repro.harness.experiments import NAS, run_experiment
+
+from benchmarks.conftest import emit
+
+
+def test_fig10_nas(benchmark, runner):
+    report = benchmark.pedantic(
+        run_experiment, args=("fig10", runner), rounds=1, iterations=1)
+    emit(report)
+    assert report.columns == NAS + ["GMEAN"]
+    gmean = {name: values[-1] for name, values in report.series.items()}
+    # Private-derived architectures beat the shared baseline here.
+    assert gmean["private"] > 1.0
+    # ESP-NUCA reaches the private-derived family's level: within a few
+    # percent of the private gmean, and above shared.
+    assert gmean["esp-nuca"] > 1.0
+    assert gmean["esp-nuca"] > gmean["private"] - 0.08

@@ -1,0 +1,26 @@
+"""Figure 4 — SP-NUCA dynamic partitioning.
+
+Paper series: SP-NUCA (flat LRU) vs a static 12/4 partition vs shadow
+tags, over the NAS suite and the transactional workloads. Expected
+shape: flat LRU tracks the much costlier shadow tags closely, while the
+static partition is the poor performer.
+"""
+
+from repro.harness.experiments import FIG45_WORKLOADS, run_experiment
+
+from benchmarks.conftest import emit
+
+
+def test_fig4_sp_partitioning(benchmark, runner):
+    report = benchmark.pedantic(
+        run_experiment, args=("fig4", runner), rounds=1, iterations=1)
+    emit(report)
+    assert report.columns == list(FIG45_WORKLOADS)
+    assert set(report.series) == {"sp-nuca", "sp-nuca-static",
+                                  "sp-nuca-shadow"}
+    # Shadow tags are the normalization baseline.
+    assert all(abs(v - 1.0) < 1e-9 for v in report.series["sp-nuca-shadow"])
+    # Shape: flat LRU stays within a tight band of shadow tags on
+    # average (the paper's "performance degradation is minimal").
+    lru = report.series["sp-nuca"]
+    assert sum(lru) / len(lru) > 0.9

@@ -1,0 +1,26 @@
+"""Figure 5 — ESP-NUCA replacement policies, normalized to SP-NUCA.
+
+Paper series: ESP-NUCA with flat LRU and with protected LRU. Expected
+shape: both track or improve on SP-NUCA; protected LRU is the more
+stable of the two (its worst case across the suite is better), which is
+the argument for choosing it.
+"""
+
+from repro.common.stats import variance
+from repro.harness.experiments import FIG45_WORKLOADS, run_experiment
+
+from benchmarks.conftest import emit
+
+
+def test_fig5_esp_replacement(benchmark, runner):
+    report = benchmark.pedantic(
+        run_experiment, args=("fig5", runner), rounds=1, iterations=1)
+    emit(report)
+    assert report.columns == list(FIG45_WORKLOADS)
+    flat = report.series["esp-nuca-flat"]
+    protected = report.series["esp-nuca"]
+    assert len(flat) == len(protected) == len(FIG45_WORKLOADS)
+    # Stability shape: protected LRU's downside risk is no worse than
+    # flat LRU's (min over the suite).
+    assert min(protected) >= min(flat) - 0.05
+    assert variance(protected) <= variance(flat) + 0.01

@@ -1,0 +1,35 @@
+"""Figure 6 — average access time decomposition, transactional workloads.
+
+Per (architecture, workload): the average demand-access latency split
+by data supplier (local L1, remote L1, local/private L2, remote L2,
+shared L2, off-chip). Expected shapes: the shared organization's bar is
+dominated by the shared-L2 component; private-family bars trade a
+smaller on-chip part for a larger off-chip part; ESP-NUCA keeps the
+off-chip component near shared's while moving on-chip time from the
+shared-L2 to the local-L2 component.
+"""
+
+from repro.harness.experiments import TRANSACTIONAL, run_experiment
+from repro.sim.request import Supplier
+
+from benchmarks.conftest import emit
+
+
+def test_fig6_access_decomposition(benchmark, runner):
+    report = benchmark.pedantic(
+        run_experiment, args=("fig6", runner), rounds=1, iterations=1)
+    emit(report)
+    for workload in TRANSACTIONAL:
+        assert workload in report.extra
+    # Components stack to the total.
+    for key, values in report.series.items():
+        assert abs(sum(values[:-1]) - values[-1]) < 1e-6
+    # Shape: the shared architecture spends more of its access time in
+    # remote shared banks than ESP-NUCA does, on every workload.
+    shared_idx = report.columns.index(Supplier.L2_SHARED.value)
+    local_idx = report.columns.index(Supplier.L2_LOCAL.value)
+    for workload in TRANSACTIONAL:
+        shared_row = report.series[f"{workload}/shared"]
+        esp_row = report.series[f"{workload}/esp-nuca"]
+        assert esp_row[shared_idx] <= shared_row[shared_idx]
+        assert esp_row[local_idx] >= shared_row[local_idx]

@@ -1,0 +1,28 @@
+"""Figure 7 — off-chip accesses vs on-chip latency, transactional suite.
+
+Both normalized to the shared S-NUCA. Expected shape (the paper's
+money plot): private/ASR sit at low on-chip latency but elevated
+off-chip traffic; shared is the opposite corner; ESP-NUCA balances —
+off-chip close to shared, on-chip latency well below shared.
+"""
+
+from repro.architectures.registry import FIGURE_ARCHITECTURES
+from repro.harness.experiments import run_experiment
+
+from benchmarks.conftest import emit
+
+
+def test_fig7_onchip_offchip(benchmark, runner):
+    report = benchmark.pedantic(
+        run_experiment, args=("fig7", runner), rounds=1, iterations=1)
+    emit(report)
+    assert report.columns == FIGURE_ARCHITECTURES
+    off = dict(zip(report.columns, report.series["offchip-access"]))
+    on = dict(zip(report.columns, report.series["onchip-latency"]))
+    assert off["shared"] == 1.0 and on["shared"] == 1.0
+    # Private-family architectures buy latency with off-chip traffic.
+    assert on["private"] < 1.0
+    # ESP-NUCA balances: meaningfully better on-chip latency than
+    # shared at near-shared off-chip traffic.
+    assert on["esp-nuca"] < 0.95
+    assert off["esp-nuca"] < off["private"] * 1.25

@@ -1,0 +1,28 @@
+"""Figure 8 — shared-normalized performance, transactional workloads.
+
+Series: shared, private, D-NUCA, ASR, CC (avg with best/worst), and
+ESP-NUCA, plus the geometric mean. Expected shape: ESP-NUCA improves
+clearly on the shared baseline (paper: ~+15% average) and on the plain
+private organization's average, with CC highly variable across its
+cooperation probabilities.
+"""
+
+from repro.harness.experiments import TRANSACTIONAL, run_experiment
+
+from benchmarks.conftest import emit
+
+
+def test_fig8_transactional(benchmark, runner):
+    report = benchmark.pedantic(
+        run_experiment, args=("fig8", runner), rounds=1, iterations=1)
+    emit(report)
+    assert report.columns == TRANSACTIONAL + ["GMEAN"]
+    gmean = {name: values[-1] for name, values in report.series.items()}
+    assert gmean["shared"] == 1.0
+    # ESP-NUCA beats the shared baseline on every transactional
+    # workload (the paper's headline for this suite).
+    assert all(v > 1.0 for v in report.series["esp-nuca"][:-1])
+    assert gmean["esp-nuca"] > 1.05
+    # CC's spread is wide (the paper's variability argument).
+    assert all(b >= w for b, w in zip(report.series["cc-best"],
+                                      report.series["cc-worst"]))

@@ -1,0 +1,78 @@
+"""Scalability study — 8 vs 16 cores (the introduction's motivation).
+
+Not a paper figure: the paper motivates adaptive NUCA by core-count
+growth and evaluates at 8 cores; this bench checks the headline
+comparison (ESP-NUCA vs shared vs private on a shared-heavy workload)
+keeps its shape when the chip doubles with per-core resources held
+constant.
+"""
+
+from benchmarks.conftest import emit
+from repro.architectures.registry import make_architecture
+from repro.common.config import many_core_config, scaled_config
+from repro.harness.reporting import ExperimentReport
+from repro.sim.engine import SimulationEngine
+from repro.sim.system import CmpSystem
+from repro.workloads.base import TraceGenerator
+from repro.workloads.mixes import MixBuilder, program
+
+ARCHS = ["shared", "private", "esp-nuca"]
+
+
+def _mix(num_cores, partition, refs):
+    app = program("txn", footprint_blocks=int(partition * 0.6),
+                  shared_blocks=int(partition * 0.6),
+                  shared_fraction=0.4, dep_fraction=0.1,
+                  refs_per_core=refs,
+                  description="transactional-like, shared-heavy")
+    return MixBuilder(f"txn{num_cores}", num_cores=num_cores).assign(
+        range(num_cores), app).build()
+
+
+def _run(config, arch, mix, refs):
+    system = CmpSystem(config, make_architecture(arch, config))
+    engine = SimulationEngine(
+        system, TraceGenerator(mix, seed=1).traces(config.num_cores))
+    return engine.run(max_refs_per_core=refs // 2,
+                      warmup_refs_per_core=refs // 2)
+
+
+def _build(runner):
+    refs = max(2000, runner.settings.refs_per_core // 2)
+    report = ExperimentReport(
+        experiment="scalability",
+        title="Shared-normalized performance at 8 and 16 cores",
+        columns=["8 cores", "16 cores"])
+    configs = {
+        "8 cores": scaled_config(runner.settings.capacity_factor),
+        "16 cores": many_core_config(
+            16, capacity_factor=runner.settings.capacity_factor),
+    }
+    results = {}
+    for label, config in configs.items():
+        partition = (config.l2.sets_per_bank * config.l2.assoc
+                     * config.private_banks_per_core)
+        mix = _mix(config.num_cores, partition, refs)
+        for arch in ARCHS:
+            results[(arch, label)] = _run(config, arch, mix, refs)
+    for arch in ARCHS:
+        report.series[arch] = [
+            results[(arch, label)].performance
+            / results[("shared", label)].performance
+            for label in configs
+        ]
+    report.notes.append(
+        "per-core resources constant; larger mesh = longer average "
+        "shared-bank distance, so locality mechanisms matter *more* "
+        "at 16 cores")
+    return report
+
+
+def test_scalability_16core(benchmark, runner):
+    report = benchmark.pedantic(_build, args=(runner,),
+                                rounds=1, iterations=1)
+    emit(report)
+    esp8, esp16 = report.series["esp-nuca"]
+    assert esp8 > 1.0 and esp16 > 1.0
+    # The adaptive win does not shrink when the chip scales out.
+    assert esp16 > esp8 - 0.1

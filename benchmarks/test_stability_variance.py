@@ -1,0 +1,26 @@
+"""Stability — the abstract's variance claims.
+
+The paper's differentiator is not peak speedup but *stability*: the
+variance of (shared-normalized) performance across the whole benchmark
+set is far lower for ESP-NUCA than for D-NUCA and CC (87% and 43%
+lower), and lower than ASR overall (37%) although ASR can be the more
+stable one within NAS.
+"""
+
+from repro.harness.experiments import run_experiment
+
+from benchmarks.conftest import emit
+
+
+def test_stability_variance(benchmark, runner):
+    report = benchmark.pedantic(
+        run_experiment, args=("stability", runner), rounds=1, iterations=1)
+    emit(report)
+    assert report.columns == ["transactional", "multiprogrammed", "nas",
+                              "all"]
+    overall = {name: values[-1] for name, values in report.series.items()}
+    # ESP-NUCA's overall variance is the lowest of the adaptive
+    # architectures (the headline stability claim).
+    assert overall["esp-nuca"] <= overall["d-nuca"]
+    assert overall["esp-nuca"] <= overall["cc-avg"] * 1.1
+    assert overall["esp-nuca"] <= overall["private"]

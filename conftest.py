@@ -1,0 +1,13 @@
+"""Make the src layout importable without installation.
+
+The reproduction targets offline environments where ``pip install -e .``
+may be unavailable (no ``wheel`` package, no network for build
+isolation); inserting ``src`` here lets ``pytest`` run from a bare
+checkout. An installed copy, when present, takes the same code anyway
+(editable install points back at ``src``).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

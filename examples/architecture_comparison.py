@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Compare all six architecture families on one workload.
+
+Reproduces one column of Figures 8/9/10 at small scale: run the same
+trace (paired) through every architecture and print shared-normalized
+performance plus the on/off-chip balance of Figure 7.
+
+Run:  python examples/architecture_comparison.py [workload]
+      (default workload: oltp; try art-4 to see the private-cache
+      capacity collapse, or gcc-gzip for the isolation scenario)
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.architectures.registry import FIGURE_ARCHITECTURES
+from repro.harness.reporting import format_table
+from repro.harness.runner import ExperimentRunner, RunSettings
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "oltp"
+    runner = ExperimentRunner(RunSettings(
+        capacity_factor=8, refs_per_core=12_000,
+        warmup_refs_per_core=8_000, num_seeds=1))
+    print(f"running {len(FIGURE_ARCHITECTURES)} architectures on "
+          f"{workload!r} (paired traces, one seed)...\n")
+    base = runner.aggregate("shared", workload)
+    rows = []
+    for arch in FIGURE_ARCHITECTURES:
+        agg = runner.aggregate(arch, workload)
+        rows.append([
+            arch,
+            agg.performance / base.performance,
+            agg.average_access_time,
+            agg.onchip_latency / base.onchip_latency,
+            agg.offchip_per_kilo_access / max(base.offchip_per_kilo_access,
+                                              1e-9),
+        ])
+    print(format_table(
+        ["architecture", "perf vs shared", "avg access (cyc)",
+         "on-chip latency vs shared", "off-chip traffic vs shared"],
+        rows))
+    print("\nreading guide: ESP-NUCA aims for private-like on-chip "
+          "latency at shared-like off-chip traffic (Figure 7).")
+
+
+if __name__ == "__main__":
+    main()

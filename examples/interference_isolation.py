@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Inter-thread interference: the hybrid-workload scenario of Section 6.3.
+
+Four copies of a thrashing program (art-like) share the chip with four
+copies of a cache-friendly one (gzip-like). A shared cache lets the
+thrasher destroy its neighbour; isolation-capable organizations keep
+them apart. The script prints per-core IPCs so the victim threads are
+visible individually.
+
+Run:  python examples/interference_isolation.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.architectures.registry import make_architecture
+from repro.common.config import scaled_config
+from repro.harness.reporting import format_table
+from repro.sim.engine import SimulationEngine
+from repro.sim.system import CmpSystem
+from repro.workloads.base import TraceGenerator
+from repro.workloads.registry import get_workload
+
+
+def main() -> None:
+    config = scaled_config(8)
+    spec = get_workload("art-gzip").capacity_scaled(8).scaled(15_000)
+    rows = []
+    for arch_name in ("shared", "private", "cc30", "esp-nuca"):
+        system = CmpSystem(config, make_architecture(arch_name, config))
+        traces = TraceGenerator(spec, seed=1).traces(config.num_cores)
+        result = SimulationEngine(system, traces).run(
+            warmup_refs_per_core=6_000)
+        per_core_ipc = [
+            (instr / cyc if cyc else 0.0)
+            for instr, cyc in zip(result.per_core_instructions,
+                                  result.per_core_cycles)
+        ]
+        art_ipc = sum(per_core_ipc[:4]) / 4
+        gzip_ipc = sum(per_core_ipc[4:]) / 4
+        rows.append([arch_name, art_ipc, gzip_ipc,
+                     result.performance])
+    print("art (cores 0-3) thrashes; gzip (cores 4-7) is the victim\n")
+    print(format_table(
+        ["architecture", "art IPC", "gzip IPC", "aggregate IPC"], rows))
+    print("\nreading guide: on 'shared', gzip loses IPC because art's "
+          "loop floods the pool; private isolates gzip fully; ESP-NUCA "
+          "bounds art's victims through protected LRU, so gzip keeps "
+          "most of its isolation without giving up adaptivity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""QoS on top of ESP-NUCA — the paper's future-work extension, built.
+
+Section 5.2 observes that a "dynamically defined d parameter provides
+the opportunity to add some Quality of Service Policy on top of
+ESP-NUCA". Here: a latency-critical service on core 0 shares the chip
+with seven background batch threads that overflow their partitions.
+With plain ESP-NUCA the batch threads' victims creep into every bank;
+with QoS classes the service core's banks expel helping blocks at the
+first sign of first-class degradation while the background banks donate
+capacity freely.
+
+Run:  python examples/qos_priorities.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.common.config import scaled_config
+from repro.core.esp_nuca import EspNuca
+from repro.core.qos import QosClass, QosEspNuca, protection_summary
+from repro.sim.engine import SimulationEngine
+from repro.sim.system import CmpSystem
+from repro.workloads.base import TraceGenerator, WorkloadSpec
+
+
+def build_spec(partition: int) -> WorkloadSpec:
+    service = WorkloadSpec(
+        name="latency-service", family="synthetic", active_cores=(0,),
+        refs_per_core=15_000,
+        private_footprint_blocks=int(partition * 0.8),
+        shared_fraction=0.0, locality=1.5, reuse_fraction=0.6,
+        dep_fraction=0.3, os_noise=0.0,
+        description="latency-critical, fits its partition")
+    batch = WorkloadSpec(
+        name="batch", family="synthetic", active_cores=tuple(range(8)),
+        refs_per_core=15_000,
+        private_footprint_blocks=int(partition * 2.0),
+        shared_fraction=0.0, locality=1.2, reuse_fraction=0.55,
+        stream_fraction=0.15, os_noise=0.0,
+        description="capacity-hungry background work")
+    return WorkloadSpec(
+        name="qos-mix", family="synthetic", active_cores=tuple(range(8)),
+        refs_per_core=15_000, per_core={0: service,
+                                        **{c: batch for c in range(1, 8)}})
+
+
+def run(arch, spec, config):
+    system = CmpSystem(config, arch)
+    traces = TraceGenerator(spec, seed=1).traces(8)
+    result = SimulationEngine(system, traces).run(warmup_refs_per_core=6_000)
+    ipc = [i / c if c else 0.0
+           for i, c in zip(result.per_core_instructions,
+                           result.per_core_cycles)]
+    return result, ipc
+
+
+def main() -> None:
+    config = scaled_config(8)
+    partition = (config.l2.sets_per_bank * config.l2.assoc
+                 * config.private_banks_per_core)
+    spec = build_spec(partition)
+
+    plain, plain_ipc = run(EspNuca(config), spec, config)
+
+    qos_arch = QosEspNuca(config, core_classes={
+        0: QosClass.HIGH,
+        **{c: QosClass.BACKGROUND for c in range(1, 8)}})
+    qos, qos_ipc = run(qos_arch, spec, config)
+
+    print("latency-critical service on core 0, 7 thrashing batch threads\n")
+    print(f"{'':24s}{'plain esp-nuca':>16s}{'esp-nuca-qos':>16s}")
+    print(f"{'service IPC (core 0)':24s}{plain_ipc[0]:>16.3f}{qos_ipc[0]:>16.3f}")
+    batch_plain = sum(plain_ipc[1:]) / 7
+    batch_qos = sum(qos_ipc[1:]) / 7
+    print(f"{'batch IPC (avg 1-7)':24s}{batch_plain:>16.3f}{batch_qos:>16.3f}")
+    print(f"{'aggregate IPC':24s}{plain.performance:>16.3f}"
+          f"{qos.performance:>16.3f}")
+    print("\nper-class helping budgets under QoS:")
+    for line in protection_summary(qos_arch):
+        print("  " + line)
+    delta = (qos_ipc[0] / plain_ipc[0] - 1) * 100 if plain_ipc[0] else 0.0
+    print(f"\nservice-core IPC change under QoS: {delta:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

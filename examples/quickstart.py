@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: build an ESP-NUCA CMP, run a workload, read the results.
+
+The public API in five steps:
+
+1. pick a configuration   (``SystemConfig`` / ``scaled_config``)
+2. pick an architecture   (``make_architecture`` or a class)
+3. assemble the system    (``CmpSystem``)
+4. generate a workload    (``TraceGenerator`` over a Table 1 spec)
+5. run and inspect        (``SimulationEngine.run`` -> ``SimResult``)
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.architectures.registry import make_architecture
+from repro.common.config import scaled_config
+from repro.metrics.decomposition import COMPONENT_ORDER
+from repro.sim.engine import SimulationEngine
+from repro.sim.system import CmpSystem
+from repro.workloads.base import TraceGenerator
+from repro.workloads.registry import get_workload
+
+
+def main() -> None:
+    # A capacity-scaled copy of the paper's Table 2 system (factor 8:
+    # same ratios, traces warm up 8x faster — see DESIGN.md).
+    config = scaled_config(8)
+
+    architecture = make_architecture("esp-nuca", config)
+    system = CmpSystem(config, architecture)
+
+    # Table 1 workload, scaled to match the configuration.
+    spec = get_workload("apache").capacity_scaled(8).scaled(20_000)
+    traces = TraceGenerator(spec, seed=1).traces(config.num_cores)
+
+    engine = SimulationEngine(system, traces)
+    result = engine.run(warmup_refs_per_core=8_000)
+
+    print(f"architecture : {architecture.name}")
+    print(f"workload     : {spec.name} ({spec.description})")
+    print(f"cycles       : {result.cycles:,}")
+    print(f"instructions : {result.instructions:,}")
+    print(f"aggregate IPC: {result.performance:.3f}")
+    print(f"avg access   : {result.average_access_time:.1f} cycles")
+    print(f"off-chip     : {result.offchip_accesses_per_kilo_access:.1f} "
+          f"per 1000 accesses")
+    print("\naccess-time decomposition (cycles of the average access):")
+    for supplier in COMPONENT_ORDER:
+        contribution = result.access_time_component(supplier)
+        share = result.supplier_count[supplier] / result.memory_accesses
+        print(f"  {supplier.value:18s} {contribution:7.2f}   "
+              f"({share * 100:5.1f}% of accesses)")
+    print("\nESP-NUCA internals:")
+    print(f"  replicas created {architecture.replicas_created:,}, "
+          f"hits {architecture.replica_hits:,}")
+    print(f"  victims  created {architecture.victims_created:,}, "
+          f"hits {architecture.victim_hits:,}")
+    print(f"  average helping budget nmax = "
+          f"{architecture.duel.average_nmax():.2f} ways of "
+          f"{config.l2.assoc}")
+
+
+if __name__ == "__main__":
+    main()

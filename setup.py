@@ -1,0 +1,6 @@
+"""Legacy shim so ``pip install -e . --no-build-isolation`` works in
+offline environments without the ``wheel`` package."""
+
+from setuptools import setup
+
+setup()

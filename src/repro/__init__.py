@@ -1,0 +1,67 @@
+"""ESP-NUCA (HPCA 2010) — a complete Python reproduction.
+
+The package implements the paper's Enhanced Shared-Private NUCA, every
+counterpart architecture it evaluates against, and the full CMP
+simulation substrate underneath (NUCA banks, mesh NoC, token
+coherence, memory controllers, core timing model, synthetic Table 1
+workloads, and a per-figure experiment harness).
+
+Quick tour of the public API::
+
+    from repro import (
+        SystemConfig, scaled_config,      # Table 2 configurations
+        make_architecture,                # "esp-nuca", "shared", ...
+        CmpSystem, SimulationEngine,      # assemble + run
+        TraceGenerator, get_workload,     # Table 1 workloads
+        ExperimentRunner, run_experiment, # per-figure reproduction
+    )
+
+See README.md for a walkthrough and DESIGN.md for the system
+inventory; ``examples/`` contains runnable scenarios.
+"""
+
+from repro.architectures.registry import (
+    FIGURE_ARCHITECTURES,
+    architecture_names,
+    make_architecture,
+)
+from repro.common.config import (
+    DEFAULT_CONFIG,
+    SystemConfig,
+    many_core_config,
+    scaled_config,
+)
+from repro.core.esp_nuca import EspNuca
+from repro.core.sp_nuca import SpNuca
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.runner import ExperimentRunner, RunSettings
+from repro.sim.engine import SimulationEngine
+from repro.sim.system import CmpSystem
+from repro.workloads.base import TraceGenerator, WorkloadSpec
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FIGURE_ARCHITECTURES",
+    "architecture_names",
+    "make_architecture",
+    "DEFAULT_CONFIG",
+    "SystemConfig",
+    "many_core_config",
+    "scaled_config",
+    "EspNuca",
+    "SpNuca",
+    "EXPERIMENTS",
+    "run_experiment",
+    "ExperimentRunner",
+    "RunSettings",
+    "SimulationEngine",
+    "CmpSystem",
+    "TraceGenerator",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "get_workload",
+    "workload_names",
+    "__version__",
+]

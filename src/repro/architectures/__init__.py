@@ -1,0 +1,14 @@
+"""Cache architectures under evaluation (Section 6.1).
+
+The package contains the five counterpart architectures; the paper's
+own proposals (SP-NUCA, ESP-NUCA) live in :mod:`repro.core` but
+implement the same :class:`~repro.architectures.base.NucaArchitecture`
+interface over the same bank substrate, so comparisons differ only by
+policy.
+"""
+
+from repro.architectures.base import NucaArchitecture
+from repro.architectures.private import TiledPrivate
+from repro.architectures.shared import SharedNuca
+
+__all__ = ["NucaArchitecture", "SharedNuca", "TiledPrivate"]

@@ -1,0 +1,64 @@
+"""Name → architecture factory, covering every configuration the
+evaluation uses (Section 6.1 plus the Figure 4/5 SP/ESP variants)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.architectures.base import NucaArchitecture
+from repro.common.config import SystemConfig
+
+
+def _factories() -> Dict[str, Callable[[SystemConfig], NucaArchitecture]]:
+    from repro.architectures.asr import AdaptiveSelectiveReplication
+    from repro.architectures.cc import CooperativeCaching
+    from repro.architectures.dnuca import DNuca
+    from repro.architectures.private import TiledPrivate
+    from repro.architectures.shared import SharedNuca
+    from repro.architectures.rnuca import RNucaLite
+    from repro.architectures.victim_replication import VictimReplication
+    from repro.core.esp_nuca import EspNuca
+    from repro.core.qos import QosEspNuca
+    from repro.core.sp_nuca import SpNuca
+
+    return {
+        "shared": SharedNuca,
+        "victim-replication": VictimReplication,
+        "r-nuca": RNucaLite,
+        "esp-nuca-qos": QosEspNuca,
+        "private": TiledPrivate,
+        "d-nuca": DNuca,
+        "asr": AdaptiveSelectiveReplication,
+        "cc00": lambda cfg: CooperativeCaching(cfg, cooperation=0.0),
+        "cc30": lambda cfg: CooperativeCaching(cfg, cooperation=0.3),
+        "cc70": lambda cfg: CooperativeCaching(cfg, cooperation=0.7),
+        "cc100": lambda cfg: CooperativeCaching(cfg, cooperation=1.0),
+        "sp-nuca": SpNuca,
+        "sp-nuca-static": lambda cfg: SpNuca(cfg, partitioning="static"),
+        "sp-nuca-shadow": lambda cfg: SpNuca(cfg, partitioning="shadow"),
+        "esp-nuca": EspNuca,
+        "esp-nuca-flat": lambda cfg: EspNuca(cfg, variant="flat"),
+    }
+
+
+#: The six architecture families of Figures 6-10 (CC shown as its four
+#: cooperation probabilities, aggregated by the harness).
+FIGURE_ARCHITECTURES: List[str] = [
+    "shared", "private", "d-nuca", "asr",
+    "cc00", "cc30", "cc70", "cc100", "esp-nuca",
+]
+
+CC_VARIANTS: List[str] = ["cc00", "cc30", "cc70", "cc100"]
+
+
+def architecture_names() -> List[str]:
+    return list(_factories())
+
+
+def make_architecture(name: str, config: SystemConfig) -> NucaArchitecture:
+    try:
+        factory = _factories()[name]
+    except KeyError:
+        known = ", ".join(sorted(_factories()))
+        raise KeyError(f"unknown architecture {name!r}; known: {known}") from None
+    return factory(config)

@@ -1,0 +1,82 @@
+"""R-NUCA-lite (Hardavellas et al. [9]) — page-grained classification.
+
+Section 6.1: "Reactive-NUCA is similar to our proposal, but it makes
+coarser-grain decisions (page-based) and requires modifications to the
+OS. ... R-NUCA seems to perform similarly to a shared NUCA, only
+winning in one benchmark." This baseline exists to let that comparison
+be made: it reuses SP-NUCA's entire machinery but classifies at page
+granularity (the OS-page role is played by a page-keyed private-bit
+directory), with no replicas or victims.
+
+The known approximation: when a page is demoted, blocks of it already
+resident in the owner's private banks stay there until touched by
+another core (SP-NUCA's 3' path migrates them on demand); a real OS
+would re-map the page eagerly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.config import SystemConfig
+from repro.core.private_bit import Classification, PrivateBitDirectory
+from repro.core.sp_nuca import SpNuca
+
+
+class PageBitDirectory(PrivateBitDirectory):
+    """A private-bit directory keyed by page instead of block.
+
+    Classification queries take *block* addresses (the SP-NUCA code is
+    unchanged); internally the state lives per page, with an on-chip
+    block refcount so the page's status resets only when its last
+    block leaves the chip.
+    """
+
+    def __init__(self, page_blocks: int = 64) -> None:
+        super().__init__()
+        if page_blocks <= 0 or page_blocks & (page_blocks - 1):
+            raise ValueError("page size (in blocks) must be a power of two")
+        self.page_bits = page_blocks.bit_length() - 1
+        self._resident: Dict[int, int] = {}
+
+    def _page(self, block: int) -> int:
+        return block >> self.page_bits
+
+    # -- queries (block-keyed API, page-keyed state) ------------------------
+
+    def classify(self, block: int) -> Classification:
+        return super().classify(self._page(block))
+
+    def owner(self, block: int):
+        return super().owner(self._page(block))
+
+    def note_access(self, block: int, core: int) -> bool:
+        return super().note_access(self._page(block), core)
+
+    def force_shared(self, block: int) -> None:
+        super().force_shared(self._page(block))
+
+    # -- lifecycle with refcounting -------------------------------------------
+
+    def on_arrival(self, block: int, core: int) -> None:
+        page = self._page(block)
+        self._resident[page] = self._resident.get(page, 0) + 1
+        if super().classify(page) is Classification.ABSENT:
+            super().on_arrival(page, core)
+
+    def on_left_chip(self, block: int) -> None:
+        page = self._page(block)
+        remaining = self._resident.get(page, 0) - 1
+        if remaining > 0:
+            self._resident[page] = remaining
+            return
+        self._resident.pop(page, None)
+        super().on_left_chip(page)
+
+
+class RNucaLite(SpNuca):
+    name = "r-nuca"
+
+    def __init__(self, config: SystemConfig, page_blocks: int = 64) -> None:
+        super().__init__(config, partitioning="lru")
+        self.classifier = PageBitDirectory(page_blocks)

@@ -1,0 +1,29 @@
+"""Generic set-associative cache substrate shared by every architecture."""
+
+from repro.cache.bank import CacheBank, SetRole
+from repro.cache.block import BlockClass, CacheBlock, FIRST_CLASS, HELPING
+from repro.cache.cache_set import CacheSet
+from repro.cache.l1 import L1Cache
+from repro.cache.replacement import (
+    FlatLru,
+    ProtectedLru,
+    ReplacementPolicy,
+    StaticPartition,
+)
+from repro.cache.shadow import ShadowTagPartition
+
+__all__ = [
+    "CacheBank",
+    "SetRole",
+    "BlockClass",
+    "CacheBlock",
+    "FIRST_CLASS",
+    "HELPING",
+    "CacheSet",
+    "L1Cache",
+    "FlatLru",
+    "ProtectedLru",
+    "ReplacementPolicy",
+    "StaticPartition",
+    "ShadowTagPartition",
+]

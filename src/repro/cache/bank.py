@@ -1,0 +1,144 @@
+"""An L2 NUCA bank: sets, LRU stamping, set roles, per-class statistics.
+
+The bank is policy-agnostic: which (bank, set) a block lands in and
+with which :class:`~repro.cache.block.BlockClass` is the architecture's
+decision; the bank provides exact storage, LRU bookkeeping, replacement
+delegation, and — for ESP-NUCA — the set-role machinery (reference /
+explorer / monitored-conventional sets) plus the ``nmax`` helping-block
+budget that the dueling controller adjusts.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.cache.block import BlockClass, CacheBlock
+from repro.cache.cache_set import CacheSet
+from repro.cache.replacement import FlatLru, ReplacementPolicy
+
+
+class SetRole(enum.Enum):
+    NORMAL = "normal"                # conventional, unmonitored
+    CONVENTIONAL_SAMPLE = "sample"   # conventional, feeds HR_C
+    REFERENCE = "reference"          # no helping blocks, feeds HR_R
+    EXPLORER = "explorer"            # nmax + 1 helping blocks, feeds HR_E
+
+
+class CacheBank:
+    """One physical NUCA bank."""
+
+    def __init__(self, bank_id: int, num_sets: int, ways: int,
+                 policy: ReplacementPolicy | None = None) -> None:
+        self.bank_id = bank_id
+        self.num_sets = num_sets
+        self.ways = ways
+        self.policy = policy or FlatLru()
+        self.sets: List[CacheSet] = [CacheSet(ways) for _ in range(num_sets)]
+        self._stamp = 0
+        # ESP machinery; inert unless an architecture configures it.
+        self.roles: Dict[int, SetRole] = {}
+        self.nmax: Optional[int] = None  # None => helping blocks unbounded
+        self.monitor: Optional[Callable[["CacheBank", int, bool], None]] = None
+        # Statistics.
+        self.hits: Dict[BlockClass, int] = {cls: 0 for cls in BlockClass}
+        self.misses = 0
+        self.allocations = 0
+        self.refusals = 0
+        self.evictions = 0
+
+    # -- roles & helping budget ------------------------------------------------
+
+    def assign_role(self, set_index: int, role: SetRole) -> None:
+        self.roles[set_index] = role
+
+    def role(self, set_index: int) -> SetRole:
+        return self.roles.get(set_index, SetRole.NORMAL)
+
+    def helping_limit(self, set_index: int) -> int:
+        """Max helping blocks this set may hold (Section 3.2)."""
+        if self.nmax is None:
+            return self.ways
+        role = self.roles.get(set_index, SetRole.NORMAL)
+        if role is SetRole.REFERENCE:
+            return 0
+        if role is SetRole.EXPLORER:
+            return min(self.nmax + 1, self.ways)
+        return self.nmax
+
+    # -- lookup ------------------------------------------------------------------
+
+    def touch(self, entry: CacheBlock) -> None:
+        self._stamp += 1
+        entry.lru = self._stamp
+
+    def lookup(self, set_index: int, block: int,
+               classes: Iterable[BlockClass] | None = None,
+               owner: int | None = None, touch: bool = True,
+               record: bool = True) -> Optional[CacheBlock]:
+        """Demand lookup. ``record=False`` for snooping probes that must
+        not perturb LRU state or the hit-rate monitors."""
+        cache_set = self.sets[set_index]
+        entry = cache_set.find(block, classes, owner)
+        if entry is not None and touch:
+            self.touch(entry)
+        if record:
+            if entry is not None:
+                self.hits[entry.cls] += 1
+            else:
+                self.misses += 1
+            if self.monitor is not None and set_index in self.roles:
+                self.monitor(self, set_index,
+                             entry is not None and entry.is_first_class)
+        return entry
+
+    def peek(self, set_index: int, block: int,
+             classes: Iterable[BlockClass] | None = None,
+             owner: int | None = None) -> Optional[CacheBlock]:
+        return self.lookup(set_index, block, classes, owner,
+                           touch=False, record=False)
+
+    # -- allocation ---------------------------------------------------------------
+
+    def allocate(self, set_index: int, entry: CacheBlock
+                 ) -> Tuple[bool, Optional[CacheBlock]]:
+        """Install ``entry``; returns ``(admitted, evicted_block)``.
+
+        Refusal (``admitted=False``) only happens for helping blocks
+        under protected LRU (or duplicates, which are a caller bug).
+        """
+        cache_set = self.sets[set_index]
+        way = self.policy.choose(cache_set, entry, self, set_index)
+        if way is None:
+            self.refusals += 1
+            return False, None
+        evicted = cache_set.blocks[way]
+        if evicted is not None:
+            self.evictions += 1
+        cache_set.install(way, entry)
+        self.touch(entry)
+        self.allocations += 1
+        return True, evicted
+
+    def remove(self, set_index: int, entry: CacheBlock) -> None:
+        self.sets[set_index].remove(entry)
+
+    def reclassify(self, set_index: int, entry: CacheBlock,
+                   new_cls: BlockClass) -> None:
+        self.sets[set_index].reclassify(entry, new_cls)
+
+    # -- stats ----------------------------------------------------------------------
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    def occupancy(self) -> int:
+        return sum(len(s.valid_blocks()) for s in self.sets)
+
+    def reset_stats(self) -> None:
+        self.hits = {cls: 0 for cls in BlockClass}
+        self.misses = 0
+        self.allocations = 0
+        self.refusals = 0
+        self.evictions = 0

@@ -1,0 +1,62 @@
+"""Cache-block descriptors.
+
+SP-NUCA distinguishes blocks by a *private bit*; ESP-NUCA adds two
+second-class ("helping") kinds on top — replicas and victims (Section
+3.1). The enum captures all four; plain architectures (S-NUCA, tiled
+private, D-NUCA, ...) use only the kinds they need.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class BlockClass(enum.Enum):
+    PRIVATE = "private"   # first-class: single-core data, private mapping
+    SHARED = "shared"     # first-class: multi-core data, shared mapping
+    REPLICA = "replica"   # helping: local copy of a shared block
+    VICTIM = "victim"     # helping: remote private data kept in shared space
+
+    @property
+    def is_helping(self) -> bool:
+        return self in HELPING
+
+    @property
+    def is_first_class(self) -> bool:
+        return self in FIRST_CLASS
+
+
+FIRST_CLASS = frozenset({BlockClass.PRIVATE, BlockClass.SHARED})
+HELPING = frozenset({BlockClass.REPLICA, BlockClass.VICTIM})
+
+
+@dataclass
+class CacheBlock:
+    """One resident L2 line.
+
+    ``block`` is the full block address (byte address >> B), so tag
+    comparison under either interpretation of Figure 1b is exact.
+    ``owner`` is the core whose partition the block belongs to: the
+    allocating core for PRIVATE, the replicating core for REPLICA, the
+    original owner for VICTIM; -1 for SHARED (owned by the chip).
+    ``tokens`` is this copy's share of the coherence tokens.
+    """
+
+    block: int
+    cls: BlockClass
+    owner: int = -1
+    dirty: bool = False
+    tokens: int = 0
+    lru: int = 0
+    # Per-architecture scratch (e.g. Cooperative Caching's recirculation
+    # count, D-NUCA's current bankset slot).
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def is_helping(self) -> bool:
+        return self.cls in HELPING
+
+    @property
+    def is_first_class(self) -> bool:
+        return self.cls in FIRST_CLASS

@@ -1,0 +1,95 @@
+"""A w-way associative set with exact LRU ordering.
+
+Ways are held in a plain list (w = 16 at most in this study, so linear
+scans beat fancier structures in CPython). LRU order is defined by a
+bank-global monotone counter stamped on every touch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.cache.block import BlockClass, CacheBlock
+
+
+class CacheSet:
+    __slots__ = ("ways", "blocks", "helping_count")
+
+    def __init__(self, ways: int) -> None:
+        self.ways = ways
+        self.blocks: List[Optional[CacheBlock]] = [None] * ways
+        self.helping_count = 0
+
+    # -- lookup -------------------------------------------------------------
+
+    def find(self, block: int, classes: Iterable[BlockClass] | None = None,
+             owner: int | None = None) -> Optional[CacheBlock]:
+        """First resident copy of ``block`` matching class/owner filters."""
+        for entry in self.blocks:
+            if entry is None or entry.block != block:
+                continue
+            if classes is not None and entry.cls not in classes:
+                continue
+            if owner is not None and entry.owner != owner:
+                continue
+            return entry
+        return None
+
+    def find_way(self, entry: CacheBlock) -> int:
+        for way, resident in enumerate(self.blocks):
+            if resident is entry:
+                return way
+        raise ValueError("block is not resident in this set")
+
+    # -- occupancy ----------------------------------------------------------
+
+    def free_way(self) -> Optional[int]:
+        for way, entry in enumerate(self.blocks):
+            if entry is None:
+                return way
+        return None
+
+    def valid_blocks(self) -> List[CacheBlock]:
+        return [entry for entry in self.blocks if entry is not None]
+
+    def count(self, predicate: Callable[[CacheBlock], bool]) -> int:
+        return sum(1 for entry in self.blocks if entry is not None and predicate(entry))
+
+    # -- mutation ------------------------------------------------------------
+
+    def install(self, way: int, entry: CacheBlock) -> None:
+        old = self.blocks[way]
+        if old is not None and old.is_helping:
+            self.helping_count -= 1
+        self.blocks[way] = entry
+        if entry.is_helping:
+            self.helping_count += 1
+
+    def remove(self, entry: CacheBlock) -> None:
+        way = self.find_way(entry)
+        self.blocks[way] = None
+        if entry.is_helping:
+            self.helping_count -= 1
+
+    def reclassify(self, entry: CacheBlock, new_cls: BlockClass) -> None:
+        """Change a resident block's class, keeping the helping counter."""
+        if entry.is_helping:
+            self.helping_count -= 1
+        entry.cls = new_cls
+        if entry.is_helping:
+            self.helping_count += 1
+
+    # -- LRU queries ----------------------------------------------------------
+
+    def lru_block(self, predicate: Callable[[CacheBlock], bool] | None = None
+                  ) -> Optional[CacheBlock]:
+        """Least-recently-used resident block satisfying ``predicate``."""
+        best: Optional[CacheBlock] = None
+        for entry in self.blocks:
+            if entry is None:
+                continue
+            if predicate is not None and not predicate(entry):
+                continue
+            if best is None or entry.lru < best.lru:
+                best = entry
+        return best

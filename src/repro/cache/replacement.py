@@ -1,0 +1,127 @@
+"""Replacement policies.
+
+* ``FlatLru`` — plain LRU over the whole set; SP-NUCA's cost-effective
+  partitioning mechanism (Section 2.2): the private/shared way split is
+  emergent from which class's blocks get recency.
+* ``ProtectedLru`` — ESP-NUCA's policy (Section 3.2): helping blocks
+  (replicas/victims) are bounded per set by the bank's ``nmax``; at the
+  bound the LRU *helping* block is the victim, below it the LRU of the
+  whole set. Reference sets refuse helping blocks, explorer sets allow
+  one extra.
+* ``StaticPartition`` — fixed private/shared way quota (the 12/4 static
+  baseline of Figure 4).
+
+Policies return the way to replace, or ``None`` to refuse admission
+(only possible for helping blocks — a demand block is never refused).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.cache.block import BlockClass, CacheBlock
+from repro.cache.cache_set import CacheSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.bank import CacheBank
+
+
+class ReplacementPolicy:
+    """Strategy interface: pick the way an incoming block replaces."""
+
+    def choose(self, cache_set: CacheSet, incoming: CacheBlock,
+               bank: "CacheBank", set_index: int) -> Optional[int]:
+        raise NotImplementedError
+
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class FlatLru(ReplacementPolicy):
+    def choose(self, cache_set: CacheSet, incoming: CacheBlock,
+               bank: "CacheBank", set_index: int) -> Optional[int]:
+        free = cache_set.free_way()
+        if free is not None:
+            return free
+        victim = cache_set.lru_block()
+        assert victim is not None
+        return cache_set.find_way(victim)
+
+
+class ProtectedLru(ReplacementPolicy):
+    """ESP-NUCA's helping-block-aware replacement.
+
+    The per-set helping budget comes from ``bank.helping_limit(set)``,
+    which folds together the bank's current ``nmax`` and the set's role
+    (reference sets: 0; explorer sets: nmax + 1; others: nmax).
+    """
+
+    def choose(self, cache_set: CacheSet, incoming: CacheBlock,
+               bank: "CacheBank", set_index: int) -> Optional[int]:
+        limit = bank.helping_limit(set_index)
+        n = cache_set.helping_count
+        if incoming.is_helping:
+            if limit == 0:
+                return None
+            free = cache_set.free_way()
+            if n >= limit:
+                victim = cache_set.lru_block(lambda b: b.is_helping)
+                if victim is None:  # cannot happen when n >= limit > 0
+                    return None
+                return cache_set.find_way(victim)
+            if free is not None:
+                return free
+            victim = cache_set.lru_block()
+            assert victim is not None
+            return cache_set.find_way(victim)
+        # First-class incoming: never refused. While the set is at (or
+        # over, after an nmax decrease) its helping budget, helping
+        # blocks are evicted first; otherwise plain LRU.
+        free = cache_set.free_way()
+        if free is not None:
+            return free
+        if n > 0 and n >= limit:
+            victim = cache_set.lru_block(lambda b: b.is_helping)
+            if victim is not None:
+                return cache_set.find_way(victim)
+        victim = cache_set.lru_block()
+        assert victim is not None
+        return cache_set.find_way(victim)
+
+
+class StaticPartition(ReplacementPolicy):
+    """Fixed way quota per class: ``private_ways`` for PRIVATE blocks,
+    the remainder for SHARED (helping blocks are treated as overflow of
+    their underlying class and share the shared quota)."""
+
+    def __init__(self, private_ways: int) -> None:
+        self.private_ways = private_ways
+
+    def name(self) -> str:
+        return f"StaticPartition({self.private_ways})"
+
+    def _is_private_side(self, entry: CacheBlock) -> bool:
+        return entry.cls in (BlockClass.PRIVATE, BlockClass.REPLICA)
+
+    def choose(self, cache_set: CacheSet, incoming: CacheBlock,
+               bank: "CacheBank", set_index: int) -> Optional[int]:
+        private_side = self._is_private_side(incoming)
+        quota = self.private_ways if private_side else cache_set.ways - self.private_ways
+        same_side = cache_set.count(
+            lambda b, ps=private_side: self._is_private_side(b) == ps)
+        if same_side >= quota:
+            victim = cache_set.lru_block(
+                lambda b, ps=private_side: self._is_private_side(b) == ps)
+            assert victim is not None
+            return cache_set.find_way(victim)
+        free = cache_set.free_way()
+        if free is not None:
+            return free
+        # Same side under quota but the set is full: the other side is
+        # over quota, evict its LRU.
+        victim = cache_set.lru_block(
+            lambda b, ps=private_side: self._is_private_side(b) != ps)
+        if victim is None:
+            victim = cache_set.lru_block()
+        assert victim is not None
+        return cache_set.find_way(victim)

@@ -1,0 +1,13 @@
+"""Token-counting coherence substrate (Section 2.3).
+
+The paper uses token coherence with a TokenD performance policy: token
+counting guarantees correctness, and the directory-like performance
+policy lets controllers forward requests straight to current holders.
+This package provides the functional equivalent — an authoritative
+per-block token ledger with conservation invariants — plus the latency
+rules for collection/forwarding used by the timing layer.
+"""
+
+from repro.coherence.tokens import BlockState, TokenLedger
+
+__all__ = ["BlockState", "TokenLedger"]

@@ -1,0 +1,38 @@
+"""Shared infrastructure: configuration, address maps, EMA, statistics."""
+
+from repro.common.addresses import AddressMap, BlockLocation
+from repro.common.config import (
+    CoreConfig,
+    EspConfig,
+    L1Config,
+    L2Config,
+    MemConfig,
+    NocConfig,
+    SystemConfig,
+)
+from repro.common.fixedpoint import EmaEstimator
+from repro.common.stats import (
+    RunningStats,
+    confidence_interval95,
+    geometric_mean,
+    normalized,
+    variance,
+)
+
+__all__ = [
+    "AddressMap",
+    "BlockLocation",
+    "CoreConfig",
+    "EspConfig",
+    "L1Config",
+    "L2Config",
+    "MemConfig",
+    "NocConfig",
+    "SystemConfig",
+    "EmaEstimator",
+    "RunningStats",
+    "confidence_interval95",
+    "geometric_mean",
+    "normalized",
+    "variance",
+]

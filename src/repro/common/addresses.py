@@ -1,0 +1,106 @@
+"""Address interpretation for shared and private NUCA mappings (Figure 1b).
+
+A physical address is interpreted two ways:
+
+* **shared request**: ``[tag | index (i bits) | bank (n bits) | byte (B)]``
+  — the block may live in any of the 2**n banks.
+* **private request**: ``[tag | index (i bits) | bank (n-p bits) | byte (B)]``
+  — the block lives in one of the requesting core's 2**(n-p) nearest
+  banks; the private tag is p bits longer than the shared tag.
+
+Both interpretations are pure functions of the address (plus the core id
+for the private one). ``AddressMap`` centralizes them so every cache
+architecture in the repository indexes banks and sets identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.config import SystemConfig
+
+
+@dataclass(frozen=True, order=True)
+class BlockLocation:
+    """A (bank, set) coordinate within the NUCA array."""
+
+    bank: int
+    index: int
+
+
+class AddressMap:
+    """Bit-exact shared/private address interpretation.
+
+    All methods operate on *block addresses* (``addr >> B``) as well as
+    full byte addresses; pass ``is_block=True`` when the value has
+    already been stripped of its byte offset.
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        self._config = config
+        self.byte_bits = config.byte_bits
+        self.bank_bits = config.bank_bits
+        self.core_bits = config.core_bits
+        self.private_bank_bits = config.private_bank_bits
+        self.index_bits = config.index_bits
+        self._bank_mask = (1 << self.bank_bits) - 1
+        self._private_bank_mask = (1 << self.private_bank_bits) - 1
+        self._index_mask = (1 << self.index_bits) - 1
+        self._banks_per_core = config.private_banks_per_core
+
+    # -- block-address helpers --------------------------------------------
+
+    def block_address(self, addr: int) -> int:
+        """Strip the byte offset: the unit all caches operate on."""
+        return addr >> self.byte_bits
+
+    def block_base(self, block: int) -> int:
+        """Reconstruct the first byte address of a block."""
+        return block << self.byte_bits
+
+    # -- shared interpretation ----------------------------------------------
+
+    def shared_bank(self, block: int) -> int:
+        """Physical bank id under the shared interpretation (n bits)."""
+        return block & self._bank_mask
+
+    def shared_index(self, block: int) -> int:
+        return (block >> self.bank_bits) & self._index_mask
+
+    def shared_tag(self, block: int) -> int:
+        return block >> (self.bank_bits + self.index_bits)
+
+    def shared_location(self, block: int) -> BlockLocation:
+        return BlockLocation(self.shared_bank(block), self.shared_index(block))
+
+    # -- private interpretation -------------------------------------------
+
+    def private_banks(self, core: int) -> Tuple[int, ...]:
+        """The physical banks forming ``core``'s private partition."""
+        base = core * self._banks_per_core
+        return tuple(range(base, base + self._banks_per_core))
+
+    def owner_of_bank(self, bank: int) -> int:
+        """The core whose private partition contains ``bank``."""
+        return bank // self._banks_per_core
+
+    def private_bank(self, block: int, core: int) -> int:
+        """Physical bank id under the private interpretation (n-p bits)."""
+        local = block & self._private_bank_mask
+        return core * self._banks_per_core + local
+
+    def private_index(self, block: int) -> int:
+        return (block >> self.private_bank_bits) & self._index_mask
+
+    def private_tag(self, block: int) -> int:
+        """Private tag: p bits longer than the shared tag (Section 2.1)."""
+        return block >> (self.private_bank_bits + self.index_bits)
+
+    def private_location(self, block: int, core: int) -> BlockLocation:
+        return BlockLocation(self.private_bank(block, core), self.private_index(block))
+
+    # -- L1 indexing ---------------------------------------------------------
+
+    def l1_index(self, block: int, num_sets: int) -> int:
+        return block % num_sets

@@ -1,0 +1,247 @@
+"""System configuration mirroring Table 2 of the paper.
+
+All latencies are in CPU cycles, all sizes in bytes. The defaults encode
+the exact simulated system of the paper: an 8-core CMP with a 32-bank
+8 MB NUCA L2 laid out as in Figure 1a (4x2 router mesh, 4 banks and one
+core per router) and the address geometry of Figure 1b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _log2_exact(value: int, what: str) -> int:
+    """Return log2(value), raising if value is not a power of two."""
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core model parameters (Table 2, 'Core' row)."""
+
+    window_size: int = 64
+    max_outstanding: int = 16
+    issue_width: int = 4
+
+
+@dataclass(frozen=True)
+class L1Config:
+    """Private L1 cache parameters (Table 2, 'L1 I/D cache' row)."""
+
+    size: int = 32 * 1024
+    assoc: int = 4
+    block_size: int = 64
+    access_latency: int = 3
+    tag_latency: int = 1
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.block_size * self.assoc)
+
+
+@dataclass(frozen=True)
+class L2Config:
+    """NUCA L2 parameters (Table 2, 'L2 cache' row)."""
+
+    size: int = 8 * 1024 * 1024
+    num_banks: int = 32
+    assoc: int = 16
+    block_size: int = 64
+    access_latency: int = 5
+    tag_latency: int = 2
+    # Sequential (tag-then-data) access: a hit pays tag + data, a miss
+    # is detected after the tag latency alone.
+    sequential_access: bool = True
+
+    @property
+    def bank_size(self) -> int:
+        return self.size // self.num_banks
+
+    @property
+    def sets_per_bank(self) -> int:
+        return self.bank_size // (self.block_size * self.assoc)
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """Mesh interconnect parameters (Table 2, 'Network' rows)."""
+
+    columns: int = 4
+    rows: int = 2
+    hop_latency: int = 5  # 3-cycle router + 2-cycle link
+    banks_per_router: int = 4
+    # Per-message router occupancy used for contention modelling. A
+    # 64B block on 128-bit links is 4 flits; we charge a conservative
+    # single-cycle serialization per hop for requests and responses.
+    router_occupancy: int = 1
+
+
+@dataclass(frozen=True)
+class MemConfig:
+    """Off-chip memory model.
+
+    The paper does not publish the off-chip latency; 350 cycles is the
+    customary GEMS-era value for the simulated clock and is recorded as
+    an assumption in DESIGN.md. ``occupancy`` serializes requests at
+    each controller, bounding off-chip bandwidth.
+    """
+
+    latency: int = 350
+    occupancy: int = 20
+    num_controllers: int = 2
+
+
+@dataclass(frozen=True)
+class EspConfig:
+    """ESP-NUCA tuning constants chosen in Section 5.2 of the paper.
+
+    * ``ema_bits`` (b): width of the fixed-point hit-rate estimators.
+    * ``ema_shift`` (a): alpha = 2**-a in the EMA recurrence (N = 3
+      samples => alpha = 0.5 => a = 1).
+    * ``degradation_shift`` (d): accepted first-class hit-rate
+      degradation is 2**-d. The paper's sweep chose d = 3 (12.5%) for
+      its system; the same sweep on this substrate (see the ablation
+      experiment) lands at d = 5 (~3%), because the synthetic traces
+      are L1-filtered-dense, which raises the off-chip cost of a lost
+      first-class block relative to the latency a helping block saves.
+    * set sampling: 1 reference set, 1 explorer set and 2 monitored
+      conventional sets per bank.
+    * ``update_period``: nmax is re-evaluated after this many
+      references to the bank's monitored sets (re-tuned from the
+      paper's 3 to 16 for the same reason — slower, less noisy).
+    """
+
+    ema_bits: int = 8
+    ema_shift: int = 1
+    degradation_shift: int = 5
+    reference_sets: int = 1
+    explorer_sets: int = 1
+    conventional_sample_sets: int = 2
+    update_period: int = 16
+    nmax_initial: int = 4
+
+    def __post_init__(self) -> None:
+        if self.ema_shift < 0 or self.ema_bits <= self.ema_shift:
+            raise ValueError("ema_shift must satisfy 0 <= a < b")
+        if self.degradation_shift < 0:
+            raise ValueError("degradation_shift must be non-negative")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete CMP configuration with derived address geometry.
+
+    Derived fields follow Figure 1b: ``B`` byte-offset bits, ``n`` bank
+    bits for the shared interpretation, ``p`` processor bits (so the
+    private interpretation uses ``n - p`` bank bits), and ``i`` index
+    bits inside a bank.
+    """
+
+    num_cores: int = 8
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1: L1Config = field(default_factory=L1Config)
+    l2: L2Config = field(default_factory=L2Config)
+    noc: NocConfig = field(default_factory=NocConfig)
+    mem: MemConfig = field(default_factory=MemConfig)
+    esp: EspConfig = field(default_factory=EspConfig)
+
+    def __post_init__(self) -> None:
+        if self.l1.block_size != self.l2.block_size:
+            raise ValueError("L1 and L2 block sizes must match")
+        if self.noc.columns * self.noc.rows != self.num_cores:
+            raise ValueError("mesh must have one router per core")
+        expected_banks = self.num_cores * self.noc.banks_per_router
+        if self.l2.num_banks != expected_banks:
+            raise ValueError(
+                f"L2 must have {expected_banks} banks "
+                f"({self.num_cores} routers x {self.noc.banks_per_router})"
+            )
+        # Trigger validation of the derived bit-field widths.
+        _ = self.byte_bits, self.bank_bits, self.core_bits, self.index_bits
+
+    # -- Figure 1b geometry ------------------------------------------------
+
+    @property
+    def byte_bits(self) -> int:
+        """B: bits selecting the byte within a block."""
+        return _log2_exact(self.l2.block_size, "block size")
+
+    @property
+    def bank_bits(self) -> int:
+        """n: bank-select bits under the shared interpretation."""
+        return _log2_exact(self.l2.num_banks, "number of L2 banks")
+
+    @property
+    def core_bits(self) -> int:
+        """p: processor-count bits; private mapping uses n - p bank bits."""
+        return _log2_exact(self.num_cores, "number of cores")
+
+    @property
+    def private_bank_bits(self) -> int:
+        """n - p: bank-select bits under the private interpretation."""
+        return self.bank_bits - self.core_bits
+
+    @property
+    def index_bits(self) -> int:
+        """i: set-index bits within a bank."""
+        return _log2_exact(self.l2.sets_per_bank, "sets per bank")
+
+    @property
+    def private_banks_per_core(self) -> int:
+        return 1 << self.private_bank_bits
+
+    @property
+    def block_size(self) -> int:
+        return self.l2.block_size
+
+
+DEFAULT_CONFIG = SystemConfig()
+
+
+def many_core_config(num_cores: int = 16, capacity_factor: int = 1
+                     ) -> SystemConfig:
+    """A scaled-out system: the paper's introduction motivates NUCA
+    management by the growth in cores per chip; this builder doubles
+    the core count while preserving Table 2's per-core resources
+    (4 banks and 1 MB of L2 per core, same L1, same latencies) on a
+    square-ish mesh. ``capacity_factor`` composes with
+    :func:`scaled_config`-style shrinking for tractable traces.
+    """
+    if num_cores < 2 or num_cores & (num_cores - 1):
+        raise ValueError("core count must be a power of two")
+    columns = 1 << ((num_cores.bit_length() - 1 + 1) // 2)
+    rows = num_cores // columns
+    base = SystemConfig(
+        num_cores=num_cores,
+        l2=L2Config(size=num_cores * 1024 * 1024, num_banks=num_cores * 4),
+        noc=NocConfig(columns=columns, rows=rows),
+    )
+    if capacity_factor == 1:
+        return base
+    return scaled_config(capacity_factor, base)
+
+
+def scaled_config(factor: int = 4, base: SystemConfig | None = None) -> SystemConfig:
+    """A capacity-scaled copy of the Table 2 system.
+
+    All cache capacities shrink by ``factor`` (associativity, bank
+    count, block size, latencies and topology unchanged), preserving
+    every capacity *ratio* (L1 : private partition : shared pool).
+    Workloads scaled with :meth:`WorkloadSpec.capacity_scaled` by the
+    same factor reproduce the full-size regimes with ``factor``-times
+    shorter traces — the Python-tractable default for the benchmark
+    harness (see DESIGN.md §2).
+    """
+    base = base or SystemConfig()
+    if factor < 1 or factor & (factor - 1):
+        raise ValueError("factor must be a power of two")
+    from dataclasses import replace
+
+    return replace(
+        base,
+        l1=replace(base.l1, size=base.l1.size // factor),
+        l2=replace(base.l2, size=base.l2.size // factor),
+    )

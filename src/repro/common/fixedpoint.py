@@ -1,0 +1,99 @@
+"""Shift-only exponential moving average (paper equations 1 and 2).
+
+The paper estimates the first-class-block hit rate of sampled sets with
+an EMA whose update uses only shifts and adds so it is trivially
+implementable in hardware::
+
+    EMA' = EMA' - (EMA' >> a) + (2**b >> a)   on a hit
+    EMA' = EMA' - (EMA' >> a)                 on a miss
+
+where ``b`` is the estimator width (hit rate normalized to [0, 2**b])
+and ``alpha = 2**-a`` follows from the sample count N via
+``alpha = 2 / (N + 1)``.
+"""
+
+from __future__ import annotations
+
+
+class EmaEstimator:
+    """Fixed-point EMA of a binary (hit/miss) time series.
+
+    >>> e = EmaEstimator(bits=8, shift=1)
+    >>> for _ in range(16):
+    ...     e.record(True)
+    >>> e.value == 255  # saturates just below 2**b
+    True
+    """
+
+    __slots__ = ("bits", "shift", "_value", "_samples")
+
+    def __init__(self, bits: int = 8, shift: int = 1, initial: int | None = None) -> None:
+        if not 0 <= shift < bits:
+            raise ValueError(f"require 0 <= shift < bits, got a={shift}, b={bits}")
+        self.bits = bits
+        self.shift = shift
+        # Start halfway so early decisions are not biased toward either
+        # extreme before the estimator warms up.
+        self._value = (1 << (bits - 1)) if initial is None else initial
+        if not 0 <= self._value < (1 << bits):
+            raise ValueError("initial value out of range")
+        self._samples = 0
+
+    @property
+    def value(self) -> int:
+        """Current estimate, in [0, 2**bits)."""
+        return self._value
+
+    @property
+    def samples(self) -> int:
+        """Number of recorded events since construction/reset."""
+        return self._samples
+
+    def record(self, hit: bool) -> int:
+        """Apply equation (2) for one hit/miss event and return the value."""
+        decay = self._value >> self.shift
+        if hit:
+            self._value += ((1 << self.bits) >> self.shift) - decay
+            top = (1 << self.bits) - 1
+            if self._value > top:
+                self._value = top
+        else:
+            # Truncation would make small values sticky (1 >> a == 0);
+            # always decay by at least one count so a miss streak
+            # reaches zero, as the real counter would with rounding.
+            self._value -= decay if decay else min(self._value, 1)
+        self._samples += 1
+        return self._value
+
+    def hit_rate(self) -> float:
+        """The estimate as a float in [0, 1] (for reporting only)."""
+        return self._value / float(1 << self.bits)
+
+    def reset(self, initial: int | None = None) -> None:
+        self._value = (1 << (self.bits - 1)) if initial is None else initial
+        self._samples = 0
+
+    # The nmax controller compares estimators through a tolerated
+    # degradation of 2**-d (equation 3); expose the shifted comparison
+    # so callers stay shift-only like the hardware.
+
+    def degraded_below(self, reference: "EmaEstimator", shift: int) -> bool:
+        """True iff ``reference - self >= reference >> shift``."""
+        return reference.value - self._value >= (reference.value >> shift)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EmaEstimator(bits={self.bits}, shift={self.shift}, value={self._value})"
+
+
+def float_ema_reference(events: list[bool], bits: int, shift: int, initial: float | None = None) -> float:
+    """Floating-point model of the same recurrence, for tests.
+
+    Tracks the integer estimator closely but without the truncation of
+    ``>>``; unit tests bound the divergence between the two.
+    """
+    alpha = 2.0 ** -shift
+    value = (2.0 ** (bits - 1)) if initial is None else initial
+    top = 2.0 ** bits
+    for hit in events:
+        value = value * (1 - alpha) + (top if hit else 0.0) * alpha
+    return value

@@ -1,0 +1,24 @@
+"""Deterministic random-number streams.
+
+Every stochastic component (workload generators, cooperative-caching
+spill decisions, run perturbation) draws from its own named substream so
+that adding a component never perturbs the draws of another — runs stay
+reproducible and comparable across architectures.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+def substream(seed: int, name: str) -> random.Random:
+    """An independent ``random.Random`` derived from (seed, name)."""
+    mixed = (seed & 0xFFFFFFFF) ^ zlib.crc32(name.encode("utf-8"))
+    return random.Random(mixed * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF)
+
+
+def perturbed_seeds(base_seed: int, runs: int) -> list[int]:
+    """Seeds for the paper's pseudo-random run perturbation."""
+    rng = substream(base_seed, "perturbation")
+    return [rng.randrange(1 << 30) for _ in range(runs)]

@@ -1,0 +1,139 @@
+"""Statistics used by the evaluation harness.
+
+The paper reports means with 95% confidence intervals over perturbed
+runs, geometric means across benchmarks, and performance *variance*
+across the benchmark set as its stability metric. This module provides
+those primitives without external dependencies beyond ``math``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+# Two-sided Student-t 97.5% quantiles for small degrees of freedom;
+# beyond the table we fall back to the normal quantile.
+_T_TABLE = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    20: 2.086, 25: 2.060, 30: 2.042,
+}
+
+
+def _t_quantile(dof: int) -> float:
+    if dof <= 0:
+        raise ValueError("need at least two samples for an interval")
+    if dof in _T_TABLE:
+        return _T_TABLE[dof]
+    for bound in (15, 20, 25, 30):
+        if dof < bound:
+            return _T_TABLE[bound]
+    return 1.96
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def variance(values: Sequence[float]) -> float:
+    """Population variance (the paper's stability metric)."""
+    if not values:
+        raise ValueError("variance of empty sequence")
+    m = mean(values)
+    return sum((v - m) ** 2 for v in values) / len(values)
+
+
+def sample_variance(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    return sum((v - m) ** 2 for v in values) / (len(values) - 1)
+
+
+def confidence_interval95(values: Sequence[float]) -> float:
+    """Half-width of the 95% CI of the mean (Student t)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    spread = math.sqrt(sample_variance(values) / n)
+    return _t_quantile(n - 1) * spread
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalized(values: Sequence[float], baseline: float) -> List[float]:
+    """Scale a series by a baseline (performance normalization)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return [v / baseline for v in values]
+
+
+@dataclass
+class RunningStats:
+    """Single-pass mean/variance accumulator (Welford)."""
+
+    count: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = field(default=math.inf)
+    maximum: float = field(default=-math.inf)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples")
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two accumulators (parallel Welford merge)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self

@@ -1,0 +1,24 @@
+"""The paper's contribution: SP-NUCA and ESP-NUCA.
+
+* :mod:`repro.core.private_bit` — the chip-wide private/shared block
+  classification (Section 2.1).
+* :mod:`repro.core.duel` — set dueling and the ``nmax`` controller with
+  shift-only EMA hit-rate estimation (Sections 3.2–3.3).
+* :mod:`repro.core.sp_nuca` — the SP-NUCA architecture (Section 2).
+* :mod:`repro.core.esp_nuca` — the full ESP-NUCA architecture with
+  replicas, victims and protected LRU (Section 3).
+"""
+
+from repro.core.duel import BankDuelState, DuelController
+from repro.core.esp_nuca import EspNuca
+from repro.core.private_bit import Classification, PrivateBitDirectory
+from repro.core.sp_nuca import SpNuca
+
+__all__ = [
+    "BankDuelState",
+    "DuelController",
+    "EspNuca",
+    "Classification",
+    "PrivateBitDirectory",
+    "SpNuca",
+]

@@ -1,0 +1,136 @@
+"""Set dueling and the per-bank nmax controller (Sections 3.2–3.3).
+
+Each bank designates a handful of its sets as *reference* (helping
+blocks refused), *explorer* (one helping block above the bank's current
+budget) and *monitored conventional* sets. Shift-only EMAs estimate the
+first-class hit rate of each group; every ``update_period`` monitored
+events the controller applies equation (3):
+
+    nmax -= 1   if HR_R - (HR_R >> d) >= HR_C   (helping blocks hurt)
+    nmax += 1   if HR_R - (HR_R >> d) <  HR_E   (one more would be safe)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cache.bank import CacheBank, SetRole
+from repro.common.config import EspConfig
+from repro.common.fixedpoint import EmaEstimator
+
+
+def sampled_set_indices(num_sets: int, config: EspConfig) -> Dict[int, SetRole]:
+    """Deterministic placement of the special sets within a bank.
+
+    Sets are spread across the index space so that a strided workload
+    cannot systematically miss (or hammer) the monitors.
+    """
+    total = config.reference_sets + config.explorer_sets + config.conventional_sample_sets
+    if total > num_sets:
+        raise ValueError("more monitor sets than sets in the bank")
+    roles: Dict[int, SetRole] = {}
+    stride = num_sets // total
+    slot = 0
+    for _ in range(config.reference_sets):
+        roles[slot * stride] = SetRole.REFERENCE
+        slot += 1
+    for _ in range(config.explorer_sets):
+        roles[slot * stride] = SetRole.EXPLORER
+        slot += 1
+    for _ in range(config.conventional_sample_sets):
+        roles[slot * stride] = SetRole.CONVENTIONAL_SAMPLE
+        slot += 1
+    return roles
+
+
+@dataclass
+class BankDuelState:
+    """Per-bank estimators and budget."""
+
+    nmax: int
+    hr_reference: EmaEstimator
+    hr_explorer: EmaEstimator
+    hr_conventional: EmaEstimator
+    events: int = 0
+    increases: int = 0
+    decreases: int = 0
+    history: List[int] = field(default_factory=list)
+
+
+class DuelController:
+    """Owns the duel state of every bank of an ESP-NUCA L2."""
+
+    def __init__(self, config: EspConfig, ways: int, record_history: bool = False) -> None:
+        self.config = config
+        self.ways = ways
+        self.nmax_cap = ways - 1  # log2(w)-bit counter, and >= 1 way stays first-class
+        self.record_history = record_history
+        self._states: Dict[int, BankDuelState] = {}
+
+    def attach(self, bank: CacheBank) -> BankDuelState:
+        """Configure a bank for dueling and return its state."""
+        state = BankDuelState(
+            nmax=min(self.config.nmax_initial, self.nmax_cap),
+            hr_reference=EmaEstimator(self.config.ema_bits, self.config.ema_shift),
+            hr_explorer=EmaEstimator(self.config.ema_bits, self.config.ema_shift),
+            hr_conventional=EmaEstimator(self.config.ema_bits, self.config.ema_shift),
+        )
+        self._states[bank.bank_id] = state
+        for set_index, role in sampled_set_indices(bank.num_sets, self.config).items():
+            bank.assign_role(set_index, role)
+        bank.nmax = state.nmax
+        bank.monitor = self.observe
+        return state
+
+    def state_of(self, bank_id: int) -> BankDuelState:
+        return self._states[bank_id]
+
+    # -- monitoring (called by CacheBank.lookup on monitored sets) --------
+
+    def observe(self, bank: CacheBank, set_index: int, first_class_hit: bool) -> None:
+        state = self._states[bank.bank_id]
+        role = bank.role(set_index)
+        if role is SetRole.REFERENCE:
+            state.hr_reference.record(first_class_hit)
+        elif role is SetRole.EXPLORER:
+            state.hr_explorer.record(first_class_hit)
+        elif role is SetRole.CONVENTIONAL_SAMPLE:
+            state.hr_conventional.record(first_class_hit)
+        else:
+            return
+        state.events += 1
+        if state.events >= self.config.update_period:
+            state.events = 0
+            self._evaluate(bank, state)
+
+    # -- equation (3) -------------------------------------------------------
+
+    def _evaluate(self, bank: CacheBank, state: BankDuelState) -> None:
+        d = self.config.degradation_shift
+        hr_r = state.hr_reference.value
+        tolerance = hr_r >> d
+        # Decrement only on *strict* degradation beyond the tolerance;
+        # the paper's ">=" degenerates when all three estimators agree
+        # (e.g. an idle bank hosting only victims: every first-class
+        # rate is 0 and helping blocks are free), which must not shrink
+        # the budget. Symmetrically, an explorer within tolerance —
+        # including exact equality — argues one more helping block is
+        # safe.
+        if hr_r - state.hr_conventional.value > tolerance and state.nmax > 0:
+            state.nmax -= 1
+            state.decreases += 1
+        elif (hr_r - state.hr_explorer.value <= tolerance
+              and state.nmax < self.nmax_cap):
+            state.nmax += 1
+            state.increases += 1
+        bank.nmax = state.nmax
+        if self.record_history:
+            state.history.append(state.nmax)
+
+    # -- reporting ------------------------------------------------------------
+
+    def average_nmax(self) -> float:
+        if not self._states:
+            return 0.0
+        return sum(s.nmax for s in self._states.values()) / len(self._states)

@@ -1,0 +1,181 @@
+"""Storage-overhead model — the 'low-cost' half of the paper's title.
+
+Section 5.2 itemizes ESP-NUCA's bookkeeping: ``log2(w)`` bits per set
+for the helping-block count ``n``, ``log2(w)`` bits per bank for
+``nmax``, ``3b`` bits per bank for the hit-rate estimators, plus the
+per-line private bit and the ``p``-bit tag extension of Section 2.1 —
+"the aggregate storage overhead is approximately 9KB" for their
+configuration (bank-level items; the tag extension is accounted
+separately as it also applies to SP-NUCA).
+
+The same model prices the counterparts' extra state, reproducing the
+cost narrative of Section 6.1: shadow-tag partitioning, D-NUCA's
+search/placement state, ASR's monitoring machinery and Cooperative
+Caching's central duplicate-tag directory (CCE) are all one to three
+orders of magnitude more expensive.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.config import SystemConfig
+
+
+def _log2(value: int) -> int:
+    return max(1, math.ceil(math.log2(value)))
+
+
+@dataclass
+class OverheadReport:
+    """Itemized extra storage (bits) of one architecture."""
+
+    architecture: str
+    items: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, bits: int) -> None:
+        self.items[name] = bits
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self.items.values())
+
+    @property
+    def total_kib(self) -> float:
+        return self.total_bits / 8 / 1024
+
+    def format(self) -> str:
+        lines = [f"{self.architecture}: {self.total_kib:.2f} KiB total"]
+        for name, bits in sorted(self.items.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:40s} {bits / 8 / 1024:10.3f} KiB")
+        return "\n".join(lines)
+
+
+class StorageModel:
+    """Derived geometry shared by all the per-architecture calculators."""
+
+    def __init__(self, config: SystemConfig | None = None,
+                 physical_address_bits: int = 40) -> None:
+        self.config = config or SystemConfig()
+        cfg = self.config
+        self.lines = cfg.l2.size // cfg.l2.block_size
+        self.sets = cfg.l2.num_banks * cfg.l2.sets_per_bank
+        self.banks = cfg.l2.num_banks
+        self.ways = cfg.l2.assoc
+        block_bits = cfg.byte_bits
+        # Shared-interpretation tag width (Figure 1b).
+        self.shared_tag_bits = (physical_address_bits - block_bits
+                                - cfg.bank_bits - cfg.index_bits)
+        # The private tag is p bits wider; the array is sized for it.
+        self.private_tag_bits = self.shared_tag_bits + cfg.core_bits
+
+    # -- the paper's proposals ---------------------------------------------------
+
+    def sp_nuca(self) -> OverheadReport:
+        """Section 2.1: a private bit per line plus the p-bit wider tag."""
+        report = OverheadReport("sp-nuca")
+        report.add("private bit (1 bit/line)", self.lines)
+        report.add(f"tag extension ({self.config.core_bits} bits/line)",
+                   self.lines * self.config.core_bits)
+        return report
+
+    def esp_nuca(self) -> OverheadReport:
+        """Section 5.2's inventory on top of SP-NUCA."""
+        cfg = self.config
+        report = OverheadReport("esp-nuca")
+        report.add("private bit (1 bit/line)", self.lines)
+        report.add(f"tag extension ({cfg.core_bits} bits/line)",
+                   self.lines * cfg.core_bits)
+        # Helping blocks need a class bit (replica/victim vs first
+        # class) and, for victims, the owner id to route reclaims.
+        report.add("helping-class bit (1 bit/line)", self.lines)
+        report.add(f"victim owner id ({cfg.core_bits} bits/line)",
+                   self.lines * cfg.core_bits)
+        way_bits = _log2(self.ways)
+        report.add(f"n counter ({way_bits} bits/set)", self.sets * way_bits)
+        report.add(f"nmax ({way_bits} bits/bank)", self.banks * way_bits)
+        report.add(f"hit-rate EMAs (3 x {cfg.esp.ema_bits} bits/bank)",
+                   self.banks * 3 * cfg.esp.ema_bits)
+        return report
+
+    def esp_nuca_bank_level(self) -> OverheadReport:
+        """Only the items Section 5.2 sums to 'approximately 9KB':
+        the per-set counter and the per-bank controller state."""
+        cfg = self.config
+        way_bits = _log2(self.ways)
+        report = OverheadReport("esp-nuca (Section 5.2 items)")
+        report.add(f"n counter ({way_bits} bits/set)", self.sets * way_bits)
+        report.add(f"nmax ({way_bits} bits/bank)", self.banks * way_bits)
+        report.add(f"hit-rate EMAs (3 x {cfg.esp.ema_bits} bits/bank)",
+                   self.banks * 3 * cfg.esp.ema_bits)
+        return report
+
+    # -- counterpart costs (Section 6.1's cost narrative) -------------------------
+
+    def shadow_tags(self, tags_per_set: int = 8) -> OverheadReport:
+        """The Figure 4 baseline: full shadow tags in every set."""
+        report = OverheadReport("sp-nuca-shadow")
+        report.add(
+            f"shadow tags ({tags_per_set}/set x {self.private_tag_bits} bits)",
+            self.sets * tags_per_set * self.private_tag_bits)
+        report.add("per-set partition target", self.sets * _log2(self.ways))
+        return report
+
+    def dnuca(self) -> OverheadReport:
+        """Idealized perfect search priced as a chip-wide location
+        table: one entry per line naming its current bankset slot, plus
+        the partial-tag arrays a realistic smart search needs."""
+        cluster_bits = _log2(self.config.num_cores)
+        report = OverheadReport("d-nuca")
+        report.add(f"location table ({cluster_bits} bits/line)",
+                   self.lines * cluster_bits)
+        report.add("partial-tag search arrays (6 bits/line)", self.lines * 6)
+        return report
+
+    def asr(self, victim_tags_per_core: int = 1024) -> OverheadReport:
+        """Beckmann et al.'s monitoring: per-core benefit/cost pairs
+        (VTBs for the current level, NLHBs for the next level) plus the
+        controller state — the 'complex hardware implementation' of
+        Section 6.4."""
+        cores = self.config.num_cores
+        report = OverheadReport("asr")
+        report.add(f"victim tag buffers ({victim_tags_per_core}/core)",
+                   cores * victim_tags_per_core * self.private_tag_bits)
+        report.add(f"next-level hit buffers ({victim_tags_per_core}/core)",
+                   cores * victim_tags_per_core * self.private_tag_bits)
+        report.add("cost/benefit counters (4 x 32 bits/core)",
+                   cores * 4 * 32)
+        report.add("replication level (3 bits/core)", cores * 3)
+        return report
+
+    def cooperative_caching(self) -> OverheadReport:
+        """The CCE keeps a duplicate of every tile's L2 tags."""
+        report = OverheadReport("cooperative-caching")
+        report.add(f"CCE duplicate tags ({self.private_tag_bits} bits/line)",
+                   self.lines * self.private_tag_bits)
+        report.add("CCE state (2 bits/line)", self.lines * 2)
+        report.add("singlet/recirculation bits (2 bits/line)",
+                   self.lines * 2)
+        return report
+
+    def all_reports(self) -> List[OverheadReport]:
+        return [self.sp_nuca(), self.esp_nuca(), self.shadow_tags(),
+                self.dnuca(), self.asr(), self.cooperative_caching()]
+
+
+def summarize(config: SystemConfig | None = None) -> str:
+    model = StorageModel(config)
+    out = [
+        "Extra storage on top of a plain shared S-NUCA "
+        f"({model.lines} lines, {model.sets} sets, {model.banks} banks):",
+        "",
+    ]
+    for report in model.all_reports():
+        out.append(report.format())
+        out.append("")
+    bank_level = model.esp_nuca_bank_level()
+    out.append(f"Section 5.2 check: bank-level ESP items = "
+               f"{bank_level.total_kib:.2f} KiB (paper: ~9 KB)")
+    return "\n".join(out)

@@ -1,0 +1,67 @@
+"""Chip-wide private/shared block classification (Section 2.1).
+
+A block is *private* from the moment it arrives on chip until a second
+core touches it, at which point it becomes *shared* and stays shared
+"while it stays in the chip". When the last on-chip copy disappears the
+status is forgotten: the next arrival starts private again.
+
+In hardware the state is the private bit stored alongside each copy and
+carried in requests; a central map is its exact functional equivalent.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+
+class Classification(enum.Enum):
+    ABSENT = "absent"
+    PRIVATE = "private"
+    SHARED = "shared"
+
+
+_SHARED_OWNER = -1
+
+
+class PrivateBitDirectory:
+    def __init__(self) -> None:
+        self._owner: Dict[int, int] = {}
+        self.demotions = 0  # private -> shared transitions
+
+    def classify(self, block: int) -> Classification:
+        owner = self._owner.get(block)
+        if owner is None:
+            return Classification.ABSENT
+        return Classification.SHARED if owner == _SHARED_OWNER else Classification.PRIVATE
+
+    def owner(self, block: int) -> Optional[int]:
+        """The owning core for PRIVATE blocks, else None."""
+        owner = self._owner.get(block)
+        return None if owner is None or owner == _SHARED_OWNER else owner
+
+    def on_arrival(self, block: int, core: int) -> None:
+        """Block enters the chip: private, owned by the fetching core."""
+        if block in self._owner:
+            raise ValueError(f"block {block:#x} already classified")
+        self._owner[block] = core
+
+    def note_access(self, block: int, core: int) -> bool:
+        """Record an access; returns True on a private->shared demotion."""
+        owner = self._owner.get(block)
+        if owner is None or owner == _SHARED_OWNER or owner == core:
+            return False
+        self._owner[block] = _SHARED_OWNER
+        self.demotions += 1
+        return True
+
+    def force_shared(self, block: int) -> None:
+        if block in self._owner:
+            self._owner[block] = _SHARED_OWNER
+
+    def on_left_chip(self, block: int) -> None:
+        """All copies gone: the status leaves with the block."""
+        self._owner.pop(block, None)
+
+    def __len__(self) -> int:
+        return len(self._owner)

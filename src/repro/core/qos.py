@@ -1,0 +1,140 @@
+"""QoS-enabled ESP-NUCA — the paper's future-work extension.
+
+Section 5.2: "Potentially, the dynamically defined d parameter provides
+the opportunity to add some Quality of Service Policy [11] on top of
+ESP-NUCA. However, we left this for future work."
+
+This module builds that extension. The insight: ``d`` sets how much
+first-class hit-rate degradation a bank tolerates before expelling
+helping blocks — i.e. how strongly resident first-class content is
+*protected*. Making ``d`` a per-bank function of the bank-owner's QoS
+class turns the helping-block machinery into a service-level knob:
+
+* banks owned by **high-priority** cores use a large ``d`` (tolerance
+  ~0): foreign victims and local replicas are expelled at the first
+  sign of first-class degradation — near-private isolation;
+* banks owned by **low-priority** (or idle) cores use a small ``d``:
+  they absorb other cores' victims readily — donated capacity.
+
+Placement decisions are untouched; only the protection strength varies,
+which keeps the extension as cheap as the base mechanism (one constant
+per bank instead of one per cache).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache.bank import CacheBank
+from repro.common.config import SystemConfig
+from repro.core.duel import BankDuelState, DuelController
+from repro.core.esp_nuca import EspNuca
+
+
+class QosClass(enum.Enum):
+    """Service classes mapped onto protection strengths (d values)."""
+
+    HIGH = "high"          # strict protection of first-class content
+    NORMAL = "normal"      # the baseline ESP-NUCA tolerance
+    BACKGROUND = "background"  # capacity donor
+
+
+@dataclass(frozen=True)
+class QosPolicy:
+    """Per-class degradation shifts; larger d = smaller tolerance."""
+
+    high_shift: int = 8
+    normal_shift: Optional[int] = None   # None = the EspConfig default
+    background_shift: int = 2
+
+    def shift_for(self, qos: QosClass, default: int) -> int:
+        if qos is QosClass.HIGH:
+            return self.high_shift
+        if qos is QosClass.BACKGROUND:
+            return self.background_shift
+        return self.normal_shift if self.normal_shift is not None else default
+
+
+class QosDuelController(DuelController):
+    """A duel controller whose tolerance is per-bank."""
+
+    def __init__(self, config, ways: int, shifts: Dict[int, int]) -> None:
+        super().__init__(config, ways)
+        self._shifts = shifts
+
+    def _evaluate(self, bank: CacheBank, state: BankDuelState) -> None:
+        d = self._shifts.get(bank.bank_id, self.config.degradation_shift)
+        hr_r = state.hr_reference.value
+        tolerance = hr_r >> d
+        if hr_r - state.hr_conventional.value > tolerance and state.nmax > 0:
+            state.nmax -= 1
+            state.decreases += 1
+        elif (hr_r - state.hr_explorer.value <= tolerance
+              and state.nmax < self.nmax_cap):
+            state.nmax += 1
+            state.increases += 1
+        bank.nmax = state.nmax
+
+
+class QosEspNuca(EspNuca):
+    """ESP-NUCA with per-core QoS classes driving per-bank d values."""
+
+    name = "esp-nuca-qos"
+
+    def __init__(self, config: SystemConfig,
+                 core_classes: Optional[Dict[int, QosClass]] = None,
+                 policy: Optional[QosPolicy] = None) -> None:
+        super().__init__(config, variant="protected")
+        self.policy = policy or QosPolicy()
+        self.core_classes: Dict[int, QosClass] = {
+            core: QosClass.NORMAL for core in range(config.num_cores)}
+        if core_classes:
+            self.core_classes.update(core_classes)
+
+    def qos_of_core(self, core: int) -> QosClass:
+        return self.core_classes[core]
+
+    def set_core_class(self, core: int, qos: QosClass) -> None:
+        """Reclassify a core at run time (OS scheduling boundary)."""
+        self.core_classes[core] = qos
+        if self.duel is not None:
+            self._apply_shifts()
+
+    def _bank_shifts(self) -> Dict[int, int]:
+        default = self.config.esp.degradation_shift
+        shifts: Dict[int, int] = {}
+        for core, qos in self.core_classes.items():
+            for bank in self.amap.private_banks(core):
+                shifts[bank] = self.policy.shift_for(qos, default)
+        return shifts
+
+    def _apply_shifts(self) -> None:
+        assert isinstance(self.duel, QosDuelController)
+        self.duel._shifts = self._bank_shifts()
+
+    def on_bound(self) -> None:
+        self.duel = QosDuelController(self.config.esp, self.config.l2.assoc,
+                                      self._bank_shifts())
+        for bank in self.banks:
+            self.duel.attach(bank)
+
+    def describe(self) -> str:
+        classes = ", ".join(f"{c}:{q.value}"
+                            for c, q in sorted(self.core_classes.items()))
+        return f"{self.name}({classes})"
+
+
+def protection_summary(arch: QosEspNuca) -> List[str]:
+    """Human-readable per-class helping budgets (for examples/benches)."""
+    lines = []
+    for qos in QosClass:
+        banks = [b for c, q in arch.core_classes.items() if q is qos
+                 for b in arch.amap.private_banks(c)]
+        if not banks:
+            continue
+        budgets = [arch.duel.state_of(b).nmax for b in banks]
+        lines.append(f"{qos.value:10s} banks={len(banks):2d} "
+                     f"avg nmax={sum(budgets) / len(budgets):5.2f}")
+    return lines

@@ -1,0 +1,6 @@
+"""Experiment harness: one entry point per table/figure of the paper."""
+
+from repro.harness.runner import ExperimentRunner, RunSettings
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["ExperimentRunner", "RunSettings", "EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,136 @@
+"""Machine-checkable reproduction claims.
+
+EXPERIMENTS.md states which of the paper's claims reproduce; this
+module makes those statements executable. Each :class:`Claim` names
+the experiment whose report it reads and a predicate over the report's
+series; ``verify_claims`` evaluates every claim available in a given
+set of reports (e.g. the JSON files a full run exports) and renders a
+verdict table.
+
+Claims are *shape-level* on purpose — orderings and factors, never
+absolute numbers — matching the reproduction's contract (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.common.stats import variance
+from repro.harness.reporting import ExperimentReport, format_table
+
+
+@dataclass(frozen=True)
+class Claim:
+    claim_id: str
+    experiment: str
+    paper_says: str
+    check: Callable[[ExperimentReport], bool]
+
+
+def _gmean(report: ExperimentReport, series: str) -> float:
+    return report.series[series][-1]
+
+
+def _col(report: ExperimentReport, series: str, column: str) -> float:
+    return report.series[series][report.columns.index(column)]
+
+
+CLAIMS: List[Claim] = [
+    Claim("fig4-flat-lru", "fig4",
+          "flat-LRU partitioning performs within noise of shadow tags",
+          lambda r: all(abs(v - 1.0) < 0.05 for v in r.series["sp-nuca"])),
+    Claim("fig4-static-poor", "fig4",
+          "the static 12/4 partition is the poor performer",
+          lambda r: (sum(r.series["sp-nuca-static"])
+                     < sum(r.series["sp-nuca"]) - 0.2)),
+    Claim("fig5-protected-stable", "fig5",
+          "protected LRU is the more stable replacement policy",
+          lambda r: (min(r.series["esp-nuca"]) >= min(r.series["esp-nuca-flat"])
+                     and variance(r.series["esp-nuca"])
+                     <= variance(r.series["esp-nuca-flat"]) + 1e-9)),
+    Claim("fig7-esp-balances", "fig7",
+          "ESP-NUCA pairs near-best off-chip traffic with strongly "
+          "reduced on-chip latency",
+          lambda r: (_col(r, "onchip-latency", "esp-nuca") < 0.8
+                     and _col(r, "offchip-access", "esp-nuca")
+                     <= _col(r, "offchip-access", "private"))),
+    Claim("fig8-esp-beats-shared", "fig8",
+          "ESP-NUCA improves on shared by roughly 15% on transactional "
+          "workloads",
+          lambda r: _gmean(r, "esp-nuca") > 1.10),
+    Claim("fig8-esp-beats-private-family", "fig8",
+          "ESP-NUCA outperforms private, D-NUCA and ASR on transactional",
+          lambda r: all(_gmean(r, "esp-nuca") > _gmean(r, a)
+                        for a in ("private", "d-nuca", "asr"))),
+    Claim("fig9-private-collapses-on-art", "fig9",
+          "private/ASR fall up to ~40% below shared on art/mcf half-rate",
+          lambda r: (_col(r, "private", "art-4") < 0.85
+                     and _col(r, "asr", "mcf-4") < 0.95)),
+    Claim("fig9-esp-recovers", "fig9",
+          "ESP-NUCA recovers most of the half-rate gap through victims",
+          lambda r: (_col(r, "esp-nuca", "art-4")
+                     > _col(r, "private", "art-4") + 0.05)),
+    Claim("fig9-esp-tracks-cc-best", "fig9",
+          "on hybrids ESP-NUCA plays at CC-best's level",
+          lambda r: _gmean(r, "esp-nuca") > _gmean(r, "cc-avg") - 0.02),
+    Claim("fig10-private-family-leads", "fig10",
+          "private-derived architectures lead the shared baseline on NAS",
+          lambda r: _gmean(r, "private") > 1.0),
+    Claim("fig10-esp-keeps-up", "fig10",
+          "ESP-NUCA is the shared derivative that reaches the private "
+          "family's level",
+          lambda r: (_gmean(r, "esp-nuca") > 1.0
+                     and _gmean(r, "esp-nuca") > _gmean(r, "private") - 0.08)),
+    Claim("stability-esp-most-stable", "stability",
+          "ESP-NUCA's performance variance is the lowest of the adaptive "
+          "architectures over the full benchmark set",
+          lambda r: (r.series["esp-nuca"][-1] <= r.series["d-nuca"][-1]
+                     and r.series["esp-nuca"][-1] <= r.series["private"][-1])),
+]
+
+
+@dataclass
+class ClaimResult:
+    claim: Claim
+    verdict: Optional[bool]  # None = report unavailable
+
+    @property
+    def label(self) -> str:
+        if self.verdict is None:
+            return "NOT RUN"
+        return "REPRODUCED" if self.verdict else "NOT REPRODUCED"
+
+
+def verify_claims(reports: Dict[str, ExperimentReport],
+                  claims: Iterable[Claim] = CLAIMS) -> List[ClaimResult]:
+    results = []
+    for claim in claims:
+        report = reports.get(claim.experiment)
+        if report is None:
+            results.append(ClaimResult(claim, None))
+            continue
+        try:
+            verdict = bool(claim.check(report))
+        except (KeyError, ValueError, IndexError):
+            verdict = False
+        results.append(ClaimResult(claim, verdict))
+    return results
+
+
+def format_results(results: List[ClaimResult]) -> str:
+    rows = [[r.claim.claim_id, r.claim.experiment, r.label,
+             r.claim.paper_says] for r in results]
+    return format_table(["claim", "experiment", "verdict", "paper says"],
+                        rows)
+
+
+def load_reports_from_json(directory) -> Dict[str, ExperimentReport]:
+    """Read every ``<experiment>.json`` a CLI run exported."""
+    from pathlib import Path
+
+    reports = {}
+    for path in Path(directory).glob("*.json"):
+        report = ExperimentReport.from_json(path.read_text())
+        reports[report.experiment] = report
+    return reports

@@ -1,0 +1,140 @@
+"""Command-line entry point: ``esp-nuca <experiment> [...]``.
+
+Examples::
+
+    esp-nuca fig8                  # reproduce Figure 8
+    esp-nuca all                   # every table/figure
+    esp-nuca fig10 --seeds 3 --refs 40000
+    esp-nuca run --arch esp-nuca --workload apache   # one raw run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.runner import ExperimentRunner, RunSettings
+from repro.workloads.registry import workload_names
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="esp-nuca",
+        description="ESP-NUCA (HPCA 2010) reproduction harness")
+    parser.add_argument("experiment",
+                        choices=list(EXPERIMENTS) + ["all", "run", "list",
+                                                     "trace", "overhead",
+                                                     "claims"],
+                        help="experiment id (figN/stability/ablation), "
+                             "'all', 'run' (single run), 'trace' (record a "
+                             "workload trace), 'overhead' (storage model), "
+                             "'claims' (verdicts over --json dir), or 'list'")
+    parser.add_argument("--seeds", type=int, default=None,
+                        help="perturbed runs per data point (default 2)")
+    parser.add_argument("--refs", type=int, default=None,
+                        help="measured references per core (default 25000)")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="warm-up references per core (default 12000)")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="capacity scale factor (default 4; 1 = full "
+                             "Table 2 sizes, needs much longer traces)")
+    parser.add_argument("--arch", default="esp-nuca",
+                        help="architecture for 'run'")
+    parser.add_argument("--workload", default="apache",
+                        help="workload for 'run'")
+    parser.add_argument("--precision", type=int, default=3)
+    parser.add_argument("--json", metavar="DIR", default=None,
+                        help="also write each report as DIR/<id>.json")
+    parser.add_argument("--chart", action="store_true",
+                        help="append a bar chart of each report's last column")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="output file for 'trace'")
+    return parser
+
+
+def _settings(args: argparse.Namespace) -> RunSettings:
+    base = RunSettings.from_env()
+    return RunSettings(
+        capacity_factor=args.scale or base.capacity_factor,
+        refs_per_core=args.refs or base.refs_per_core,
+        warmup_refs_per_core=(args.warmup if args.warmup is not None
+                              else base.warmup_refs_per_core),
+        num_seeds=args.seeds or base.num_seeds,
+    )
+
+
+def _single_run(runner: ExperimentRunner, arch: str, workload: str) -> None:
+    start = time.time()
+    agg = runner.aggregate(arch, workload)
+    elapsed = time.time() - start
+    print(f"{arch} on {workload} "
+          f"({runner.settings.num_seeds} seed(s), {elapsed:.1f}s)")
+    print(f"  performance (work/cycle): {agg.performance:.4f} "
+          f"+- {agg.performance_ci95:.4f}")
+    print(f"  average access time:      {agg.average_access_time:.2f} cycles")
+    print(f"  off-chip per 1k accesses: {agg.offchip_per_kilo_access:.1f}")
+    print(f"  on-chip latency:          {agg.onchip_latency:.2f} cycles")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print("experiments:", ", ".join(EXPERIMENTS))
+        print("architectures: see repro.architectures.registry")
+        print("workloads:", ", ".join(workload_names()))
+        return 0
+    if args.experiment == "overhead":
+        from repro.core.overhead import summarize
+
+        print(summarize())
+        return 0
+    if args.experiment == "claims":
+        from repro.harness.claims import (format_results,
+                                          load_reports_from_json,
+                                          verify_claims)
+
+        directory = args.json or "results_json"
+        reports = load_reports_from_json(directory)
+        print(f"claims over {len(reports)} report(s) from {directory}:")
+        print(format_results(verify_claims(reports)))
+        return 0
+    runner = ExperimentRunner(_settings(args))
+    if args.experiment == "trace":
+        from repro.workloads.tracefile import save_traces
+
+        out = args.out or f"{args.workload}.trace.gz"
+        traces = runner._traces(args.workload, runner.seeds[0])
+        save_traces(out, traces, workload=args.workload,
+                    seed=runner.seeds[0])
+        refs = sum(len(t) for t in traces if t is not None)
+        print(f"wrote {refs} references for {args.workload!r} to {out}")
+        return 0
+    if args.experiment == "run":
+        _single_run(runner, args.arch, args.workload)
+        return 0
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        report = run_experiment(name, runner)
+        print(report.format(precision=args.precision))
+        if args.chart and report.series:
+            from repro.harness.plots import report_chart
+
+            print()
+            print(report_chart(report))
+        print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+        if args.json:
+            import os
+
+            os.makedirs(args.json, exist_ok=True)
+            path = os.path.join(args.json, f"{name}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

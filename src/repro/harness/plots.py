@@ -1,0 +1,83 @@
+"""Terminal-friendly charts of experiment reports.
+
+The paper's figures are bar charts; these helpers render the same
+series as unicode bars so a reproduced figure can be *seen*, not just
+tabulated. Pure-text output keeps the repository dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.reporting import ExperimentReport
+
+FULL = "█"
+PARTIALS = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A horizontal bar for ``value`` where ``scale`` fills ``width``."""
+    if scale <= 0:
+        return ""
+    cells = max(0.0, value / scale * width)
+    whole = int(cells)
+    frac = int((cells - whole) * 8)
+    bar = FULL * whole
+    if frac:
+        bar += PARTIALS[frac]
+    return bar
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 40, baseline: Optional[float] = None,
+              precision: int = 3) -> str:
+    """Horizontal bars, one per label; ``baseline`` draws a marker."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    scale = max(list(values) + ([baseline] if baseline else []) + [1e-12])
+    label_width = max((len(str(l)) for l in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = _bar(value, scale, width)
+        if baseline is not None:
+            marker = int(min(baseline / scale, 1.0) * width)
+            bar = bar.ljust(width)
+            tick = "|" if len(bar[marker:marker + 1].strip()) == 0 else "+"
+            bar = bar[:marker] + tick + bar[marker + 1:]
+        lines.append(f"{str(label).ljust(label_width)}  "
+                     f"{bar.rstrip()}  {value:.{precision}f}")
+    return "\n".join(lines)
+
+
+def report_chart(report: ExperimentReport, column: Optional[str] = None,
+                 width: int = 40) -> str:
+    """Bar chart of one column of a performance report (default: the
+    last column, usually the GMEAN), baseline at 1.0."""
+    column = column or report.columns[-1]
+    index = report.columns.index(column)
+    labels = list(report.series)
+    values = [report.series[name][index] for name in labels]
+    chart = bar_chart(labels, values, width=width, baseline=1.0)
+    return f"{report.experiment} — {column}\n{chart}"
+
+
+def stacked_chart(component_rows: Dict[str, Sequence[float]],
+                  component_names: Sequence[str],
+                  width: int = 50, precision: int = 1) -> str:
+    """Stacked horizontal bars (the Figure 6 shape): each row is split
+    into components rendered with distinct glyphs."""
+    glyphs = "█▓▒░▞▚■"
+    totals = {name: sum(values) for name, values in component_rows.items()}
+    scale = max(totals.values(), default=1e-12)
+    label_width = max((len(n) for n in component_rows), default=0)
+    lines = []
+    for name, values in component_rows.items():
+        bar = ""
+        for i, value in enumerate(values):
+            cells = int(round(value / scale * width))
+            bar += glyphs[i % len(glyphs)] * cells
+        lines.append(f"{name.ljust(label_width)}  {bar}  "
+                     f"{totals[name]:.{precision}f}")
+    legend = "  ".join(f"{glyphs[i % len(glyphs)]}={component}"
+                       for i, component in enumerate(component_names))
+    return "\n".join(lines + ["", legend])

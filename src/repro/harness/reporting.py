@@ -1,0 +1,77 @@
+"""Plain-text rendering of experiment results (tables the paper plots)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 precision: int = 3) -> str:
+    """Fixed-width ASCII table; floats rendered with ``precision``."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    grid = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in grid:
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in grid:
+        lines.append("  ".join(t.ljust(w) for t, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentReport:
+    """Structured result of one reproduced table/figure."""
+
+    experiment: str
+    title: str
+    columns: List[str]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def value(self, series: str, column: str) -> float:
+        return self.series[series][self.columns.index(column)]
+
+    def to_json(self) -> str:
+        """Machine-readable form (extra tables are kept as text)."""
+        return json.dumps({
+            "experiment": self.experiment,
+            "title": self.title,
+            "columns": self.columns,
+            "series": self.series,
+            "notes": self.notes,
+            "extra": {k: str(v) for k, v in self.extra.items()},
+        }, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentReport":
+        data = json.loads(text)
+        return cls(experiment=data["experiment"], title=data["title"],
+                   columns=data["columns"], series=data["series"],
+                   notes=data.get("notes", []),
+                   extra=data.get("extra", {}))
+
+    def format(self, precision: int = 3) -> str:
+        headers = ["series"] + self.columns
+        rows = [[name] + list(values) for name, values in self.series.items()]
+        out = [f"== {self.experiment}: {self.title} ==",
+               format_table(headers, rows, precision)]
+        for name, table in self.extra.items():
+            if isinstance(table, str):
+                out.append(f"\n-- {name} --\n{table}")
+        if self.notes:
+            out.append("")
+            out.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(out)

@@ -1,0 +1,162 @@
+"""Shared run machinery for all experiments.
+
+Key properties:
+
+* **trace reuse** — the same materialized trace (workload, seed) is
+  replayed against every architecture, so comparisons are paired;
+* **run caching** — a (settings, architecture, workload, seed) run is
+  simulated once per process and reused across experiments (Figures
+  6, 7 and 8 share their transactional runs, as in the paper);
+* **perturbed seeds** — each extra seed regenerates the workload with
+  a different random stream, the stand-in for the paper's pseudo-random
+  perturbation, giving the 95% confidence intervals.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.architectures.registry import make_architecture
+from repro.common.config import SystemConfig, scaled_config
+from repro.common.rng import perturbed_seeds
+from repro.metrics.performance import AggregateResult
+from repro.sim.cpu import TraceItem
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import SimResult
+from repro.sim.system import CmpSystem
+from repro.workloads.base import TraceGenerator, WorkloadSpec
+from repro.workloads.registry import get_workload
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@dataclass(frozen=True)
+class RunSettings:
+    """Knobs shared by every run of an experiment session.
+
+    The defaults implement the capacity-scaled configuration argued in
+    DESIGN.md §2; environment variables allow scaling the fidelity:
+    ``REPRO_REFS``, ``REPRO_WARMUP``, ``REPRO_SEEDS``, ``REPRO_SCALE``.
+    """
+
+    capacity_factor: int = 8
+    refs_per_core: int = 20_000
+    warmup_refs_per_core: int = 12_000
+    num_seeds: int = 2
+    base_seed: int = 42
+
+    @classmethod
+    def from_env(cls) -> "RunSettings":
+        return cls(
+            capacity_factor=_env_int("REPRO_SCALE", 8),
+            refs_per_core=_env_int("REPRO_REFS", 20_000),
+            warmup_refs_per_core=_env_int("REPRO_WARMUP", 12_000),
+            num_seeds=_env_int("REPRO_SEEDS", 2),
+        )
+
+    def quick(self) -> "RunSettings":
+        """Reduced-fidelity settings for smoke tests."""
+        return RunSettings(capacity_factor=self.capacity_factor,
+                           refs_per_core=6_000, warmup_refs_per_core=3_000,
+                           num_seeds=1, base_seed=self.base_seed)
+
+
+class ExperimentRunner:
+    def __init__(self, settings: Optional[RunSettings] = None,
+                 config: Optional[SystemConfig] = None) -> None:
+        self.settings = settings or RunSettings.from_env()
+        self.config = config or scaled_config(self.settings.capacity_factor)
+        self.seeds = perturbed_seeds(self.settings.base_seed,
+                                     self.settings.num_seeds)
+        self._trace_cache: Dict[Tuple[str, int], List[Optional[List[TraceItem]]]] = {}
+        self._run_cache: Dict[Tuple[str, str, int], SimResult] = {}
+
+    # -- workload preparation -----------------------------------------------------
+
+    def _prepared_spec(self, workload: str) -> WorkloadSpec:
+        spec = get_workload(workload)
+        spec = spec.capacity_scaled(self.settings.capacity_factor)
+        total = self.settings.refs_per_core + self.settings.warmup_refs_per_core
+        return spec.scaled(total)
+
+    def _traces(self, workload: str, seed: int
+                ) -> List[Optional[List[TraceItem]]]:
+        key = (workload, seed)
+        cached = self._trace_cache.get(key)
+        if cached is None:
+            generator = TraceGenerator(self._prepared_spec(workload), seed)
+            cached = [list(trace) if trace is not None else None
+                      for trace in generator.traces(self.config.num_cores)]
+            self._trace_cache[key] = cached
+        return cached
+
+    # -- running ----------------------------------------------------------------------
+
+    def run_one(self, architecture: str, workload: str, seed: int) -> SimResult:
+        key = (architecture, workload, seed)
+        cached = self._run_cache.get(key)
+        if cached is not None:
+            return cached
+        arch = make_architecture(architecture, self.config)
+        system = CmpSystem(self.config, arch)
+        traces = [iter(t) if t is not None else None
+                  for t in self._traces(workload, seed)]
+        engine = SimulationEngine(system, traces)
+        result = engine.run(
+            max_refs_per_core=self.settings.refs_per_core,
+            warmup_refs_per_core=self.settings.warmup_refs_per_core)
+        result.workload = workload
+        result.seed = seed
+        self._run_cache[key] = result
+        return result
+
+    def aggregate(self, architecture: str, workload: str) -> AggregateResult:
+        agg = AggregateResult(architecture, workload)
+        for seed in self.seeds:
+            agg.add(self.run_one(architecture, workload, seed))
+        return agg
+
+    def matrix(self, architectures: Sequence[str], workloads: Sequence[str]
+               ) -> Dict[Tuple[str, str], AggregateResult]:
+        """All (architecture, workload) aggregates, trace-paired."""
+        return {(arch, wl): self.aggregate(arch, wl)
+                for wl in workloads for arch in architectures}
+
+    def run_custom(self, name: str, config: SystemConfig, arch_factory,
+                   workload: str, seed: int) -> SimResult:
+        """Run a non-registry architecture (parameter ablations).
+
+        ``arch_factory(config)`` builds the architecture; ``name`` keys
+        the cache, so it must encode the parameters.
+        """
+        key = (name, workload, seed)
+        cached = self._run_cache.get(key)
+        if cached is not None:
+            return cached
+        system = CmpSystem(config, arch_factory(config))
+        traces = [iter(t) if t is not None else None
+                  for t in self._traces(workload, seed)]
+        engine = SimulationEngine(system, traces)
+        result = engine.run(
+            max_refs_per_core=self.settings.refs_per_core,
+            warmup_refs_per_core=self.settings.warmup_refs_per_core)
+        result.architecture = name
+        result.workload = workload
+        result.seed = seed
+        self._run_cache[key] = result
+        return result
+
+    def aggregate_custom(self, name: str, config: SystemConfig, arch_factory,
+                         workload: str) -> AggregateResult:
+        agg = AggregateResult(name, workload)
+        for seed in self.seeds:
+            agg.add(self.run_custom(name, config, arch_factory, workload, seed))
+        return agg
+
+    def clear_run_cache(self) -> None:
+        self._run_cache.clear()

@@ -1,0 +1,86 @@
+"""Generic parameter sweeps over nested configuration fields.
+
+The Section 5.2 sensitivity study is one instance of a general need:
+"re-run this (architecture, workload) point while varying a config
+field". ``Sweep`` names fields with dotted paths into the (frozen,
+nested) :class:`SystemConfig` dataclasses — ``esp.degradation_shift``,
+``mem.latency``, ``core.max_outstanding`` — and produces one
+:class:`ExperimentReport` row per value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import is_dataclass, replace
+from typing import Callable, Dict, List, Sequence
+
+from repro.common.config import SystemConfig
+from repro.harness.reporting import ExperimentReport
+from repro.harness.runner import ExperimentRunner
+
+
+def set_config_field(config: SystemConfig, path: str, value) -> SystemConfig:
+    """A copy of ``config`` with the dotted ``path`` replaced.
+
+    >>> cfg = set_config_field(SystemConfig(), "esp.degradation_shift", 4)
+    >>> cfg.esp.degradation_shift
+    4
+    """
+    parts = path.split(".")
+    return _set(config, parts, value)
+
+
+def _set(node, parts: List[str], value):
+    if not is_dataclass(node):
+        raise ValueError(f"cannot descend into non-dataclass at {parts!r}")
+    head = parts[0]
+    if not hasattr(node, head):
+        raise AttributeError(f"{type(node).__name__} has no field {head!r}")
+    if len(parts) == 1:
+        return replace(node, **{head: value})
+    child = _set(getattr(node, head), parts[1:], value)
+    return replace(node, **{head: child})
+
+
+class Sweep:
+    """Sweep one dotted config field across values for one architecture
+    factory, measuring a metric per (value, workload)."""
+
+    def __init__(self, runner: ExperimentRunner, field: str,
+                 values: Sequence, arch_factory: Callable,
+                 arch_label: str = "arch",
+                 metric: Callable = lambda agg: agg.performance) -> None:
+        self.runner = runner
+        self.field = field
+        self.values = list(values)
+        self.arch_factory = arch_factory
+        self.arch_label = arch_label
+        self.metric = metric
+
+    def run(self, workloads: Sequence[str],
+            baseline_arch: str = "shared") -> ExperimentReport:
+        report = ExperimentReport(
+            experiment=f"sweep:{self.field}",
+            title=f"{self.arch_label} vs {self.field} "
+                  f"(metric normalized to {baseline_arch})",
+            columns=list(workloads))
+        for value in self.values:
+            config = set_config_field(self.runner.config, self.field, value)
+            row = []
+            for workload in workloads:
+                base = self.metric(
+                    self.runner.aggregate(baseline_arch, workload))
+                agg = self.runner.aggregate_custom(
+                    f"{self.arch_label}[{self.field}={value}]", config,
+                    self.arch_factory, workload)
+                row.append(self.metric(agg) / base)
+            report.series[f"{self.field}={value}"] = row
+        return report
+
+
+def quick_sweep(field: str, values: Sequence, workloads: Sequence[str],
+                arch_factory: Callable, arch_label: str = "arch",
+                runner: ExperimentRunner = None) -> ExperimentReport:
+    """One-call convenience wrapper used by examples and benches."""
+    runner = runner or ExperimentRunner()
+    sweep = Sweep(runner, field, values, arch_factory, arch_label)
+    return sweep.run(workloads)

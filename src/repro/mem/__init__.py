@@ -1,0 +1,5 @@
+"""Off-chip memory substrate."""
+
+from repro.mem.controller import MemoryController, MemorySystem
+
+__all__ = ["MemoryController", "MemorySystem"]

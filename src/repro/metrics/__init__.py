@@ -1,0 +1,9 @@
+"""Derived metrics: aggregation over seeds, normalization, stability,
+per-thread fairness."""
+
+from repro.metrics.decomposition import decompose
+from repro.metrics.fairness import group_ipc, ipc_variance, per_core_ipc
+from repro.metrics.performance import AggregateResult, normalize_map, variance_of
+
+__all__ = ["AggregateResult", "normalize_map", "variance_of", "decompose",
+           "group_ipc", "ipc_variance", "per_core_ipc"]

@@ -1,0 +1,33 @@
+"""Average-access-time decomposition (Figure 6).
+
+Each demand access's full latency is attributed to the component that
+supplied the data; dividing by total accesses gives per-component
+contributions that stack to the average access time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.metrics.performance import AggregateResult
+from repro.sim.request import Supplier
+
+#: Stacking order used by the paper's Figure 6 legend (bottom-up).
+COMPONENT_ORDER: List[Supplier] = [
+    Supplier.L1_LOCAL,
+    Supplier.L1_REMOTE,
+    Supplier.L2_LOCAL,
+    Supplier.L2_REMOTE,
+    Supplier.L2_SHARED,
+    Supplier.OFFCHIP,
+]
+
+
+def decompose(aggregate: AggregateResult) -> Dict[Supplier, float]:
+    """Per-component contribution (cycles) to the average access time."""
+    return {supplier: aggregate.access_time_component(supplier)
+            for supplier in COMPONENT_ORDER}
+
+
+def total_access_time(components: Dict[Supplier, float]) -> float:
+    return sum(components.values())

@@ -1,0 +1,66 @@
+"""Performance aggregation across perturbed runs.
+
+The paper reports, per (architecture, workload) point, the mean over
+several pseudo-randomly perturbed runs with a 95% confidence interval;
+its stability headline is the *variance of normalized performance*
+across a benchmark set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.common.stats import confidence_interval95, mean, variance
+from repro.sim.request import Supplier
+from repro.sim.results import SimResult
+
+
+@dataclass
+class AggregateResult:
+    """Mean behaviour of one (architecture, workload) data point."""
+
+    architecture: str
+    workload: str
+    runs: List[SimResult] = field(default_factory=list)
+
+    def add(self, result: SimResult) -> None:
+        self.runs.append(result)
+
+    @property
+    def performance(self) -> float:
+        return mean([r.performance for r in self.runs])
+
+    @property
+    def performance_ci95(self) -> float:
+        return confidence_interval95([r.performance for r in self.runs])
+
+    @property
+    def average_access_time(self) -> float:
+        return mean([r.average_access_time for r in self.runs])
+
+    @property
+    def offchip_per_kilo_access(self) -> float:
+        return mean([r.offchip_accesses_per_kilo_access for r in self.runs])
+
+    @property
+    def onchip_latency(self) -> float:
+        return mean([r.onchip_latency for r in self.runs])
+
+    def access_time_component(self, supplier: Supplier) -> float:
+        return mean([r.access_time_component(supplier) for r in self.runs])
+
+    def normalized_to(self, baseline: "AggregateResult") -> float:
+        return self.performance / baseline.performance
+
+
+def normalize_map(results: Dict[str, AggregateResult],
+                  baseline: str) -> Dict[str, float]:
+    """Normalize {architecture: aggregate} to one architecture."""
+    base = results[baseline].performance
+    return {name: agg.performance / base for name, agg in results.items()}
+
+
+def variance_of(normalized: Sequence[float]) -> float:
+    """The paper's stability metric over a benchmark set."""
+    return variance(list(normalized))

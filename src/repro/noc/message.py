@@ -1,0 +1,45 @@
+"""On-chip message descriptors.
+
+Messages are bookkeeping records for the timing layer: the functional
+layer resolves what happens, while ``Message`` objects carry latency
+accounting and let the network model charge per-hop contention.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class MessageKind(enum.Enum):
+    REQUEST = "request"          # L1 -> L2 / L2 -> L2 control, 1 flit
+    RESPONSE_DATA = "data"       # 64B data payload, 5 flits on 128-bit links
+    RESPONSE_CTRL = "ack"        # token/ack response, 1 flit
+    WRITEBACK = "writeback"      # data eviction traffic
+    FORWARD = "forward"          # protocol forwarding between controllers
+
+
+#: Flit counts on the 128-bit links of Table 2 (64-byte payload = 4
+#: data flits + 1 head flit).
+FLITS = {
+    MessageKind.REQUEST: 1,
+    MessageKind.RESPONSE_DATA: 5,
+    MessageKind.RESPONSE_CTRL: 1,
+    MessageKind.WRITEBACK: 5,
+    MessageKind.FORWARD: 1,
+}
+
+
+@dataclass
+class Message:
+    kind: MessageKind
+    src_router: int
+    dst_router: int
+    depart: int
+    arrive: int = 0
+    hops: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def flits(self) -> int:
+        return FLITS[self.kind]

@@ -1,0 +1,112 @@
+"""Mesh topology and dimension-order (X-then-Y) routing.
+
+The simulated chip (Figure 1a) is a ``columns x rows`` mesh with one
+router per core; each router hosts the core's L1 and four L2 banks.
+Memory controllers sit on the left and right edges of the mesh and are
+reachable from any router in the corresponding edge column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.common.config import SystemConfig
+
+
+@dataclass(frozen=True)
+class Coord:
+    col: int
+    row: int
+
+
+class MeshTopology:
+    """Static geometry queries: coordinates, routes, hop counts."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.columns = config.noc.columns
+        self.rows = config.noc.rows
+        self.banks_per_router = config.noc.banks_per_router
+        self.num_routers = self.columns * self.rows
+        self.num_controllers = config.mem.num_controllers
+        if self.num_controllers not in (1, 2):
+            raise ValueError("the layout supports 1 or 2 memory controllers")
+        # Dense all-pairs tables: the timing layer queries these on
+        # every message, so they are precomputed (the mesh is tiny).
+        self._hops = [[self._compute_hops(s, d) for d in range(self.num_routers)]
+                      for s in range(self.num_routers)]
+        self._routes = [[tuple(self._compute_route(s, d))
+                         for d in range(self.num_routers)]
+                        for s in range(self.num_routers)]
+
+    # -- placement ---------------------------------------------------------
+
+    def router_coord(self, router: int) -> Coord:
+        if not 0 <= router < self.num_routers:
+            raise ValueError(f"router {router} out of range")
+        return Coord(router % self.columns, router // self.columns)
+
+    def router_of_core(self, core: int) -> int:
+        """Cores are numbered router-major: core i sits at router i."""
+        return core
+
+    def router_of_bank(self, bank: int) -> int:
+        return bank // self.banks_per_router
+
+    def banks_of_router(self, router: int) -> Tuple[int, ...]:
+        base = router * self.banks_per_router
+        return tuple(range(base, base + self.banks_per_router))
+
+    # -- routing -----------------------------------------------------------
+
+    def hops(self, src_router: int, dst_router: int) -> int:
+        """Manhattan distance — the hop count of a DOR route."""
+        return self._hops[src_router][dst_router]
+
+    def dor_route(self, src_router: int, dst_router: int) -> Tuple[int, ...]:
+        """The routers traversed by X-then-Y dimension-order routing,
+        including source and destination."""
+        return self._routes[src_router][dst_router]
+
+    def _compute_hops(self, src_router: int, dst_router: int) -> int:
+        a, b = self.router_coord(src_router), self.router_coord(dst_router)
+        return abs(a.col - b.col) + abs(a.row - b.row)
+
+    def _compute_route(self, src_router: int, dst_router: int) -> List[int]:
+        a, b = self.router_coord(src_router), self.router_coord(dst_router)
+        path = [src_router]
+        col, row = a.col, a.row
+        while col != b.col:
+            col += 1 if b.col > col else -1
+            path.append(row * self.columns + col)
+        while row != b.row:
+            row += 1 if b.row > row else -1
+            path.append(row * self.columns + col)
+        return path
+
+    # -- memory controllers --------------------------------------------------
+
+    def controller_hops(self, router: int) -> Tuple[int, int]:
+        """(controller id, hops) for the nearest memory controller.
+
+        Controller 0 hangs off the left edge (column 0), controller 1
+        off the right edge (last column); reaching one costs the hops to
+        its edge column plus one for the controller link itself.
+        """
+        coord = self.router_coord(router)
+        left = coord.col + 1
+        if self.num_controllers == 1:
+            return 0, left
+        right = (self.columns - 1 - coord.col) + 1
+        if left <= right:
+            return 0, left
+        return 1, right
+
+    def controller_distance(self, controller: int, router: int) -> int:
+        """Hops between a specific controller and a router."""
+        if not 0 <= controller < self.num_controllers:
+            raise ValueError(f"controller {controller} out of range")
+        coord = self.router_coord(router)
+        if controller == 0:
+            return coord.col + 1
+        return (self.columns - 1 - coord.col) + 1

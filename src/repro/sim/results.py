@@ -1,0 +1,98 @@
+"""Aggregated results of one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.request import Supplier
+
+
+@dataclass
+class SimResult:
+    """Counters a run produces; the metrics layer derives everything else.
+
+    ``supplier_count`` / ``supplier_cycles`` accumulate, per data
+    supplier, the number of demand accesses and the sum of their
+    latencies — exactly the decomposition plotted in Figure 6.
+    """
+
+    architecture: str = ""
+    workload: str = ""
+    seed: int = 0
+    cycles: int = 0
+    instructions: int = 0
+    memory_accesses: int = 0
+    per_core_cycles: List[int] = field(default_factory=list)
+    per_core_instructions: List[int] = field(default_factory=list)
+    supplier_count: Dict[Supplier, int] = field(
+        default_factory=lambda: {s: 0 for s in Supplier})
+    supplier_cycles: Dict[Supplier, int] = field(
+        default_factory=lambda: {s: 0 for s in Supplier})
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_demand_lookups: int = 0
+    l2_hits: int = 0
+    offchip_demand: int = 0
+    offchip_writebacks: int = 0
+    noc_messages: int = 0
+    noc_queueing: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # -- derived metrics -----------------------------------------------------
+
+    @property
+    def performance(self) -> float:
+        """Work per cycle: the run's figure of merit (higher is better).
+
+        All runs of a workload execute the same instruction totals, so
+        normalizing this across architectures equals normalizing
+        execution time, the paper's metric.
+        """
+        if self.cycles == 0:
+            raise ValueError("empty run")
+        return self.instructions / self.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.performance
+
+    @property
+    def average_access_time(self) -> float:
+        """Mean latency of a demand memory access (Figure 6 height)."""
+        if self.memory_accesses == 0:
+            return 0.0
+        return sum(self.supplier_cycles.values()) / self.memory_accesses
+
+    def access_time_component(self, supplier: Supplier) -> float:
+        """Contribution of one supplier to the average access time."""
+        if self.memory_accesses == 0:
+            return 0.0
+        return self.supplier_cycles[supplier] / self.memory_accesses
+
+    @property
+    def offchip_accesses_per_kilo_access(self) -> float:
+        """Off-chip demand traffic, normalized (Figure 7 x-series)."""
+        if self.memory_accesses == 0:
+            return 0.0
+        return 1000.0 * self.offchip_demand / self.memory_accesses
+
+    @property
+    def onchip_latency(self) -> float:
+        """Average latency of accesses served on chip (Figure 7 y-series)."""
+        onchip = [s for s in Supplier if s is not Supplier.OFFCHIP]
+        count = sum(self.supplier_count[s] for s in onchip)
+        if count == 0:
+            return 0.0
+        return sum(self.supplier_cycles[s] for s in onchip) / count
+
+    @property
+    def l2_miss_rate(self) -> float:
+        if self.l2_demand_lookups == 0:
+            return 0.0
+        return 1.0 - self.l2_hits / self.l2_demand_lookups
+
+    def record_access(self, supplier: Supplier, latency: int) -> None:
+        self.memory_accesses += 1
+        self.supplier_count[supplier] += 1
+        self.supplier_cycles[supplier] += latency

@@ -1,0 +1,169 @@
+"""The simulated CMP: cores' L1s, the NUCA L2, mesh, memory, coherence.
+
+``CmpSystem`` owns every hardware component and the access entry point;
+the bound :class:`~repro.architectures.base.NucaArchitecture` supplies
+the L2 placement/search/replacement policy. One system instance equals
+one run: build, feed references, read the :class:`SimResult`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.cache.l1 import L1Cache, L1Line
+from repro.common.addresses import AddressMap
+from repro.common.config import SystemConfig
+from repro.mem.controller import MemorySystem
+from repro.noc.network import Network
+from repro.noc.topology import MeshTopology
+from repro.coherence.tokens import TokenLedger
+from repro.sim.request import AccessOutcome, Supplier
+from repro.sim.results import SimResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.architectures.base import NucaArchitecture
+
+
+class CmpSystem:
+    def __init__(self, config: SystemConfig, architecture: "NucaArchitecture",
+                 check_tokens: bool = False) -> None:
+        self.config = config
+        self.amap = AddressMap(config)
+        self.topology = MeshTopology(config)
+        self.network = Network(config, self.topology)
+        self.memory = MemorySystem(config)
+        self.ledger = TokenLedger(config.num_cores, checking=check_tokens)
+        self.l1s: List[L1Cache] = [
+            L1Cache(core, config.l1.num_sets, config.l1.assoc)
+            for core in range(config.num_cores)
+        ]
+        self.result = SimResult(architecture=architecture.name)
+        self.architecture = architecture
+        architecture.bind(self)
+
+    # -- demand access entry point -----------------------------------------------
+
+    def access(self, core: int, block: int, is_write: bool, t_issue: int
+               ) -> AccessOutcome:
+        """One demand reference from ``core`` issued at ``t_issue``.
+
+        Functional state is updated eagerly (the reference completes
+        logically now); the returned completion time is when the data
+        becomes usable by the core.
+        """
+        l1 = self.l1s[core]
+        line = l1.access(block)
+        if line is not None:
+            self.result.l1_hits += 1
+            t_done = t_issue + self.config.l1.access_latency
+            if is_write:
+                if line.tokens < self.ledger.total_tokens:
+                    t_done = max(t_done, self.architecture.handle_upgrade(
+                        core, block, line, t_issue + self.config.l1.tag_latency))
+                line.dirty = True
+            latency = t_done - t_issue
+            self.result.record_access(Supplier.L1_LOCAL, latency)
+            return AccessOutcome(t_done, Supplier.L1_LOCAL)
+        self.result.l1_misses += 1
+        t_miss = t_issue + self.config.l1.tag_latency
+        t_done, supplier = self.architecture.handle_miss(core, block,
+                                                         is_write, t_miss)
+        self.result.record_access(supplier, t_done - t_issue)
+        return AccessOutcome(t_done, supplier)
+
+    # -- helpers used by architectures ---------------------------------------------
+
+    def l1_fill(self, core: int, block: int, tokens: int, dirty: bool) -> L1Line:
+        """Install a line in ``core``'s L1, routing any displaced line
+        into the L2 per the architecture's eviction policy."""
+        if tokens <= 0:
+            raise ValueError("an L1 fill needs at least one token")
+        line, evicted = self.l1s[core].fill(block, tokens, dirty)
+        if self.ledger.state(block).l1.get(core) is not line:
+            # Fresh line; fill() merges into an existing (already
+            # registered) line otherwise.
+            self.ledger.register_l1(block, core, line)
+        if evicted is not None:
+            self.architecture.route_l1_eviction(core, evicted)
+        return line
+
+    def send_to_memory(self, block: int, tokens: int, dirty: bool,
+                       router: int) -> None:
+        """Release tokens from an evicted/refused copy.
+
+        Token coherence lets evicted tokens be forwarded to any current
+        holder, and doing so matters: parking them in memory while L1
+        copies remain would force a later writer into an off-chip
+        round trip just to collect them. So: merge into an on-chip L1
+        holder if one exists, else into an L2 copy, else write back to
+        memory (the only case generating off-chip traffic).
+        """
+        state = self.ledger.state(block)
+        if state.l1:
+            line = next(iter(state.l1.values()))
+            line.tokens += tokens
+            line.dirty = line.dirty or dirty
+            return
+        if state.l2:
+            holding = next(iter(state.l2.values()))
+            holding.entry.tokens += tokens
+            holding.entry.dirty = holding.entry.dirty or dirty
+            return
+        if dirty:
+            mc, _ = self.topology.controller_hops(router)
+            self.memory.controller(mc).post_writeback(0)
+            self.result.offchip_writebacks += 1
+        self.ledger.give_to_memory(block, tokens)
+        if not self.ledger.on_chip(block):
+            self.architecture.on_block_left_chip(block)
+
+    def reset_stats(self) -> None:
+        """Clear all statistics while keeping cache/coherence state —
+        used to exclude the warm-up phase from measurements."""
+        self.result = SimResult(architecture=self.architecture.name)
+        for bank in self.architecture.banks:
+            bank.reset_stats()
+        for l1 in self.l1s:
+            l1.reset_stats()
+        self.memory.reset_stats()
+        self.network.reset_stats()
+
+    # -- end-of-run aggregation -------------------------------------------------------
+
+    def finalize(self, per_core_cycles: List[int],
+                 per_core_instructions: List[int]) -> SimResult:
+        result = self.result
+        result.per_core_cycles = list(per_core_cycles)
+        result.per_core_instructions = list(per_core_instructions)
+        result.cycles = max(per_core_cycles) if per_core_cycles else 0
+        result.instructions = sum(per_core_instructions)
+        for bank in self.architecture.banks:
+            result.l2_hits += bank.total_hits
+            result.l2_demand_lookups += bank.total_hits + bank.misses
+        result.offchip_demand = self.memory.demand_requests
+        result.noc_messages = self.network.messages_sent
+        result.noc_queueing = self.network.total_queueing
+        return result
+
+    # -- introspection (tests, examples) ------------------------------------------------
+
+    def l2_occupancy(self) -> int:
+        return sum(bank.occupancy() for bank in self.architecture.banks)
+
+    def check_invariants(self) -> None:
+        """Full token-conservation and directory cross-check."""
+        self.ledger.check_all()
+        for block in list(self.ledger.known_blocks()):
+            state = self.ledger.state(block)
+            for core, line in state.l1.items():
+                resident = self.l1s[core].lookup(block, touch=False)
+                assert resident is line, (
+                    f"ledger/L1 divergence for block {block:#x} at core {core}")
+            for holding in state.l2.values():
+                bank = self.architecture.banks[holding.bank_id]
+                found = bank.sets[holding.set_index].find(block)
+                entries = [e for e in bank.sets[holding.set_index].blocks
+                           if e is holding.entry]
+                assert found is not None and entries, (
+                    f"ledger/L2 divergence for block {block:#x} "
+                    f"in bank {holding.bank_id}")

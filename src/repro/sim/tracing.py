@@ -1,0 +1,111 @@
+"""Per-access event tracing for protocol debugging.
+
+``AccessTracer`` wraps a system's ``access`` entry point and records,
+for every demand reference, what the protocol did: supplier, latency,
+the block's classification before/after, and which L2 banks were
+touched. The directed protocol tests assert on aggregate behaviour;
+the tracer is for *watching* a handful of accesses when something
+looks wrong — the simulator's printf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.request import Supplier
+from repro.sim.system import CmpSystem
+
+
+@dataclass
+class AccessEvent:
+    sequence: int
+    core: int
+    block: int
+    is_write: bool
+    issue: int
+    complete: int
+    supplier: Supplier
+    classification: str = ""
+    note: str = ""
+
+    @property
+    def latency(self) -> int:
+        return self.complete - self.issue
+
+    def format(self) -> str:
+        rw = "W" if self.is_write else "R"
+        cls = f" [{self.classification}]" if self.classification else ""
+        return (f"#{self.sequence:<6d} t={self.issue:<9d} core {self.core} "
+                f"{rw} {self.block:#012x} -> {self.supplier.value:16s} "
+                f"{self.latency:5d} cyc{cls}{self.note}")
+
+
+class AccessTracer:
+    """Record (optionally filtered) access events of a live system."""
+
+    def __init__(self, system: CmpSystem, limit: int = 10_000,
+                 block_filter: Optional[Callable[[int], bool]] = None,
+                 core_filter: Optional[Callable[[int], bool]] = None) -> None:
+        self.system = system
+        self.limit = limit
+        self.block_filter = block_filter
+        self.core_filter = core_filter
+        self.events: List[AccessEvent] = []
+        self.dropped = 0
+        self._sequence = 0
+        self._inner = None
+
+    def install(self) -> "AccessTracer":
+        if self._inner is not None:
+            return self
+        self._inner = self.system.access
+
+        def traced(core, block, is_write, t_issue):
+            outcome = self._inner(core, block, is_write, t_issue)
+            self._sequence += 1
+            if self.block_filter and not self.block_filter(block):
+                return outcome
+            if self.core_filter and not self.core_filter(core):
+                return outcome
+            if len(self.events) >= self.limit:
+                self.dropped += 1
+                return outcome
+            event = AccessEvent(
+                sequence=self._sequence, core=core, block=block,
+                is_write=is_write, issue=t_issue,
+                complete=outcome.complete, supplier=outcome.supplier,
+                classification=self._classification(block))
+            self.events.append(event)
+            return outcome
+
+        self.system.access = traced
+        return self
+
+    def uninstall(self) -> None:
+        if self._inner is not None:
+            # Drop the instance attribute so the class method resolves.
+            self.system.__dict__.pop("access", None)
+            self._inner = None
+
+    def _classification(self, block: int) -> str:
+        classifier = getattr(self.system.architecture, "classifier", None)
+        if classifier is None:
+            return ""
+        return classifier.classify(block).value
+
+    # -- queries ---------------------------------------------------------------
+
+    def for_block(self, block: int) -> List[AccessEvent]:
+        return [e for e in self.events if e.block == block]
+
+    def by_supplier(self, supplier: Supplier) -> List[AccessEvent]:
+        return [e for e in self.events if e.supplier is supplier]
+
+    def format(self, last: Optional[int] = None) -> str:
+        events = self.events[-last:] if last else self.events
+        lines = [e.format() for e in events]
+        if self.dropped:
+            lines.append(f"... {self.dropped} events beyond the "
+                         f"{self.limit}-event limit were dropped")
+        return "\n".join(lines)

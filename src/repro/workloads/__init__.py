@@ -1,0 +1,15 @@
+"""Workload model: parameterized synthetic traces for all 22 benchmarks.
+
+No SPEC inputs, Simics checkpoints or NAS binaries are available in
+this environment, so each benchmark of Table 1 is modelled by a
+:class:`~repro.workloads.base.WorkloadSpec` whose parameters (active
+cores, footprints, sharing degree, write ratio, locality, MLP
+behaviour) are calibrated to the published characteristics of the
+suite (see DESIGN.md §2 and §7 for the substitution argument).
+"""
+
+from repro.workloads.base import TraceGenerator, WorkloadSpec
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+
+__all__ = ["TraceGenerator", "WorkloadSpec", "WORKLOADS", "get_workload",
+           "workload_names"]

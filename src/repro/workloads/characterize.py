@@ -1,0 +1,173 @@
+"""Trace characterization — validating calibration claims.
+
+DESIGN.md §7 argues the synthetic workloads preserve the paper's
+regimes through a handful of first-order quantities: sharing degree,
+write ratio, footprint-to-capacity ratios, stack-distance profile.
+This module measures those quantities *from a trace*, so the claim
+"apache's generator produces ~40% shared accesses with a hot head" is
+checkable rather than asserted (see tests/test_characterize.py).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.cpu import TraceItem, TraceKind
+from repro.workloads.base import (
+    OS_REGION_BASE,
+    SHARED_REGION_BASE,
+    STREAM_REGION_BASE,
+)
+
+
+def region_of(block: int) -> str:
+    if block >= STREAM_REGION_BASE:
+        return "stream"
+    if block >= OS_REGION_BASE:
+        return "os"
+    if block >= SHARED_REGION_BASE:
+        return "shared"
+    return "private"
+
+
+@dataclass
+class CoreProfile:
+    """Per-core measurements."""
+
+    references: int = 0
+    writes: int = 0
+    dep_loads: int = 0
+    region_refs: Dict[str, int] = field(default_factory=dict)
+    distinct_blocks: int = 0
+    #: stack-distance histogram, bucketed by powers of two; -1 = cold.
+    stack_histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def write_ratio(self) -> float:
+        return self.writes / self.references if self.references else 0.0
+
+    @property
+    def dep_ratio(self) -> float:
+        return self.dep_loads / self.references if self.references else 0.0
+
+    def region_fraction(self, region: str) -> float:
+        if not self.references:
+            return 0.0
+        return self.region_refs.get(region, 0) / self.references
+
+    def reuse_within(self, distance: int) -> float:
+        """Fraction of references whose LRU stack distance is below
+        ``distance`` (≈ hit rate of a fully associative cache that
+        size)."""
+        if not self.references:
+            return 0.0
+        hits = sum(count for bucket, count in self.stack_histogram.items()
+                   if 0 <= bucket < distance)
+        return hits / self.references
+
+
+@dataclass
+class WorkloadProfile:
+    cores: Dict[int, CoreProfile] = field(default_factory=dict)
+    shared_blocks_touched_by: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def sharing_degree(self) -> float:
+        """Mean number of cores touching each shared-region block."""
+        if not self.shared_blocks_touched_by:
+            return 0.0
+        return (sum(self.shared_blocks_touched_by.values())
+                / len(self.shared_blocks_touched_by))
+
+    @property
+    def total_references(self) -> int:
+        return sum(p.references for p in self.cores.values())
+
+    def aggregate_region_fraction(self, region: str) -> float:
+        total = self.total_references
+        if not total:
+            return 0.0
+        return sum(p.region_refs.get(region, 0)
+                   for p in self.cores.values()) / total
+
+
+class _LruStack:
+    """Exact LRU stack distances via an ordered dict (O(n) distance
+    query is fine at characterization scale)."""
+
+    def __init__(self) -> None:
+        self._stack: "OrderedDict[int, None]" = OrderedDict()
+
+    def touch(self, block: int) -> int:
+        """Return the stack distance of this touch (-1 if cold)."""
+        if block in self._stack:
+            distance = 0
+            for resident in reversed(self._stack):
+                if resident == block:
+                    break
+                distance += 1
+            self._stack.move_to_end(block)
+            return distance
+        self._stack[block] = None
+        return -1
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+def _bucket(distance: int) -> int:
+    """Power-of-two bucket start for a stack distance."""
+    if distance < 0:
+        return -1
+    bucket = 1
+    while bucket <= distance:
+        bucket <<= 1
+    return bucket >> 1
+
+
+def characterize(traces: Sequence[Optional[Iterable[TraceItem]]]
+                 ) -> WorkloadProfile:
+    """Measure a per-core trace list (as produced by TraceGenerator)."""
+    profile = WorkloadProfile()
+    shared_touchers: Dict[int, set] = {}
+    for core, trace in enumerate(traces):
+        if trace is None:
+            continue
+        core_profile = CoreProfile()
+        stack = _LruStack()
+        for item in trace:
+            core_profile.references += 1
+            if item.kind is TraceKind.STORE:
+                core_profile.writes += 1
+            elif item.kind is TraceKind.DEP_LOAD:
+                core_profile.dep_loads += 1
+            region = region_of(item.block)
+            core_profile.region_refs[region] = \
+                core_profile.region_refs.get(region, 0) + 1
+            if region == "shared":
+                shared_touchers.setdefault(item.block, set()).add(core)
+            bucket = _bucket(stack.touch(item.block))
+            core_profile.stack_histogram[bucket] = \
+                core_profile.stack_histogram.get(bucket, 0) + 1
+        core_profile.distinct_blocks = len(stack)
+        profile.cores[core] = core_profile
+    profile.shared_blocks_touched_by = {
+        block: len(cores) for block, cores in shared_touchers.items()}
+    return profile
+
+
+def format_profile(profile: WorkloadProfile) -> str:
+    lines = ["core  refs     distinct  write  dep    shared  stream  "
+             "reuse<512  reuse<16k"]
+    for core, p in sorted(profile.cores.items()):
+        lines.append(
+            f"{core:4d}  {p.references:7d}  {p.distinct_blocks:8d}  "
+            f"{p.write_ratio:5.2f}  {p.dep_ratio:5.2f}  "
+            f"{p.region_fraction('shared'):6.2f}  "
+            f"{p.region_fraction('stream'):6.2f}  "
+            f"{p.reuse_within(512):9.2f}  {p.reuse_within(16384):9.2f}")
+    lines.append(f"sharing degree (cores/shared block): "
+                 f"{profile.sharing_degree:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Custom workload-mix construction.
+
+Table 1's Hybrid rows are one instance of a general pattern — different
+programs pinned to different cores. This module exposes that machinery
+as a public API so studies beyond the paper's 22 workloads are easy to
+express::
+
+    mix = MixBuilder("webmix")                       \\
+        .assign(range(0, 4), program("oltp-like", ...))  \\
+        .assign([4, 5], program("batch", ...))           \\
+        .idle([6, 7])                                    \\
+        .build()
+
+The result is an ordinary :class:`WorkloadSpec` usable everywhere a
+Table 1 workload is (runner, trace files, characterization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, Optional
+
+from repro.workloads.base import WorkloadSpec
+
+
+def program(name: str, footprint_blocks: int, *,
+            shared_blocks: int = 0, shared_fraction: float = 0.0,
+            write_fraction: float = 0.25, dep_fraction: float = 0.05,
+            locality: float = 1.5, reuse_fraction: float = 0.65,
+            stream_fraction: float = 0.0, loop_blocks: int = 0,
+            loop_fraction: float = 0.0, mean_gap: int = 3,
+            refs_per_core: int = 50_000,
+            description: str = "") -> WorkloadSpec:
+    """A single-program behaviour description (one Table-1-style row)."""
+    return WorkloadSpec(
+        name=name, family="custom", active_cores=(),
+        refs_per_core=refs_per_core,
+        private_footprint_blocks=footprint_blocks,
+        shared_footprint_blocks=shared_blocks,
+        shared_fraction=shared_fraction,
+        write_fraction=write_fraction, dep_fraction=dep_fraction,
+        locality=locality, reuse_fraction=reuse_fraction,
+        stream_fraction=stream_fraction,
+        loop_blocks=loop_blocks, loop_fraction=loop_fraction,
+        mean_gap=mean_gap, os_noise=0.01, description=description)
+
+
+class MixBuilder:
+    """Compose per-core program assignments into one WorkloadSpec."""
+
+    def __init__(self, name: str, num_cores: int = 8) -> None:
+        self.name = name
+        self.num_cores = num_cores
+        self._assignments: Dict[int, WorkloadSpec] = {}
+        self._idle: set = set()
+
+    def assign(self, cores: Iterable[int], spec: WorkloadSpec
+               ) -> "MixBuilder":
+        for core in cores:
+            if not 0 <= core < self.num_cores:
+                raise ValueError(f"core {core} out of range")
+            if core in self._assignments or core in self._idle:
+                raise ValueError(f"core {core} assigned twice")
+            self._assignments[core] = spec
+        return self
+
+    def idle(self, cores: Iterable[int]) -> "MixBuilder":
+        for core in cores:
+            if core in self._assignments:
+                raise ValueError(f"core {core} assigned twice")
+            self._idle.add(core)
+        return self
+
+    def build(self, refs_per_core: Optional[int] = None) -> WorkloadSpec:
+        if not self._assignments:
+            raise ValueError("a mix needs at least one assigned core")
+        active = tuple(sorted(self._assignments))
+        refs = refs_per_core or max(s.refs_per_core
+                                    for s in self._assignments.values())
+        # The base spec is the first program; per-core overrides carry
+        # each core's actual behaviour (including the first's, so the
+        # base parameters never silently apply to the wrong core).
+        first = self._assignments[active[0]]
+        return replace(
+            first,
+            name=self.name, family="custom-mix", active_cores=active,
+            refs_per_core=refs,
+            per_core=dict(self._assignments),
+            description=" + ".join(
+                f"{core}:{spec.name}"
+                for core, spec in sorted(self._assignments.items())))
+
+
+def half_and_half(name: str, left: WorkloadSpec, right: WorkloadSpec,
+                  num_cores: int = 8) -> WorkloadSpec:
+    """The paper's Hybrid pattern: ``left`` on the first half of the
+    chip, ``right`` on the second."""
+    half = num_cores // 2
+    return (MixBuilder(name, num_cores)
+            .assign(range(half), left)
+            .assign(range(half, num_cores), right)
+            .build())

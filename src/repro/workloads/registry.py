@@ -1,0 +1,40 @@
+"""The 22 workloads of Table 1, collected from the family modules
+(transactional, SPEC half-rate/hybrid, NAS)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.base import WorkloadSpec
+
+
+def _build_registry() -> Dict[str, WorkloadSpec]:
+    from repro.workloads.nas import NAS_WORKLOADS
+    from repro.workloads.spec import SPEC_WORKLOADS
+    from repro.workloads.transactional import TRANSACTIONAL_WORKLOADS
+
+    registry: Dict[str, WorkloadSpec] = {}
+    for group in (TRANSACTIONAL_WORKLOADS, SPEC_WORKLOADS, NAS_WORKLOADS):
+        for spec in group:
+            if spec.name in registry:
+                raise ValueError(f"duplicate workload {spec.name}")
+            registry[spec.name] = spec
+    return registry
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = _build_registry()
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(sorted(WORKLOADS))}"
+        ) from None
+
+
+def workload_names(family: str | None = None) -> List[str]:
+    if family is None:
+        return list(WORKLOADS)
+    return [name for name, spec in WORKLOADS.items() if spec.family == family]

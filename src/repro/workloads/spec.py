@@ -1,0 +1,109 @@
+"""Multiprogrammed SPEC2000 workloads (Section 6.3).
+
+Two scenarios from Table 1:
+
+* **Half Rate** — four instances of one program on cores 0–3; core 4
+  runs system services; the rest idle. Shared caches win here when the
+  program's footprint exceeds the private partition (art, mcf) because
+  the idle half of the chip is usable; private caches win when the
+  footprint fits (gcc, gzip) thanks to lower hit latency.
+* **Hybrid** — 4 instances of program A on cores 0–3 and 4 of program
+  B on cores 4–7: the inter-thread-isolation stress test. A thrashing
+  program (art, mcf) destroys a small-footprint co-runner on a shared
+  cache; isolation-capable architectures keep them apart.
+
+Program models are calibrated to the classic SPEC2000 memory
+characterizations: art/mcf large-footprint, low-MLP (serializing
+loads), low-locality; gcc/gzip cache-resident; twolf in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.workloads.base import WorkloadSpec
+
+#: Per-program building blocks (single-instance behaviour).
+#:
+#: Capacity regimes against the 16384-block private partition:
+#: art/mcf hot sets (25-30k blocks) overflow a private partition but
+#: four of them fit the 131072-block shared pool — the "up to 40%
+#: worse" private results of Section 6.3; gcc/gzip fit comfortably, so
+#: locality favours private organizations; twolf sits at the boundary.
+_PROGRAMS: Dict[str, dict] = {
+    "art": dict(private_footprint_blocks=8_000, locality=1.2,
+                reuse_fraction=0.55, reuse_window=96,
+                loop_blocks=22_000, loop_fraction=0.35,
+                dep_fraction=0.25, stream_fraction=0.10,
+                write_fraction=0.18, mean_gap=2),
+    "gcc": dict(private_footprint_blocks=9_000, locality=1.6,
+                reuse_fraction=0.75, reuse_window=256,
+                dep_fraction=0.08, stream_fraction=0.05,
+                write_fraction=0.30, mean_gap=4),
+    "gzip": dict(private_footprint_blocks=6_000, locality=1.5,
+                 reuse_fraction=0.72, reuse_window=192,
+                 dep_fraction=0.05, stream_fraction=0.15,
+                 write_fraction=0.25, mean_gap=3),
+    "mcf": dict(private_footprint_blocks=12_000, locality=1.1,
+                reuse_fraction=0.55, reuse_window=96,
+                loop_blocks=26_000, loop_fraction=0.25,
+                dep_fraction=0.45, stream_fraction=0.08,
+                write_fraction=0.15, mean_gap=2),
+    "twolf": dict(private_footprint_blocks=18_000, locality=1.4,
+                  reuse_fraction=0.70, reuse_window=192,
+                  dep_fraction=0.12, stream_fraction=0.03,
+                  write_fraction=0.25, mean_gap=3),
+}
+
+#: The light system-services thread of the Half Rate scenario.
+_OS_SERVICE = WorkloadSpec(
+    name="os-service", family="spec-service", active_cores=(4,),
+    refs_per_core=10_000, private_footprint_blocks=1_500,
+    shared_fraction=0.0, write_fraction=0.20, dep_fraction=0.05,
+    mean_gap=8, locality=1.8, os_noise=0.50,
+    description="system services on one otherwise idle core",
+)
+
+
+def _program_spec(program: str, name: str, cores: Tuple[int, ...],
+                  family: str) -> WorkloadSpec:
+    return WorkloadSpec(name=name, family=family, active_cores=cores,
+                        shared_fraction=0.0, os_noise=0.01,
+                        **_PROGRAMS[program])
+
+
+def _half_rate(program: str) -> WorkloadSpec:
+    """4 copies on cores 0-3 plus the system-services core."""
+    base = _program_spec(program, f"{program}-4", (0, 1, 2, 3, 4),
+                         family="spec-half")
+    return replace(base,
+                   per_core={4: _OS_SERVICE},
+                   description=f"4x {program} + system services (half rate)")
+
+
+def _hybrid(prog_a: str, prog_b: str) -> WorkloadSpec:
+    """4 copies of each program on the two halves of the chip."""
+    cores = tuple(range(8))
+    spec_b = _program_spec(prog_b, f"{prog_b}-of-{prog_a}-{prog_b}",
+                           (4, 5, 6, 7), family="spec-hybrid")
+    base = _program_spec(prog_a, f"{prog_a}-{prog_b}", cores,
+                         family="spec-hybrid")
+    return replace(base,
+                   per_core={c: spec_b for c in (4, 5, 6, 7)},
+                   description=f"4x {prog_a} (cores 0-3) + 4x {prog_b} (cores 4-7)")
+
+
+SPEC_HALF_RATE: List[WorkloadSpec] = [
+    _half_rate(p) for p in ("art", "gcc", "gzip", "mcf", "twolf")
+]
+
+SPEC_HYBRID: List[WorkloadSpec] = [
+    _hybrid("art", "gzip"),
+    _hybrid("gcc", "gzip"),
+    _hybrid("gcc", "twolf"),
+    _hybrid("mcf", "gzip"),
+    _hybrid("mcf", "twolf"),
+]
+
+SPEC_WORKLOADS: List[WorkloadSpec] = SPEC_HALF_RATE + SPEC_HYBRID

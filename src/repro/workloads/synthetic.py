@@ -1,0 +1,42 @@
+"""Directed synthetic traces for unit/integration tests and examples.
+
+These bypass :class:`WorkloadSpec` and build exact reference patterns:
+single-block loops, ping-pong sharing, streaming scans — the scenarios
+the tests use to pin down architecture behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.sim.cpu import TraceItem, TraceKind
+
+
+def repeat_blocks(blocks: Sequence[int], repetitions: int, gap: int = 3,
+                  kind: TraceKind = TraceKind.LOAD) -> Iterator[TraceItem]:
+    """Loop over ``blocks`` ``repetitions`` times."""
+    for _ in range(repetitions):
+        for block in blocks:
+            yield TraceItem(gap=gap, block=block, kind=kind)
+
+
+def stream(base: int, length: int, gap: int = 3,
+           kind: TraceKind = TraceKind.LOAD) -> Iterator[TraceItem]:
+    """A stride-1 scan of ``length`` blocks starting at ``base``."""
+    for offset in range(length):
+        yield TraceItem(gap=gap, block=base + offset, kind=kind)
+
+
+def mixed(items: Iterable[tuple]) -> Iterator[TraceItem]:
+    """Build a trace from (block, kind) tuples with zero gaps."""
+    for block, kind in items:
+        yield TraceItem(gap=0, block=block, kind=kind)
+
+
+def single_core_traces(num_cores: int, core: int,
+                       trace: Iterator[TraceItem]
+                       ) -> List[Optional[Iterator[TraceItem]]]:
+    """Trace list with one active core."""
+    traces: List[Optional[Iterator[TraceItem]]] = [None] * num_cores
+    traces[core] = trace
+    return traces

@@ -1,0 +1,69 @@
+"""Transactional workloads — the Wisconsin Commercial Workload suite.
+
+Characteristics this family models (Barroso et al. [2], Alameldeen et
+al. [1], and Section 6.2 of the paper): all eight cores active, a hot
+shared database/heap region referenced by every thread (30–50% of
+accesses), noticeable OS activity, pointer-heavy access patterns
+(moderate serializing-load fractions).
+
+Capacity regime (what drives Figures 6–8): per-thread hot sets of
+10–14k blocks plus a hot shared region of 10–24k blocks. A private
+organization must fit *hot-private + a replica of hot-shared* into its
+16384-block partition — it cannot, so it thrashes; the shared pool
+(131072 blocks) holds everything but serves it at remote-bank latency.
+ESP-NUCA replicates only as much of the hot shared region as fits
+without hurting first-class hit rates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.base import WorkloadSpec
+
+ALL_CORES = tuple(range(8))
+
+TRANSACTIONAL_WORKLOADS: List[WorkloadSpec] = [
+    WorkloadSpec(
+        name="apache", family="transactional", active_cores=ALL_CORES,
+        private_footprint_blocks=10_500, shared_footprint_blocks=16_000,
+        shared_fraction=0.42, shared_write_fraction=0.10,
+        shared_locality=2.6,
+        write_fraction=0.22, dep_fraction=0.10, mean_gap=4,
+        locality=1.3, reuse_fraction=0.70, reuse_window=192,
+        stream_fraction=0.06,
+        phase_blocks=6_000, phase_period=15_000, os_noise=0.08,
+        description="static web serving: hot shared page/metadata cache",
+    ),
+    WorkloadSpec(
+        name="jbb", family="transactional", active_cores=ALL_CORES,
+        private_footprint_blocks=12_000, shared_footprint_blocks=10_000,
+        shared_fraction=0.30, shared_write_fraction=0.15,
+        shared_locality=2.5,
+        write_fraction=0.28, dep_fraction=0.12, mean_gap=4,
+        locality=1.4, reuse_fraction=0.72, reuse_window=160,
+        stream_fraction=0.05, os_noise=0.03,
+        description="Java middleware: warehouse-private heaps + shared structures",
+    ),
+    WorkloadSpec(
+        name="oltp", family="transactional", active_cores=ALL_CORES,
+        private_footprint_blocks=9_000, shared_footprint_blocks=20_000,
+        shared_fraction=0.52, shared_write_fraction=0.18,
+        shared_locality=2.2,
+        write_fraction=0.20, dep_fraction=0.15, mean_gap=5,
+        locality=1.2, reuse_fraction=0.68, reuse_window=224,
+        stream_fraction=0.04, os_noise=0.06,
+        description="TPC-C-like: dominant shared buffer pool, migratory rows",
+    ),
+    WorkloadSpec(
+        name="zeus", family="transactional", active_cores=ALL_CORES,
+        private_footprint_blocks=10_000, shared_footprint_blocks=13_000,
+        shared_fraction=0.38, shared_write_fraction=0.08,
+        shared_locality=2.6,
+        write_fraction=0.20, dep_fraction=0.08, mean_gap=4,
+        locality=1.3, reuse_fraction=0.70, reuse_window=192,
+        stream_fraction=0.08,
+        phase_blocks=5_000, phase_period=18_000, os_noise=0.10,
+        description="event-driven web serving: higher OS component than apache",
+    ),
+]

@@ -1,0 +1,84 @@
+"""Bit-exact shared/private address interpretation (Figure 1b)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.addresses import AddressMap
+from repro.common.config import SystemConfig
+
+AMAP = AddressMap(SystemConfig())
+BLOCKS = st.integers(min_value=0, max_value=(1 << 42) - 1)
+CORES = st.integers(min_value=0, max_value=7)
+
+
+class TestSharedInterpretation:
+    def test_bank_is_low_bits(self):
+        assert AMAP.shared_bank(0b10111) == 0b10111
+        assert AMAP.shared_bank((1 << 20) | 5) == 5
+
+    def test_index_above_bank_bits(self):
+        block = (3 << 5) | 1  # index 3, bank 1
+        assert AMAP.shared_index(block) == 3
+        assert AMAP.shared_bank(block) == 1
+
+    def test_tag_above_index(self):
+        block = (7 << 13) | (3 << 5) | 1
+        assert AMAP.shared_tag(block) == 7
+
+    @given(BLOCKS)
+    def test_shared_fields_reassemble(self, block):
+        reassembled = (AMAP.shared_tag(block) << 13) \
+            | (AMAP.shared_index(block) << 5) | AMAP.shared_bank(block)
+        assert reassembled == block
+
+
+class TestPrivateInterpretation:
+    def test_private_banks_partition_the_array(self):
+        seen = []
+        for core in range(8):
+            banks = AMAP.private_banks(core)
+            assert len(banks) == 4
+            seen.extend(banks)
+        assert sorted(seen) == list(range(32))
+
+    def test_owner_of_bank_inverts_private_banks(self):
+        for core in range(8):
+            for bank in AMAP.private_banks(core):
+                assert AMAP.owner_of_bank(bank) == core
+
+    @given(BLOCKS, CORES)
+    def test_private_bank_in_core_partition(self, block, core):
+        assert AMAP.private_bank(block, core) in AMAP.private_banks(core)
+
+    @given(BLOCKS, CORES)
+    def test_private_fields_reassemble(self, block, core):
+        local = AMAP.private_bank(block, core) - core * 4
+        reassembled = (AMAP.private_tag(block) << 10) \
+            | (AMAP.private_index(block) << 2) | local
+        assert reassembled == block
+
+    @given(BLOCKS)
+    def test_private_tag_is_p_bits_bigger(self, block):
+        # Section 2.1: the private tag is p bits longer than the shared.
+        assert AMAP.private_tag(block) >> 3 == AMAP.shared_tag(block) >> 0 \
+            or AMAP.private_tag(block).bit_length() \
+            <= AMAP.shared_tag(block).bit_length() + 3
+
+    @given(BLOCKS)
+    def test_same_block_generally_differs_between_maps(self, block):
+        # The two interpretations are distinct functions; they may
+        # coincide for particular blocks but must agree on identity.
+        assert AMAP.shared_bank(block) < 32
+        assert AMAP.private_index(block) < 256
+
+
+class TestBlockAddressing:
+    def test_block_address_strips_byte_offset(self):
+        assert AMAP.block_address(0x1FFF) == 0x1FFF >> 6
+
+    @given(BLOCKS)
+    def test_block_base_roundtrip(self, block):
+        assert AMAP.block_address(AMAP.block_base(block)) == block
+
+    def test_l1_index_modulo(self):
+        assert AMAP.l1_index(130, 128) == 2

@@ -1,0 +1,108 @@
+"""Directed tests of the shared S-NUCA (Figure 2a protocol)."""
+
+from repro.cache.block import BlockClass
+from repro.sim.request import Supplier
+
+from tests.util import access, build, shared_block, tiny_config
+
+
+class TestReadPath:
+    def test_first_access_offchip(self):
+        system = build("shared")
+        out = access(system, core=0, block=0x1234)
+        assert out.supplier is Supplier.OFFCHIP
+        # The fetching L1 got every token (silent upgrades later).
+        line = system.l1s[0].lookup(0x1234)
+        assert line.tokens == system.ledger.total_tokens
+
+    def test_l1_hit_after_fill(self):
+        system = build("shared")
+        access(system, 0, 0x1234)
+        out = access(system, 0, 0x1234)
+        assert out.supplier is Supplier.L1_LOCAL
+        assert out.complete == system.config.l1.access_latency
+
+    def test_second_core_served_by_remote_l1(self):
+        system = build("shared")
+        access(system, 0, 0x1234)
+        out = access(system, 5, 0x1234)
+        assert out.supplier is Supplier.L1_REMOTE
+        assert 0 in system.ledger.l1_holders(0x1234)
+        assert 5 in system.ledger.l1_holders(0x1234)
+
+    def test_l2_hit_at_home_bank(self):
+        system = build("shared")
+        amap = system.amap
+        block = shared_block(amap, bank=9, index=1)
+        access(system, 0, block)
+        # Evict the line from L1 by filling its L1 set.
+        conflicts = [block + (i + 1) * (1 << 20) for i in range(8)
+                     if amap.l1_index(block + (i + 1) * (1 << 20),
+                                      system.config.l1.num_sets)
+                     == amap.l1_index(block, system.config.l1.num_sets)]
+        for extra in conflicts[:4]:
+            access(system, 0, extra)
+        entry = system.architecture.banks[9].peek(
+            amap.shared_index(block), block)
+        assert entry is not None and entry.cls is BlockClass.SHARED
+        out = access(system, 0, block)
+        assert out.supplier in (Supplier.L2_SHARED, Supplier.L2_LOCAL)
+
+
+class TestWritePath:
+    def test_write_collects_all_tokens(self):
+        system = build("shared")
+        access(system, 0, 0x42)
+        access(system, 3, 0x42)
+        out = access(system, 3, 0x42, write=True)
+        assert out.supplier is Supplier.L1_LOCAL  # write hit + upgrade
+        assert system.l1s[0].lookup(0x42) is None  # invalidated
+        line = system.l1s[3].lookup(0x42)
+        assert line.tokens == system.ledger.total_tokens and line.dirty
+
+    def test_write_miss_gets_exclusive(self):
+        system = build("shared")
+        access(system, 0, 0x42)
+        out = access(system, 6, 0x42, write=True)
+        assert out.supplier is Supplier.L1_REMOTE
+        assert system.l1s[0].lookup(0x42) is None
+        assert system.l1s[6].lookup(0x42).tokens == system.ledger.total_tokens
+
+
+class TestEvictionRouting:
+    def test_l1_eviction_lands_at_home_bank(self):
+        system = build("shared")
+        amap = system.amap
+        block = shared_block(amap, bank=17, index=2)
+        access(system, 0, block)
+        # Conflict the L1 set to push the block out.
+        l1_sets = system.config.l1.num_sets
+        fillers = []
+        candidate = block + 1
+        while len(fillers) < 4:
+            if amap.l1_index(candidate, l1_sets) == amap.l1_index(block, l1_sets):
+                fillers.append(candidate)
+            candidate += 1
+        for f in fillers:
+            access(system, 0, f)
+        assert system.l1s[0].lookup(block) is None
+        entry = system.architecture.banks[17].peek(
+            amap.shared_index(block), block)
+        assert entry is not None
+        assert entry.tokens == system.ledger.total_tokens
+
+    def test_dirty_eviction_stays_dirty(self):
+        system = build("shared")
+        amap = system.amap
+        block = shared_block(amap, bank=3, index=0)
+        access(system, 0, block, write=True)
+        l1_sets = system.config.l1.num_sets
+        fillers, candidate = [], block + 1
+        while len(fillers) < 4:
+            if amap.l1_index(candidate, l1_sets) == amap.l1_index(block, l1_sets):
+                fillers.append(candidate)
+            candidate += 1
+        for f in fillers:
+            access(system, 0, f)
+        entry = system.architecture.banks[3].peek(amap.shared_index(block), block)
+        assert entry is not None and entry.dirty

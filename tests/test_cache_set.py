@@ -1,0 +1,110 @@
+"""CacheSet: lookup filters, occupancy, helping counter, LRU queries."""
+
+import pytest
+
+from repro.cache.block import BlockClass, CacheBlock
+from repro.cache.cache_set import CacheSet
+
+
+def block(addr, cls=BlockClass.SHARED, owner=-1, lru=0, tokens=1):
+    entry = CacheBlock(block=addr, cls=cls, owner=owner, tokens=tokens)
+    entry.lru = lru
+    return entry
+
+
+class TestFind:
+    def test_finds_by_address(self):
+        s = CacheSet(4)
+        entry = block(0x10)
+        s.install(0, entry)
+        assert s.find(0x10) is entry
+        assert s.find(0x11) is None
+
+    def test_class_filter(self):
+        s = CacheSet(4)
+        s.install(0, block(0x10, BlockClass.PRIVATE, owner=2))
+        assert s.find(0x10, classes=(BlockClass.SHARED,)) is None
+        assert s.find(0x10, classes=(BlockClass.PRIVATE,)) is not None
+
+    def test_owner_filter(self):
+        s = CacheSet(4)
+        s.install(0, block(0x10, BlockClass.PRIVATE, owner=2))
+        assert s.find(0x10, owner=3) is None
+        assert s.find(0x10, owner=2) is not None
+
+    def test_same_block_two_classes(self):
+        # A replica and a shared copy of the same block may coexist.
+        s = CacheSet(4)
+        s.install(0, block(0x10, BlockClass.SHARED))
+        s.install(1, block(0x10, BlockClass.REPLICA, owner=1))
+        assert s.find(0x10, classes=(BlockClass.REPLICA,)).cls is BlockClass.REPLICA
+        assert s.find(0x10, classes=(BlockClass.SHARED,)).cls is BlockClass.SHARED
+
+
+class TestHelpingCounter:
+    def test_counts_install_and_remove(self):
+        s = CacheSet(4)
+        replica = block(0x1, BlockClass.REPLICA, owner=0)
+        victim = block(0x2, BlockClass.VICTIM, owner=1)
+        s.install(0, replica)
+        s.install(1, victim)
+        s.install(2, block(0x3, BlockClass.PRIVATE, owner=0))
+        assert s.helping_count == 2
+        s.remove(replica)
+        assert s.helping_count == 1
+
+    def test_overwrite_adjusts_counter(self):
+        s = CacheSet(2)
+        s.install(0, block(0x1, BlockClass.VICTIM, owner=0))
+        s.install(0, block(0x2, BlockClass.PRIVATE, owner=0))
+        assert s.helping_count == 0
+
+    def test_reclassify_updates_counter(self):
+        s = CacheSet(2)
+        victim = block(0x1, BlockClass.VICTIM, owner=0)
+        s.install(0, victim)
+        s.reclassify(victim, BlockClass.SHARED)
+        assert s.helping_count == 0
+        assert victim.cls is BlockClass.SHARED
+
+
+class TestLruQueries:
+    def test_lru_block_overall(self):
+        s = CacheSet(4)
+        s.install(0, block(0x1, lru=5))
+        s.install(1, block(0x2, lru=2))
+        s.install(2, block(0x3, lru=9))
+        assert s.lru_block().block == 0x2
+
+    def test_lru_block_with_predicate(self):
+        s = CacheSet(4)
+        s.install(0, block(0x1, BlockClass.PRIVATE, owner=0, lru=1))
+        s.install(1, block(0x2, BlockClass.REPLICA, owner=0, lru=2))
+        s.install(2, block(0x3, BlockClass.VICTIM, owner=1, lru=3))
+        assert s.lru_block(lambda b: b.is_helping).block == 0x2
+
+    def test_lru_none_when_no_match(self):
+        s = CacheSet(2)
+        s.install(0, block(0x1, BlockClass.PRIVATE, owner=0))
+        assert s.lru_block(lambda b: b.is_helping) is None
+
+
+class TestOccupancy:
+    def test_free_way(self):
+        s = CacheSet(2)
+        assert s.free_way() == 0
+        s.install(0, block(0x1))
+        assert s.free_way() == 1
+        s.install(1, block(0x2))
+        assert s.free_way() is None
+
+    def test_find_way_raises_for_foreign_block(self):
+        s = CacheSet(2)
+        with pytest.raises(ValueError):
+            s.find_way(block(0x99))
+
+    def test_count(self):
+        s = CacheSet(4)
+        s.install(0, block(0x1, BlockClass.PRIVATE, owner=0))
+        s.install(1, block(0x2, BlockClass.SHARED))
+        assert s.count(lambda b: b.cls is BlockClass.PRIVATE) == 1

@@ -1,0 +1,61 @@
+"""CACTI-lite latency model."""
+
+import pytest
+
+from repro.common.cacti_lite import (
+    check_table2,
+    data_latency,
+    tag_latency,
+    with_rescaled_latencies,
+)
+from repro.common.config import SystemConfig, scaled_config
+
+
+class TestCalibration:
+    def test_reproduces_table2_anchors(self):
+        assert data_latency(32 * 1024) == 3
+        assert tag_latency(32 * 1024) == 1
+        assert data_latency(256 * 1024) == 5
+        assert tag_latency(256 * 1024) == 2
+
+    def test_check_table2(self):
+        assert check_table2(SystemConfig())
+
+    def test_monotone_in_capacity(self):
+        sizes = [8 * 1024, 32 * 1024, 128 * 1024, 512 * 1024, 2 << 20]
+        data = [data_latency(s) for s in sizes]
+        assert data == sorted(data)
+
+    def test_small_arrays_clamped_at_l1_speed(self):
+        assert data_latency(4 * 1024) == 3
+        assert tag_latency(4 * 1024) == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            data_latency(0)
+
+
+class TestRescaling:
+    def test_scaled_banks_get_faster(self):
+        small = with_rescaled_latencies(scaled_config(8))
+        # 32 KB banks at scale 8: L1-class latency.
+        assert small.l2.access_latency == 3
+        assert small.l2.tag_latency == 1
+        assert small.l1.access_latency == 3  # clamped
+
+    def test_full_config_unchanged_by_rescale(self):
+        full = with_rescaled_latencies(SystemConfig())
+        assert full.l2.access_latency == 5
+        assert full.l1.tag_latency == 1
+
+    def test_rescaled_config_still_simulates(self):
+        from repro.architectures.registry import make_architecture
+        from repro.sim.system import CmpSystem
+        from tests.util import access
+
+        config = with_rescaled_latencies(scaled_config(8))
+        system = CmpSystem(config, make_architecture("esp-nuca", config),
+                           check_tokens=True)
+        for i in range(40):
+            access(system, i % 8, 0x100 + i * 3, t=i * 5)
+        system.check_invariants()

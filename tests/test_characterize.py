@@ -1,0 +1,103 @@
+"""Characterization tool + calibration validation of Table 1 specs."""
+
+import pytest
+
+from repro.sim.cpu import TraceItem, TraceKind
+from repro.workloads.base import (
+    SHARED_REGION_BASE,
+    STREAM_REGION_BASE,
+    TraceGenerator,
+)
+from repro.workloads.characterize import (
+    CoreProfile,
+    characterize,
+    format_profile,
+    region_of,
+)
+from repro.workloads.registry import get_workload
+
+
+def items(blocks, kind=TraceKind.LOAD):
+    return [TraceItem(gap=0, block=b, kind=kind) for b in blocks]
+
+
+class TestPrimitives:
+    def test_region_classification(self):
+        assert region_of(100) == "private"
+        assert region_of(SHARED_REGION_BASE + 5) == "shared"
+        assert region_of(STREAM_REGION_BASE + 5) == "stream"
+
+    def test_stack_distance_of_immediate_reuse_is_zero(self):
+        profile = characterize([items([1, 1, 1])] + [None] * 7)
+        p = profile.cores[0]
+        assert p.stack_histogram[-1] == 1   # cold first touch
+        assert p.stack_histogram[0] == 2    # distance-0 reuses
+
+    def test_stack_distance_buckets(self):
+        # Touch 1..5, then re-touch 1: distance 4 -> bucket 4.
+        profile = characterize([items([1, 2, 3, 4, 5, 1])] + [None] * 7)
+        assert profile.cores[0].stack_histogram[4] == 1
+
+    def test_distinct_blocks(self):
+        profile = characterize([items([1, 2, 1, 3])] + [None] * 7)
+        assert profile.cores[0].distinct_blocks == 3
+
+    def test_write_and_dep_ratios(self):
+        trace = items([1, 2], TraceKind.STORE) + \
+            items([3], TraceKind.DEP_LOAD) + items([4])
+        p = characterize([trace] + [None] * 7).cores[0]
+        assert p.write_ratio == 0.5
+        assert p.dep_ratio == 0.25
+
+    def test_sharing_degree(self):
+        shared = SHARED_REGION_BASE + 1
+        traces = [items([shared]), items([shared]), items([shared + 1])]
+        profile = characterize(traces + [None] * 5)
+        assert profile.sharing_degree == pytest.approx(1.5)
+
+    def test_reuse_within(self):
+        p = CoreProfile(references=10,
+                        stack_histogram={-1: 4, 0: 3, 256: 2, 1024: 1})
+        assert p.reuse_within(512) == pytest.approx(0.3 + 0.2)
+
+
+class TestCalibrationClaims:
+    """The DESIGN.md §7 calibration statements, measured."""
+
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        out = {}
+        for name in ("apache", "CG", "art-4", "gzip-4"):
+            spec = get_workload(name).capacity_scaled(8).scaled(4000)
+            traces = [list(t) if t is not None else None
+                      for t in TraceGenerator(spec, 7).traces(8)]
+            out[name] = characterize(traces)
+        return out
+
+    def test_transactional_sharing(self, profiles):
+        apache = profiles["apache"]
+        assert 0.30 < apache.aggregate_region_fraction("shared") < 0.55
+        assert apache.sharing_degree > 2.0  # genuinely multi-reader
+
+    def test_nas_low_sharing(self, profiles):
+        cg = profiles["CG"]
+        assert cg.aggregate_region_fraction("shared") < 0.2
+        assert cg.aggregate_region_fraction("stream") > 0.03
+
+    def test_art_is_low_locality(self, profiles):
+        """art's reuse beyond the L1 range is poor relative to gzip —
+        the loop/footprint structure that drives Figure 9."""
+        art = profiles["art-4"].cores[0]
+        gzip_ = profiles["gzip-4"].cores[0]
+        assert art.reuse_within(256) < gzip_.reuse_within(256)
+
+    def test_half_rate_activates_five_cores(self, profiles):
+        art = profiles["art-4"]
+        assert set(art.cores) == {0, 1, 2, 3, 4}
+        # The service core is light.
+        assert art.cores[4].references < art.cores[0].references
+
+    def test_format_is_readable(self, profiles):
+        text = format_profile(profiles["apache"])
+        assert "sharing degree" in text
+        assert text.count("\n") >= 8

@@ -1,0 +1,84 @@
+"""Claims registry: executable EXPERIMENTS.md verdicts."""
+
+import pytest
+
+from repro.harness.claims import (
+    CLAIMS,
+    Claim,
+    format_results,
+    load_reports_from_json,
+    verify_claims,
+)
+from repro.harness.reporting import ExperimentReport
+
+
+def fig8_report(esp=1.2, private=1.05, dnuca=1.04, asr=1.06):
+    cols = ["apache", "jbb", "oltp", "zeus", "GMEAN"]
+    mk = lambda v: [v] * 5
+    return ExperimentReport("fig8", "t", columns=cols, series={
+        "shared": mk(1.0), "private": mk(private), "d-nuca": mk(dnuca),
+        "asr": mk(asr), "cc-avg": mk(1.1), "cc-best": mk(1.15),
+        "cc-worst": mk(1.05), "esp-nuca": mk(esp)})
+
+
+class TestRegistry:
+    def test_every_figure_has_claims(self):
+        figures = {c.experiment for c in CLAIMS}
+        assert {"fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
+                "stability"} <= figures
+
+    def test_claim_ids_unique(self):
+        ids = [c.claim_id for c in CLAIMS]
+        assert len(ids) == len(set(ids))
+
+
+class TestVerification:
+    def test_passing_claim(self):
+        results = verify_claims({"fig8": fig8_report()},
+                                [c for c in CLAIMS
+                                 if c.claim_id == "fig8-esp-beats-shared"])
+        assert results[0].verdict is True
+        assert results[0].label == "REPRODUCED"
+
+    def test_failing_claim(self):
+        results = verify_claims({"fig8": fig8_report(esp=1.01)},
+                                [c for c in CLAIMS
+                                 if c.claim_id == "fig8-esp-beats-shared"])
+        assert results[0].verdict is False
+
+    def test_missing_report_is_not_run(self):
+        results = verify_claims({}, CLAIMS[:1])
+        assert results[0].verdict is None
+        assert results[0].label == "NOT RUN"
+
+    def test_broken_report_counts_as_failure(self):
+        broken = ExperimentReport("fig8", "t", columns=["GMEAN"],
+                                  series={})  # missing series
+        results = verify_claims({"fig8": broken},
+                                [c for c in CLAIMS
+                                 if c.experiment == "fig8"])
+        assert all(r.verdict is False for r in results)
+
+    def test_format_results(self):
+        text = format_results(verify_claims({"fig8": fig8_report()}))
+        assert "REPRODUCED" in text and "NOT RUN" in text
+
+
+class TestJsonLoading:
+    def test_load_reports_from_directory(self, tmp_path):
+        report = fig8_report()
+        (tmp_path / "fig8.json").write_text(report.to_json())
+        loaded = load_reports_from_json(tmp_path)
+        assert "fig8" in loaded
+        assert loaded["fig8"].series["esp-nuca"][-1] == pytest.approx(1.2)
+
+    def test_end_to_end_with_recorded_run(self, tmp_path):
+        """If the repository carries a recorded results_json, the
+        claims engine must be able to read it."""
+        import pathlib
+        recorded = pathlib.Path(__file__).parent.parent / "results_json"
+        if not recorded.exists():
+            pytest.skip("no recorded run in the tree")
+        reports = load_reports_from_json(recorded)
+        results = verify_claims(reports)
+        assert any(r.verdict is not None for r in results)

@@ -1,0 +1,114 @@
+"""Configuration and derived address geometry (Table 2 / Figure 1b)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import (
+    DEFAULT_CONFIG,
+    EspConfig,
+    L1Config,
+    L2Config,
+    SystemConfig,
+    scaled_config,
+)
+
+
+class TestTable2Defaults:
+    def test_core_parameters(self):
+        cfg = SystemConfig()
+        assert cfg.num_cores == 8
+        assert cfg.core.window_size == 64
+        assert cfg.core.max_outstanding == 16
+        assert cfg.core.issue_width == 4
+
+    def test_l1_parameters(self):
+        l1 = SystemConfig().l1
+        assert l1.size == 32 * 1024
+        assert l1.assoc == 4
+        assert l1.access_latency == 3 and l1.tag_latency == 1
+        assert l1.num_sets == 128
+
+    def test_l2_parameters(self):
+        l2 = SystemConfig().l2
+        assert l2.size == 8 * 1024 * 1024
+        assert l2.num_banks == 32
+        assert l2.assoc == 16
+        assert l2.bank_size == 256 * 1024
+        assert l2.sets_per_bank == 256
+        assert l2.access_latency == 5 and l2.tag_latency == 2
+
+    def test_noc_parameters(self):
+        noc = SystemConfig().noc
+        assert noc.columns * noc.rows == 8
+        assert noc.hop_latency == 5
+        assert noc.banks_per_router == 4
+
+
+class TestGeometry:
+    def test_figure_1b_bit_fields(self):
+        cfg = SystemConfig()
+        assert cfg.byte_bits == 6      # 64B blocks
+        assert cfg.bank_bits == 5      # 32 banks (n)
+        assert cfg.core_bits == 3      # 8 cores (p)
+        assert cfg.private_bank_bits == 2  # n - p
+        assert cfg.index_bits == 8     # 256 sets per bank
+        assert cfg.private_banks_per_core == 4
+
+    def test_mismatched_block_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(l1=L1Config(block_size=32))
+
+    def test_wrong_bank_count_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(l2=L2Config(num_banks=16))
+
+    def test_non_power_of_two_banks_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(l2=L2Config(num_banks=24))
+
+
+class TestEspConfig:
+    def test_paper_constants_storable(self):
+        esp = EspConfig(ema_bits=8, ema_shift=1, degradation_shift=3,
+                        update_period=3)
+        assert esp.ema_bits == 8
+
+    def test_invalid_shift_rejected(self):
+        with pytest.raises(ValueError):
+            EspConfig(ema_bits=4, ema_shift=4)
+        with pytest.raises(ValueError):
+            EspConfig(degradation_shift=-1)
+
+    def test_sampling_defaults(self):
+        esp = SystemConfig().esp
+        assert esp.reference_sets == 1
+        assert esp.explorer_sets == 1
+        assert esp.conventional_sample_sets == 2
+
+
+class TestScaledConfig:
+    def test_capacity_ratios_preserved(self):
+        full = SystemConfig()
+        small = scaled_config(4)
+        assert small.l1.size * 4 == full.l1.size
+        assert small.l2.size * 4 == full.l2.size
+        assert small.l2.num_banks == full.l2.num_banks
+        assert small.l2.assoc == full.l2.assoc
+        # partition : pool ratio unchanged
+        full_part = full.l2.sets_per_bank * full.l2.assoc * 4
+        small_part = small.l2.sets_per_bank * small.l2.assoc * 4
+        assert full_part == 4 * small_part
+
+    def test_latencies_unchanged(self):
+        small = scaled_config(8)
+        assert small.l2.access_latency == 5
+        assert small.noc.hop_latency == 5
+        assert small.mem.latency == DEFAULT_CONFIG.mem.latency
+
+    def test_identity_factor(self):
+        assert scaled_config(1).l2.size == SystemConfig().l2.size
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_config(3)

@@ -1,0 +1,88 @@
+"""Core timing model: issue width, MLP limit, window limit, dep loads."""
+
+from repro.common.config import CoreConfig
+from repro.sim.cpu import CoreModel, TraceKind
+
+
+def core(window=64, mlp=16, width=4):
+    return CoreModel(0, CoreConfig(window_size=window, max_outstanding=mlp,
+                                   issue_width=width))
+
+
+class TestGapTiming:
+    def test_issue_width_ipc(self):
+        c = core(width=4)
+        c.advance_gap(8)
+        assert c.clock == 2
+        assert c.instructions == 8
+
+    def test_ceiling_division(self):
+        c = core(width=4)
+        c.advance_gap(5)
+        assert c.clock == 2
+
+    def test_zero_gap_free(self):
+        c = core()
+        c.advance_gap(0)
+        assert c.clock == 0 and c.instructions == 0
+
+
+class TestMlpLimit:
+    def test_loads_overlap_up_to_limit(self):
+        c = core(mlp=2, window=1000)
+        c.complete_memory(TraceKind.LOAD, 100)
+        c.complete_memory(TraceKind.LOAD, 100)
+        assert c.clock == 0  # both in flight, no stall yet
+        c.complete_memory(TraceKind.LOAD, 150)
+        # Third load needed a slot: stalled until one completed at 100.
+        assert c.clock == 100
+
+    def test_slots_freed_by_completion(self):
+        c = core(mlp=1, window=1000)
+        c.complete_memory(TraceKind.LOAD, 10)
+        c.advance_gap(80)  # clock reaches 20, load completed
+        c.complete_memory(TraceKind.LOAD, 30)
+        assert c.outstanding == 1
+
+
+class TestWindowLimit:
+    def test_window_blocks_run_ahead(self):
+        c = core(window=4, mlp=16)
+        c.complete_memory(TraceKind.LOAD, 1000)  # instr 1
+        c.advance_gap(10)  # would run 10 instructions ahead
+        assert c.clock >= 1000  # stalled on the window
+
+    def test_within_window_no_stall(self):
+        c = core(window=64, mlp=16)
+        c.complete_memory(TraceKind.LOAD, 1000)
+        c.advance_gap(10)
+        assert c.clock < 1000
+
+
+class TestDependentLoads:
+    def test_dep_load_serializes(self):
+        c = core()
+        c.complete_memory(TraceKind.DEP_LOAD, 500)
+        assert c.clock == 500
+        assert c.outstanding == 0
+
+    def test_regular_load_does_not(self):
+        c = core()
+        c.complete_memory(TraceKind.LOAD, 500)
+        assert c.clock == 0
+
+
+class TestDrain:
+    def test_drain_waits_for_all(self):
+        c = core()
+        c.complete_memory(TraceKind.LOAD, 123)
+        c.complete_memory(TraceKind.STORE, 456)
+        c.drain()
+        assert c.clock == 456
+        assert c.outstanding == 0
+
+    def test_stall_cycles_accounted(self):
+        c = core(mlp=1)
+        c.complete_memory(TraceKind.LOAD, 100)
+        c.complete_memory(TraceKind.LOAD, 200)
+        assert c.stall_cycles >= 100

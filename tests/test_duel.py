@@ -1,0 +1,119 @@
+"""Set dueling and the nmax controller (Sections 3.2-3.3)."""
+
+import pytest
+
+from repro.cache.bank import CacheBank, SetRole
+from repro.common.config import EspConfig
+from repro.core.duel import DuelController, sampled_set_indices
+
+
+def make(config=None, ways=16, num_sets=64):
+    config = config or EspConfig()
+    controller = DuelController(config, ways)
+    bank = CacheBank(0, num_sets=num_sets, ways=ways)
+    state = controller.attach(bank)
+    return controller, bank, state
+
+
+class TestSampledSets:
+    def test_role_counts_match_config(self):
+        roles = sampled_set_indices(64, EspConfig())
+        values = list(roles.values())
+        assert values.count(SetRole.REFERENCE) == 1
+        assert values.count(SetRole.EXPLORER) == 1
+        assert values.count(SetRole.CONVENTIONAL_SAMPLE) == 2
+
+    def test_roles_spread_and_distinct(self):
+        roles = sampled_set_indices(64, EspConfig())
+        assert len(roles) == 4
+        assert all(0 <= s < 64 for s in roles)
+
+    def test_too_many_monitor_sets_rejected(self):
+        with pytest.raises(ValueError):
+            sampled_set_indices(2, EspConfig())
+
+
+class TestAttachment:
+    def test_bank_wired(self):
+        controller, bank, state = make()
+        assert bank.nmax == state.nmax
+        assert bank.monitor is not None
+        assert any(r is SetRole.REFERENCE for r in bank.roles.values())
+
+    def test_initial_nmax_respects_cap(self):
+        config = EspConfig(nmax_initial=99)
+        controller, bank, state = make(config, ways=8)
+        assert state.nmax == 7  # capped at ways - 1
+
+
+def drive(bank, controller, role, hits, count):
+    """Feed `count` monitored events of one role."""
+    index = next(s for s, r in bank.roles.items() if r is role)
+    for _ in range(count):
+        controller.observe(bank, index, hits)
+
+
+class TestEquationThree:
+    def test_degraded_conventional_decrements(self):
+        config = EspConfig(update_period=1)
+        controller, bank, state = make(config)
+        start = state.nmax
+        # Reference hits, conventional misses -> helping blocks hurt.
+        drive(bank, controller, SetRole.REFERENCE, True, 30)
+        drive(bank, controller, SetRole.CONVENTIONAL_SAMPLE, False, 30)
+        assert state.nmax < start
+        assert bank.nmax == state.nmax
+
+    def test_healthy_explorer_increments(self):
+        config = EspConfig(update_period=1)
+        controller, bank, state = make(config)
+        start = state.nmax
+        drive(bank, controller, SetRole.REFERENCE, True, 20)
+        drive(bank, controller, SetRole.CONVENTIONAL_SAMPLE, True, 20)
+        drive(bank, controller, SetRole.EXPLORER, True, 20)
+        assert state.nmax > start
+
+    def test_all_zero_rates_do_not_collapse(self):
+        # An idle bank hosting only helping blocks: every first-class
+        # rate is 0; the budget must not shrink (tie is not harm).
+        config = EspConfig(update_period=1)
+        controller, bank, state = make(config)
+        start = state.nmax
+        for role in (SetRole.REFERENCE, SetRole.CONVENTIONAL_SAMPLE,
+                     SetRole.EXPLORER):
+            drive(bank, controller, role, False, 40)
+        assert state.nmax >= start
+
+    def test_nmax_bounded(self):
+        config = EspConfig(update_period=1)
+        controller, bank, state = make(config, ways=16)
+        drive(bank, controller, SetRole.REFERENCE, True, 100)
+        drive(bank, controller, SetRole.EXPLORER, True, 200)
+        assert state.nmax <= 15
+        drive(bank, controller, SetRole.CONVENTIONAL_SAMPLE, False, 400)
+        drive(bank, controller, SetRole.REFERENCE, True, 400)
+        assert state.nmax >= 0
+
+    def test_update_period_batches_decisions(self):
+        config = EspConfig(update_period=50)
+        controller, bank, state = make(config)
+        drive(bank, controller, SetRole.REFERENCE, True, 30)
+        assert state.increases == 0 and state.decreases == 0
+        drive(bank, controller, SetRole.REFERENCE, True, 25)
+        assert state.increases + state.decreases >= 1
+
+
+class TestReporting:
+    def test_average_nmax(self):
+        config = EspConfig()
+        controller = DuelController(config, ways=16)
+        for bank_id in range(4):
+            controller.attach(CacheBank(bank_id, 64, 16))
+        assert controller.average_nmax() == pytest.approx(config.nmax_initial)
+
+    def test_history_recording(self):
+        config = EspConfig(update_period=1)
+        controller, bank, state = make(config)
+        controller.record_history = True
+        drive(bank, controller, SetRole.REFERENCE, True, 10)
+        assert state.history

@@ -1,0 +1,37 @@
+"""Examples: compile and structural checks (full runs are minutes-long;
+the CI-level check is that they parse, import and expose main())."""
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_at_least_four_examples_exist():
+    assert len(EXAMPLES) >= 4
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    functions = {node.name for node in ast.walk(tree)
+                 if isinstance(node, ast.FunctionDef)}
+    assert "main" in functions
+    # Every example is documented.
+    assert ast.get_docstring(tree)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_cleanly(path):
+    """Import the module without executing main() (guarded by
+    __name__ == '__main__')."""
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(module.main)

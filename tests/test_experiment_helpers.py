@@ -1,0 +1,55 @@
+"""Unit coverage of the experiment-module helpers (no simulation)."""
+
+import pytest
+
+from repro.harness import experiments as ex
+from repro.metrics.performance import AggregateResult
+from repro.sim.results import SimResult
+
+
+class FakeRunner:
+    """Serves canned performance values instead of simulating."""
+
+    def __init__(self, perf):
+        self._perf = perf  # {(arch, workload): value}
+
+    def aggregate(self, arch, workload):
+        agg = AggregateResult(arch, workload)
+        result = SimResult(architecture=arch, workload=workload,
+                           cycles=1000,
+                           instructions=int(1000 * self._perf[(arch, workload)]))
+        agg.add(result)
+        return agg
+
+
+class TestNormalizationHelpers:
+    def test_normalized_series(self):
+        runner = FakeRunner({("shared", "w"): 1.0, ("esp-nuca", "w"): 1.3})
+        values = ex._normalized(runner, "esp-nuca", "shared", ["w"])
+        assert values == [pytest.approx(1.3)]
+
+    def test_with_gmean_appends(self):
+        values = ex._with_gmean([1.0, 4.0])
+        assert values[-1] == pytest.approx(2.0)
+        assert len(values) == 3
+
+    def test_cc_aggregation(self):
+        perf = {("shared", "w"): 1.0}
+        for name, v in zip(ex.CC_VARIANTS, (0.8, 1.0, 1.2, 1.4)):
+            perf[(name, "w")] = v
+        cc = ex._cc_normalized(FakeRunner(perf), "shared", ["w"])
+        assert cc["cc-avg"] == [pytest.approx(1.1)]
+        assert cc["cc-best"] == [pytest.approx(1.4)]
+        assert cc["cc-worst"] == [pytest.approx(0.8)]
+
+
+class TestWorkloadLists:
+    def test_figure_axes_cover_table1(self):
+        assert len(ex.TRANSACTIONAL) == 4
+        assert len(ex.NAS) == 8
+        assert len(ex.MULTIPROGRAMMED) == 10
+        assert len(ex.FIG45_WORKLOADS) == 12
+
+    def test_main_families(self):
+        assert "esp-nuca" in ex.MAIN_FAMILIES
+        assert "cc-avg" in ex.MAIN_FAMILIES

@@ -1,0 +1,80 @@
+"""Fairness metrics (per-thread IPC, Section 6.3)."""
+
+import pytest
+
+from repro.metrics.fairness import (
+    group_ipc,
+    ipc_variance,
+    per_core_ipc,
+    slowdown_fairness,
+)
+from repro.sim.results import SimResult
+
+
+def result(instr, cycles):
+    r = SimResult()
+    r.per_core_instructions = instr
+    r.per_core_cycles = cycles
+    return r
+
+
+class TestPerCoreIpc:
+    def test_skips_idle_cores(self):
+        r = result([100, 0, 50], [100, 0, 100])
+        assert per_core_ipc(r) == [1.0, 0.5]
+
+    def test_variance_of_uniform_is_zero(self):
+        r = result([100] * 4, [200] * 4)
+        assert ipc_variance(r) == 0.0
+
+    def test_variance_detects_imbalance(self):
+        balanced = result([100, 100], [100, 100])
+        skewed = result([100, 100], [100, 400])
+        assert ipc_variance(skewed) > ipc_variance(balanced)
+
+    def test_single_core_variance_zero(self):
+        assert ipc_variance(result([100], [100])) == 0.0
+
+
+class TestGroupIpc:
+    def test_groups_average_their_members(self):
+        r = result([100, 300, 0, 0], [100, 100, 0, 0])
+        assert group_ipc(r, [0, 1]) == 2.0
+        assert group_ipc(r, [2, 3]) == 0.0
+
+
+class TestSlowdownFairness:
+    def test_perfectly_fair(self):
+        r = result([50, 50], [100, 100])
+        assert slowdown_fairness(r, {0: 1.0, 1: 1.0}) == 1.0
+
+    def test_starved_thread_detected(self):
+        r = result([100, 10], [100, 100])
+        fairness = slowdown_fairness(r, {0: 1.0, 1: 1.0})
+        assert fairness == pytest.approx(0.1)
+
+    def test_empty_is_neutral(self):
+        assert slowdown_fairness(result([], []), {}) == 1.0
+
+
+class TestEndToEnd:
+    def test_hybrid_isolation_reduces_ipc_variance(self):
+        """Private isolation must not increase per-thread IPC variance
+        relative to a shared pool on an interference-heavy hybrid."""
+        from repro.common.config import scaled_config
+        from repro.architectures.registry import make_architecture
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.system import CmpSystem
+        from repro.workloads.base import TraceGenerator
+        from repro.workloads.registry import get_workload
+
+        config = scaled_config(8)
+        spec = get_workload("mcf-gzip").capacity_scaled(8).scaled(2500)
+        var = {}
+        for arch in ("shared", "private"):
+            system = CmpSystem(config, make_architecture(arch, config))
+            engine = SimulationEngine(
+                system, TraceGenerator(spec, 1).traces(8))
+            run = engine.run(warmup_refs_per_core=1000)
+            var[arch] = ipc_variance(run)
+        assert var["private"] <= var["shared"] * 1.5

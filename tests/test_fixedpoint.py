@@ -1,0 +1,85 @@
+"""Shift-only EMA estimator (paper equations 1-2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.fixedpoint import EmaEstimator, float_ema_reference
+
+
+class TestUpdateRule:
+    def test_all_hits_saturates_high(self):
+        e = EmaEstimator(bits=8, shift=1)
+        for _ in range(20):
+            e.record(True)
+        assert e.value == 255
+        assert e.hit_rate() > 0.99
+
+    def test_all_misses_decays_to_zero(self):
+        e = EmaEstimator(bits=8, shift=1)
+        for _ in range(40):
+            e.record(False)
+        assert e.value == 0
+
+    def test_alpha_half_single_steps(self):
+        # value' = value - value>>1 + 256>>1 = value/2 + 128 on hit
+        e = EmaEstimator(bits=8, shift=1, initial=0)
+        assert e.record(True) == 128
+        assert e.record(True) == 192
+        assert e.record(False) == 96
+
+    def test_initial_midpoint(self):
+        assert EmaEstimator(bits=8, shift=1).value == 128
+        assert EmaEstimator(bits=6, shift=2).value == 32
+
+    def test_sample_counter(self):
+        e = EmaEstimator()
+        for hit in (True, False, True):
+            e.record(hit)
+        assert e.samples == 3
+        e.reset()
+        assert e.samples == 0 and e.value == 128
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EmaEstimator(bits=8, shift=8)
+        with pytest.raises(ValueError):
+            EmaEstimator(bits=8, shift=1, initial=256)
+
+
+class TestAgainstFloatReference:
+    @given(st.lists(st.booleans(), min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=3))
+    def test_tracks_float_model(self, events, shift):
+        e = EmaEstimator(bits=8, shift=shift)
+        for hit in events:
+            e.record(hit)
+        reference = float_ema_reference(events, bits=8, shift=shift)
+        # Integer truncation only loses fractions per step; with alpha
+        # = 2**-shift the accumulated error stays within a few counts
+        # per bit of shift.
+        assert abs(e.value - reference) <= 2 ** shift * 4
+
+    @given(st.lists(st.booleans(), min_size=50, max_size=50))
+    def test_value_always_in_range(self, events):
+        e = EmaEstimator(bits=8, shift=1)
+        for hit in events:
+            e.record(hit)
+            assert 0 <= e.value <= 255
+
+
+class TestDegradedBelow:
+    def test_matching_rates_not_degraded(self):
+        a, b = EmaEstimator(initial=200), EmaEstimator(initial=200)
+        assert not a.degraded_below(b, shift=3)
+
+    def test_large_gap_detected(self):
+        low, ref = EmaEstimator(initial=100), EmaEstimator(initial=200)
+        assert low.degraded_below(ref, shift=3)
+
+    def test_threshold_shift_semantics(self):
+        # degradation >= ref >> shift triggers
+        ref = EmaEstimator(initial=128)
+        just_below = EmaEstimator(initial=128 - (128 >> 3))
+        assert just_below.degraded_below(ref, shift=3)
+        within = EmaEstimator(initial=128 - (128 >> 3) + 1)
+        assert not within.degraded_below(ref, shift=3)

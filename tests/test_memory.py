@@ -1,0 +1,49 @@
+"""Memory controllers: latency, bandwidth queue, writebacks."""
+
+from repro.common.config import SystemConfig
+from repro.mem.controller import MemoryController, MemorySystem
+
+
+class TestController:
+    def test_uncontended_latency(self):
+        mc = MemoryController(latency=350, occupancy=20)
+        assert mc.service(100) == 450
+
+    def test_bandwidth_serialization(self):
+        mc = MemoryController(latency=350, occupancy=20)
+        assert mc.service(0) == 350
+        assert mc.service(0) == 370  # queued behind one occupancy
+        assert mc.requests == 2
+
+    def test_queueing_bounded(self):
+        mc = MemoryController(latency=100, occupancy=20)
+        mc.service(100_000)  # future-stamped reservation
+        early = mc.service(0)
+        assert early <= 100 + mc.MAX_QUEUE_SERVICES * 20
+
+    def test_writebacks_consume_bandwidth_without_reply(self):
+        mc = MemoryController(latency=350, occupancy=20)
+        mc.post_writeback(0)
+        assert mc.service(0) == 370  # demand waits behind the writeback
+        assert mc.writebacks == 1
+
+    def test_reset_stats(self):
+        mc = MemoryController(latency=10, occupancy=1)
+        mc.service(0)
+        mc.post_writeback(0)
+        mc.reset_stats()
+        assert mc.requests == 0 and mc.writebacks == 0
+
+
+class TestMemorySystem:
+    def test_two_controllers(self):
+        system = MemorySystem(SystemConfig())
+        assert len(system.controllers) == 2
+
+    def test_aggregate_counters(self):
+        system = MemorySystem(SystemConfig())
+        system.controller(0).service(0)
+        system.controller(1).service(0)
+        system.controller(1).post_writeback(0)
+        assert system.demand_requests == 2
+        assert system.writebacks == 1

@@ -1,0 +1,107 @@
+"""Metrics: aggregation, normalization, decomposition, SimResult math."""
+
+import pytest
+
+from repro.metrics.decomposition import COMPONENT_ORDER, decompose, total_access_time
+from repro.metrics.performance import AggregateResult, normalize_map, variance_of
+from repro.sim.request import Supplier
+from repro.sim.results import SimResult
+
+
+def result(cycles=1000, instructions=2000, accesses=100, **suppliers):
+    r = SimResult(architecture="x", workload="w", cycles=cycles,
+                  instructions=instructions)
+    for name, (count, total) in suppliers.items():
+        s = Supplier[name]
+        r.supplier_count[s] = count
+        r.supplier_cycles[s] = total
+        r.memory_accesses += count
+    while r.memory_accesses < accesses:
+        r.record_access(Supplier.L1_LOCAL, 3)
+    return r
+
+
+class TestSimResult:
+    def test_performance_is_ipc(self):
+        r = result(cycles=1000, instructions=2500)
+        assert r.performance == 2.5
+        assert r.ipc == r.performance
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(ValueError):
+            _ = SimResult().performance
+
+    def test_average_access_time(self):
+        r = SimResult()
+        r.record_access(Supplier.L1_LOCAL, 3)
+        r.record_access(Supplier.OFFCHIP, 397)
+        assert r.average_access_time == 200.0
+
+    def test_component_decomposition_sums(self):
+        r = SimResult()
+        r.record_access(Supplier.L1_LOCAL, 3)
+        r.record_access(Supplier.L2_SHARED, 37)
+        r.record_access(Supplier.OFFCHIP, 400)
+        total = sum(r.access_time_component(s) for s in Supplier)
+        assert total == pytest.approx(r.average_access_time)
+
+    def test_onchip_latency_excludes_offchip(self):
+        r = SimResult()
+        r.record_access(Supplier.L1_LOCAL, 4)
+        r.record_access(Supplier.L2_SHARED, 36)
+        r.record_access(Supplier.OFFCHIP, 1000)
+        assert r.onchip_latency == 20.0
+
+    def test_offchip_per_kilo_access(self):
+        r = SimResult()
+        for _ in range(99):
+            r.record_access(Supplier.L1_LOCAL, 3)
+        r.record_access(Supplier.OFFCHIP, 400)
+        r.offchip_demand = 1
+        assert r.offchip_accesses_per_kilo_access == pytest.approx(10.0)
+
+    def test_l2_miss_rate(self):
+        r = SimResult(l2_demand_lookups=100, l2_hits=80)
+        assert r.l2_miss_rate == pytest.approx(0.2)
+
+
+class TestAggregateResult:
+    def test_mean_over_runs(self):
+        agg = AggregateResult("a", "w")
+        agg.add(result(cycles=1000, instructions=1000))
+        agg.add(result(cycles=1000, instructions=3000))
+        assert agg.performance == 2.0
+
+    def test_ci_zero_for_single_run(self):
+        agg = AggregateResult("a", "w")
+        agg.add(result())
+        assert agg.performance_ci95 == 0.0
+
+    def test_normalized_to(self):
+        a = AggregateResult("a", "w")
+        a.add(result(cycles=500, instructions=1000))
+        b = AggregateResult("b", "w")
+        b.add(result(cycles=1000, instructions=1000))
+        assert a.normalized_to(b) == 2.0
+
+
+class TestHelpers:
+    def test_normalize_map(self):
+        base = AggregateResult("shared", "w")
+        base.add(result(cycles=1000, instructions=1000))
+        fast = AggregateResult("esp", "w")
+        fast.add(result(cycles=500, instructions=1000))
+        norm = normalize_map({"shared": base, "esp": fast}, "shared")
+        assert norm == {"shared": 1.0, "esp": 2.0}
+
+    def test_variance_of(self):
+        assert variance_of([1.0, 1.0, 1.0]) == 0.0
+        assert variance_of([0.0, 2.0]) == 1.0
+
+    def test_decompose_orders_components(self):
+        agg = AggregateResult("a", "w")
+        agg.add(result())
+        comps = decompose(agg)
+        assert list(comps) == COMPONENT_ORDER
+        assert total_access_time(comps) == pytest.approx(
+            agg.average_access_time)

@@ -1,0 +1,95 @@
+"""Workload-mix builder API."""
+
+import pytest
+
+from repro.workloads.base import TraceGenerator
+from repro.workloads.mixes import MixBuilder, half_and_half, program
+
+
+def small_program(name, footprint=128, **kw):
+    return program(name, footprint, refs_per_core=200, **kw)
+
+
+class TestProgram:
+    def test_program_defaults(self):
+        p = program("p", 1000)
+        assert p.private_footprint_blocks == 1000
+        assert p.family == "custom"
+
+    def test_loop_program(self):
+        p = program("scan", 100, loop_blocks=500, loop_fraction=0.4)
+        assert p.loop_blocks == 500
+
+
+class TestMixBuilder:
+    def test_basic_mix(self):
+        mix = (MixBuilder("m")
+               .assign([0, 1], small_program("a"))
+               .assign([2], small_program("b"))
+               .build())
+        assert mix.active_cores == (0, 1, 2)
+        assert mix.per_core[2].name == "b"
+        assert "0:a" in mix.description and "2:b" in mix.description
+
+    def test_double_assignment_rejected(self):
+        builder = MixBuilder("m").assign([0], small_program("a"))
+        with pytest.raises(ValueError):
+            builder.assign([0], small_program("b"))
+        with pytest.raises(ValueError):
+            builder.idle([0])
+
+    def test_out_of_range_core(self):
+        with pytest.raises(ValueError):
+            MixBuilder("m").assign([9], small_program("a"))
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            MixBuilder("m").build()
+
+    def test_refs_override(self):
+        mix = (MixBuilder("m").assign([0], small_program("a"))
+               .build(refs_per_core=77))
+        assert mix.refs_per_core == 77
+
+    def test_generates_traces_per_assignment(self):
+        fat = small_program("fat", footprint=512)
+        thin = small_program("thin", footprint=16)
+        mix = MixBuilder("m").assign([0], fat).assign([1], thin).build()
+        gen = TraceGenerator(mix, seed=3)
+        blocks0 = {i.block for i in gen.core_trace(0)}
+        blocks1 = {i.block for i in gen.core_trace(1)}
+        assert len(blocks0) > len(blocks1)
+        assert not blocks0 & blocks1  # disjoint private regions
+
+    def test_idle_cores_have_no_trace(self):
+        mix = (MixBuilder("m").assign([0], small_program("a"))
+               .idle([1, 2]).build())
+        traces = TraceGenerator(mix, 1).traces(8)
+        assert traces[0] is not None
+        assert all(t is None for t in traces[1:])
+
+
+class TestHalfAndHalf:
+    def test_matches_paper_hybrid_layout(self):
+        mix = half_and_half("h", small_program("a"), small_program("b"))
+        assert mix.active_cores == tuple(range(8))
+        assert mix.per_core[0].name == "a"
+        assert mix.per_core[7].name == "b"
+
+    def test_capacity_scaling_propagates(self):
+        mix = half_and_half("h", small_program("a", footprint=256),
+                            small_program("b", footprint=512))
+        scaled = mix.capacity_scaled(4)
+        assert scaled.per_core[0].private_footprint_blocks == 64
+        assert scaled.per_core[7].private_footprint_blocks == 128
+
+    def test_runs_in_a_system(self):
+        from repro.sim.engine import SimulationEngine
+        from tests.util import build
+        mix = half_and_half("h", small_program("a"), small_program("b"))
+        system = build("esp-nuca")
+        engine = SimulationEngine(system,
+                                  TraceGenerator(mix, 1).traces(8))
+        result = engine.run()
+        assert result.memory_accesses == 200 * 8
+        system.check_invariants()

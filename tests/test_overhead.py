@@ -1,0 +1,79 @@
+"""Storage-overhead model vs the paper's cost claims (Section 5.2)."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.core.overhead import OverheadReport, StorageModel, summarize
+
+
+@pytest.fixture(scope="module")
+def model():
+    return StorageModel(SystemConfig())
+
+
+class TestGeometry:
+    def test_line_and_set_counts(self, model):
+        assert model.lines == 131072   # 8 MB / 64 B
+        assert model.sets == 8192      # 32 banks x 256 sets
+        assert model.banks == 32
+
+    def test_private_tag_is_p_bits_wider(self, model):
+        assert model.private_tag_bits == model.shared_tag_bits + 3
+
+
+class TestPaperClaims:
+    def test_section52_bank_level_items_order_of_magnitude(self, model):
+        """'the aggregate storage overhead is approximately 9KB':
+        the itemized bank-level state must land in single-digit KiB."""
+        report = model.esp_nuca_bank_level()
+        assert 2.0 < report.total_kib < 16.0
+
+    def test_n_counter_dominates_bank_level(self, model):
+        report = model.esp_nuca_bank_level()
+        n_item = next(v for k, v in report.items.items()
+                      if k.startswith("n counter"))
+        assert n_item == 8192 * 4
+        assert n_item > report.total_bits / 2
+
+    def test_sp_nuca_costs_p_bits_per_line(self, model):
+        report = model.sp_nuca()
+        tag_item = next(v for k, v in report.items.items()
+                        if "tag extension" in k)
+        assert tag_item == 131072 * 3
+
+    def test_esp_cheaper_than_every_costly_counterpart(self, model):
+        """The abstract's framing: ESP-NUCA outperforms 'much costlier
+        architectures'. Its storage must be well below shadow tags,
+        D-NUCA search state and the CCE."""
+        esp = model.esp_nuca().total_bits
+        assert model.shadow_tags().total_bits > esp
+        assert model.dnuca().total_bits > esp
+        assert model.cooperative_caching().total_bits > esp * 3
+
+    def test_cc_directory_is_the_most_expensive(self, model):
+        totals = {r.architecture: r.total_bits for r in model.all_reports()}
+        assert max(totals, key=totals.get) == "cooperative-caching"
+
+
+class TestReportMechanics:
+    def test_totals_sum_items(self):
+        report = OverheadReport("x")
+        report.add("a", 1024)
+        report.add("b", 7 * 1024)
+        assert report.total_bits == 8 * 1024
+        assert report.total_kib == 1.0
+
+    def test_format_lists_items(self, model):
+        text = model.esp_nuca().format()
+        assert "esp-nuca" in text and "KiB total" in text
+
+    def test_summary_mentions_section_check(self):
+        text = summarize()
+        assert "Section 5.2" in text
+        assert "esp-nuca" in text
+
+    def test_scales_with_configuration(self):
+        from repro.common.config import scaled_config
+        small = StorageModel(scaled_config(4))
+        full = StorageModel(SystemConfig())
+        assert small.esp_nuca().total_bits < full.esp_nuca().total_bits

@@ -1,0 +1,60 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.harness.plots import bar_chart, report_chart, stacked_chart
+from repro.harness.reporting import ExperimentReport
+
+
+class TestBarChart:
+    def test_longest_bar_fills_width(self):
+        chart = bar_chart(["a", "b"], [2.0, 1.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_values_printed(self):
+        chart = bar_chart(["x"], [1.234], precision=2)
+        assert "1.23" in chart
+
+    def test_baseline_marker_present(self):
+        chart = bar_chart(["a", "b"], [2.0, 0.5], width=20, baseline=1.0)
+        assert "|" in chart or "+" in chart
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_zero_values_ok(self):
+        chart = bar_chart(["z"], [0.0])
+        assert "0.000" in chart
+
+
+class TestReportChart:
+    def test_renders_gmean_by_default(self):
+        report = ExperimentReport(
+            "fig8", "t", columns=["w", "GMEAN"],
+            series={"shared": [1.0, 1.0], "esp-nuca": [1.2, 1.2]})
+        chart = report_chart(report)
+        assert "GMEAN" in chart
+        assert "esp-nuca" in chart
+
+    def test_explicit_column(self):
+        report = ExperimentReport(
+            "fig8", "t", columns=["w", "GMEAN"],
+            series={"shared": [1.0, 9.0]})
+        chart = report_chart(report, column="w")
+        assert "— w" in chart
+
+
+class TestStackedChart:
+    def test_components_rendered_with_distinct_glyphs(self):
+        chart = stacked_chart(
+            {"shared": [10.0, 20.0], "esp": [12.0, 5.0]},
+            component_names=["onchip", "offchip"], width=30)
+        assert "▓" in chart and "█" in chart
+        assert "onchip" in chart  # legend
+
+    def test_totals_shown(self):
+        chart = stacked_chart({"a": [1.0, 2.0]}, ["x", "y"], precision=1)
+        assert "3.0" in chart

@@ -1,0 +1,71 @@
+"""Private-bit classification state machine (Section 2.1)."""
+
+import pytest
+
+from repro.core.private_bit import Classification, PrivateBitDirectory
+
+
+class TestLifecycle:
+    def test_absent_before_arrival(self):
+        d = PrivateBitDirectory()
+        assert d.classify(0x10) is Classification.ABSENT
+        assert d.owner(0x10) is None
+
+    def test_arrival_makes_private(self):
+        d = PrivateBitDirectory()
+        d.on_arrival(0x10, core=3)
+        assert d.classify(0x10) is Classification.PRIVATE
+        assert d.owner(0x10) == 3
+
+    def test_double_arrival_rejected(self):
+        d = PrivateBitDirectory()
+        d.on_arrival(0x10, 0)
+        with pytest.raises(ValueError):
+            d.on_arrival(0x10, 1)
+
+    def test_owner_access_keeps_private(self):
+        d = PrivateBitDirectory()
+        d.on_arrival(0x10, 3)
+        assert not d.note_access(0x10, 3)
+        assert d.classify(0x10) is Classification.PRIVATE
+
+    def test_second_core_demotes(self):
+        d = PrivateBitDirectory()
+        d.on_arrival(0x10, 3)
+        assert d.note_access(0x10, 5)
+        assert d.classify(0x10) is Classification.SHARED
+        assert d.owner(0x10) is None
+        assert d.demotions == 1
+
+    def test_shared_is_sticky_on_chip(self):
+        # "This status remains with the block while it stays in the chip."
+        d = PrivateBitDirectory()
+        d.on_arrival(0x10, 3)
+        d.note_access(0x10, 5)
+        assert not d.note_access(0x10, 3)
+        assert d.classify(0x10) is Classification.SHARED
+
+    def test_left_chip_resets(self):
+        d = PrivateBitDirectory()
+        d.on_arrival(0x10, 3)
+        d.note_access(0x10, 5)
+        d.on_left_chip(0x10)
+        assert d.classify(0x10) is Classification.ABSENT
+        d.on_arrival(0x10, 5)  # may arrive private again
+        assert d.owner(0x10) == 5
+
+    def test_force_shared(self):
+        d = PrivateBitDirectory()
+        d.on_arrival(0x10, 0)
+        d.force_shared(0x10)
+        assert d.classify(0x10) is Classification.SHARED
+
+    def test_note_access_on_absent_is_noop(self):
+        d = PrivateBitDirectory()
+        assert not d.note_access(0x99, 0)
+
+    def test_len_counts_tracked_blocks(self):
+        d = PrivateBitDirectory()
+        d.on_arrival(1, 0)
+        d.on_arrival(2, 1)
+        assert len(d) == 2

@@ -1,0 +1,89 @@
+"""Latency-relationship tests: the paper's protocol arguments in
+Section 2.3, expressed as inequalities between measured access times."""
+
+from repro.sim.request import Supplier
+
+from tests.util import access, build
+
+from tests.test_arch_private import evict_from_l1
+
+
+def l2_hit_latency(system, core, block):
+    """Access a block resident only in L2; return its latency."""
+    out = access(system, core, block)
+    return out.complete
+
+
+class TestSpNucaIndirection:
+    def test_private_hit_faster_than_snuca_shared_hit(self):
+        """'SP-NUCA finds the block in a nearer bank and answers it
+        faster, while S-NUCA needs to reach the shared L2 bank.'"""
+        # A block whose shared-map home is far from core 0.
+        sp = build("sp-nuca")
+        sn = build("shared")
+        block = 0x900
+        while sn.architecture.is_local_bank(
+                0, sn.amap.shared_bank(block)):
+            block += 1
+        for system in (sp, sn):
+            access(system, 0, block)
+            evict_from_l1(system, 0, block)
+        t_sp = access(sp, 0, block).complete
+        t_sn = access(sn, 0, block).complete
+        assert t_sp < t_sn
+
+    def test_shared_data_pays_the_private_indirection(self):
+        """'This additional step will slightly increase ... L2 hit
+        latency of accesses to shared data' — an SP-NUCA shared-bank
+        hit costs at least the private-bank tag check more than the
+        S-NUCA hit to the same bank."""
+        sp = build("sp-nuca")
+        sn = build("shared")
+        block = 0x900
+        while sn.architecture.is_local_bank(
+                0, sn.amap.shared_bank(block)):
+            block += 1
+        for system in (sp, sn):
+            access(system, 3, block)     # arrival
+            access(system, 0, block)     # demote (sp) / share
+            evict_from_l1(system, 0, block)
+            evict_from_l1(system, 3, block)
+        t_sp = access(sp, 0, block).complete
+        t_sn = access(sn, 0, block).complete
+        tag = sp.config.l2.tag_latency
+        assert t_sp >= t_sn + tag
+
+    def test_offchip_dispatch_is_parallel_with_shared_probe(self):
+        """Figure 2b step 2: SP-NUCA dispatches memory from the private
+        bank, so a cold miss is no slower than S-NUCA's serialized
+        home-bank-then-memory path."""
+        sp = build("sp-nuca")
+        sn = build("shared")
+        block = 0xAB0
+        while sn.architecture.is_local_bank(
+                0, sn.amap.shared_bank(block)):
+            block += 1
+        t_sp = access(sp, 0, block).complete
+        t_sn = access(sn, 0, block).complete
+        assert t_sp <= t_sn + sp.config.l2.tag_latency
+
+
+class TestDistanceMonotonicity:
+    def test_remote_supplier_latency_exceeds_local(self):
+        system = build("private")
+        block = 0x5000
+        access(system, 2, block)
+        evict_from_l1(system, 2, block)
+        local = access(system, 2, block).complete - 0
+        # Re-install in L2 and read from the farthest core.
+        evict_from_l1(system, 2, block)
+        out = access(system, 5, block, t=10_000)
+        assert out.supplier in (Supplier.L2_REMOTE, Supplier.L1_REMOTE)
+        assert out.complete - 10_000 > local
+
+    def test_offchip_dwarfs_onchip(self):
+        system = build("shared")
+        cold = access(system, 0, 0xF000).complete
+        warm = access(system, 0, 0xF000, t=cold + 10).complete - (cold + 10)
+        assert cold > system.config.mem.latency
+        assert warm <= system.config.l1.access_latency

@@ -1,0 +1,32 @@
+"""Top-level public API: curated exports, no import cycles."""
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_readme_snippet_works(self):
+        """The README's programmatic example, end to end (tiny)."""
+        config = repro.scaled_config(8)
+        system = repro.CmpSystem(
+            config, repro.make_architecture("esp-nuca", config))
+        spec = repro.get_workload("oltp").capacity_scaled(8).scaled(300)
+        engine = repro.SimulationEngine(
+            system, repro.TraceGenerator(spec, seed=1).traces(8))
+        result = engine.run(warmup_refs_per_core=100)
+        assert result.performance > 0
+        assert result.average_access_time > 0
+
+    def test_experiment_registry_exposed(self):
+        assert "fig8" in repro.EXPERIMENTS
+        assert callable(repro.run_experiment)
+
+    def test_workload_registry_exposed(self):
+        assert len(repro.WORKLOADS) == 22
+        assert "esp-nuca" in repro.architecture_names()

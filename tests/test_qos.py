@@ -1,0 +1,107 @@
+"""QoS extension: per-bank protection strength (paper future work)."""
+
+import pytest
+
+from repro.core.qos import (
+    QosClass,
+    QosDuelController,
+    QosEspNuca,
+    QosPolicy,
+    protection_summary,
+)
+from repro.sim.system import CmpSystem
+
+from tests.util import access, tiny_config
+
+
+def build_qos(classes=None, policy=None):
+    config = tiny_config()
+    arch = QosEspNuca(config, core_classes=classes, policy=policy)
+    return CmpSystem(config, arch, check_tokens=True), arch
+
+
+class TestConfiguration:
+    def test_default_all_normal(self):
+        _, arch = build_qos()
+        assert all(arch.qos_of_core(c) is QosClass.NORMAL for c in range(8))
+
+    def test_classes_applied_to_owned_banks(self):
+        _, arch = build_qos({0: QosClass.HIGH, 7: QosClass.BACKGROUND})
+        shifts = arch._bank_shifts()
+        for bank in arch.amap.private_banks(0):
+            assert shifts[bank] == QosPolicy().high_shift
+        for bank in arch.amap.private_banks(7):
+            assert shifts[bank] == QosPolicy().background_shift
+        for bank in arch.amap.private_banks(3):
+            assert shifts[bank] == arch.config.esp.degradation_shift
+
+    def test_policy_override(self):
+        policy = QosPolicy(high_shift=6, background_shift=1)
+        _, arch = build_qos({0: QosClass.HIGH}, policy)
+        assert arch._bank_shifts()[0] == 6
+
+    def test_runtime_reclassification(self):
+        _, arch = build_qos()
+        arch.set_core_class(2, QosClass.HIGH)
+        assert arch._bank_shifts()[arch.amap.private_banks(2)[0]] == \
+            QosPolicy().high_shift
+
+    def test_describe_lists_classes(self):
+        _, arch = build_qos({1: QosClass.HIGH})
+        assert "1:high" in arch.describe()
+
+
+class TestControllerSemantics:
+    def _drive(self, arch, bank_id, ref_hits, conv_hits, events=64):
+        from repro.cache.bank import SetRole
+        bank = arch.banks[bank_id]
+        ref = next(s for s, r in bank.roles.items()
+                   if r is SetRole.REFERENCE)
+        conv = next(s for s, r in bank.roles.items()
+                    if r is SetRole.CONVENTIONAL_SAMPLE)
+        for _ in range(events):
+            arch.duel.observe(bank, ref, ref_hits)
+            arch.duel.observe(bank, conv, conv_hits)
+
+    def test_high_priority_bank_expels_on_mild_degradation(self):
+        """The same mild (~10%) first-class degradation must shrink the
+        budget of a HIGH bank (d=8, tolerance ~0) and leave a
+        BACKGROUND bank (d=2, tolerance 25%) growing."""
+        _, arch = build_qos({0: QosClass.HIGH, 1: QosClass.BACKGROUND})
+        hi_bank = arch.amap.private_banks(0)[0]
+        lo_bank = arch.amap.private_banks(1)[0]
+        for bank_id in (hi_bank, lo_bank):
+            state = arch.duel.state_of(bank_id)
+            state.nmax = 1  # leave headroom in both directions
+            state.hr_reference.reset(initial=255)
+            state.hr_conventional.reset(initial=230)  # ~10% degraded
+            state.hr_explorer.reset(initial=230)
+            arch.duel._evaluate(arch.banks[bank_id], state)
+        hi = arch.duel.state_of(hi_bank)
+        lo = arch.duel.state_of(lo_bank)
+        assert hi.decreases == 1 and hi.nmax < lo.nmax
+        assert lo.increases == 1
+
+    def test_unclassified_banks_use_default_shift(self):
+        _, arch = build_qos()
+        assert isinstance(arch.duel, QosDuelController)
+        # All-normal: behaves exactly like the base controller default.
+        assert set(arch._bank_shifts().values()) == {
+            arch.config.esp.degradation_shift}
+
+
+class TestEndToEnd:
+    def test_runs_clean_with_mixed_classes(self):
+        system, arch = build_qos({0: QosClass.HIGH,
+                                  4: QosClass.BACKGROUND})
+        for i in range(120):
+            access(system, i % 8, 0x2000 + (i * 13) % 64,
+                   write=(i % 5 == 0), t=i * 4)
+        system.check_invariants()
+
+    def test_protection_summary_lists_classes(self):
+        system, arch = build_qos({0: QosClass.HIGH,
+                                  4: QosClass.BACKGROUND})
+        lines = protection_summary(arch)
+        text = "\n".join(lines)
+        assert "high" in text and "background" in text and "normal" in text

@@ -1,0 +1,93 @@
+"""Scaled-out (16-core) configurations — the introduction's motivation.
+
+ESP-NUCA's mechanisms are per-bank and per-block; nothing in the
+implementation may assume 8 cores. These tests pin that down on a
+4x4-mesh, 64-bank, 16 MB system.
+"""
+
+import pytest
+
+from repro.architectures.registry import make_architecture
+from repro.common.config import many_core_config
+from repro.sim.engine import SimulationEngine
+from repro.sim.system import CmpSystem
+from repro.workloads.base import TraceGenerator
+from repro.workloads.mixes import MixBuilder, program
+
+
+@pytest.fixture(scope="module")
+def config16():
+    return many_core_config(16, capacity_factor=8)
+
+
+def run16(config, arch_name, spec, seed=1, check=True):
+    system = CmpSystem(config, make_architecture(arch_name, config),
+                       check_tokens=check)
+    engine = SimulationEngine(system,
+                              TraceGenerator(spec, seed).traces(16))
+    result = engine.run()
+    if check:
+        system.check_invariants()
+    return system, result
+
+
+class TestGeometry:
+    def test_derived_bit_fields(self, config16):
+        assert config16.num_cores == 16
+        assert config16.core_bits == 4
+        assert config16.bank_bits == 6
+        assert config16.private_bank_bits == 2  # still 4 banks per core
+        assert config16.noc.columns * config16.noc.rows == 16
+
+    def test_per_core_resources_preserved(self):
+        full = many_core_config(16)
+        assert full.l2.size == 16 * 1024 * 1024
+        assert full.l2.num_banks == 64
+        assert full.private_banks_per_core == 4
+
+    def test_core_count_validation(self):
+        with pytest.raises(ValueError):
+            many_core_config(12)
+
+    def test_private_partitions_tile_the_array(self, config16):
+        from repro.common.addresses import AddressMap
+        amap = AddressMap(config16)
+        banks = [b for core in range(16) for b in amap.private_banks(core)]
+        assert sorted(banks) == list(range(64))
+
+
+class TestSixteenCoreRuns:
+    @pytest.fixture(scope="class")
+    def mix(self):
+        shared_app = program("sh", footprint_blocks=500, shared_blocks=300,
+                             shared_fraction=0.35, refs_per_core=500)
+        return (MixBuilder("m16", num_cores=16)
+                .assign(range(16), shared_app).build())
+
+    @pytest.mark.parametrize("arch", ["shared", "private", "esp-nuca",
+                                      "d-nuca", "cc30"])
+    def test_architectures_run_clean_at_16_cores(self, config16, mix, arch):
+        system, result = run16(config16, arch, mix)
+        assert result.memory_accesses == 500 * 16
+        assert result.performance > 0
+
+    def test_esp_unbalanced_win_persists_at_16_cores(self, config16):
+        """The single-thread capacity scenario must keep its shape when
+        the chip doubles: victims use the larger idle pool."""
+        partition = (config16.l2.sets_per_bank * config16.l2.assoc * 4)
+        lone = program("lone", footprint_blocks=int(partition * 2.5),
+                       refs_per_core=6000, reuse_fraction=0.3,
+                       locality=1.1)
+        mix = MixBuilder("lone16", num_cores=16).assign([0], lone).build()
+        perf = {}
+        for arch in ("private", "esp-nuca"):
+            _, result = run16(config16, arch, mix, check=False)
+            perf[arch] = result.performance
+        assert perf["esp-nuca"] > perf["private"]
+
+    def test_duel_state_per_bank_at_16_cores(self, config16, mix):
+        system, _ = run16(config16, "esp-nuca", mix)
+        arch = system.architecture
+        assert len(arch.banks) == 64
+        budgets = [arch.duel.state_of(b.bank_id).nmax for b in arch.banks]
+        assert all(0 <= n <= 15 for n in budgets)

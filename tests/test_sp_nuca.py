@@ -1,0 +1,126 @@
+"""Directed tests of SP-NUCA (Section 2): private bit, dual mapping,
+demotion with migration, eviction routing."""
+
+from repro.cache.block import BlockClass
+from repro.core.private_bit import Classification
+from repro.sim.request import Supplier
+
+from tests.util import access, build
+
+from tests.test_arch_private import evict_from_l1
+
+
+class TestPrivatePath:
+    def test_arrival_classified_private(self):
+        system = build("sp-nuca")
+        access(system, 3, 0x777)
+        arch = system.architecture
+        assert arch.classifier.classify(0x777) is Classification.PRIVATE
+        assert arch.classifier.owner(0x777) == 3
+
+    def test_private_eviction_goes_to_private_bank(self):
+        system = build("sp-nuca")
+        block = 0x777
+        access(system, 3, block)
+        evict_from_l1(system, 3, block)
+        bank = system.amap.private_bank(block, 3)
+        entry = system.architecture.banks[bank].peek(
+            system.amap.private_index(block), block)
+        assert entry is not None and entry.cls is BlockClass.PRIVATE
+        assert entry.owner == 3
+
+    def test_private_l2_hit_is_local(self):
+        system = build("sp-nuca")
+        block = 0x777
+        access(system, 3, block)
+        evict_from_l1(system, 3, block)
+        out = access(system, 3, block)
+        assert out.supplier is Supplier.L2_LOCAL
+        # Owner swap: the entry moved into the L1.
+        bank = system.amap.private_bank(block, 3)
+        assert system.architecture.banks[bank].peek(
+            system.amap.private_index(block), block) is None
+
+
+class TestDemotion:
+    def test_remote_access_demotes_and_migrates(self):
+        """Figure 2b step 3': a private block found in a remote private
+        bank resets its private bit and migrates to its shared bank."""
+        system = build("sp-nuca")
+        arch = system.architecture
+        block = 0x777
+        access(system, 3, block)
+        evict_from_l1(system, 3, block)
+        out = access(system, 6, block)
+        assert out.supplier is Supplier.L2_REMOTE
+        assert arch.classifier.classify(block) is Classification.SHARED
+        # Gone from the private bank...
+        pbank = system.amap.private_bank(block, 3)
+        assert arch.banks[pbank].peek(
+            system.amap.private_index(block), block) is None
+        # ... and the surplus tokens sit at the shared-map bank.
+        sbank = system.amap.shared_bank(block)
+        entry = arch.banks[sbank].peek(system.amap.shared_index(block), block)
+        assert entry is not None and entry.cls is BlockClass.SHARED
+
+    def test_demotion_via_remote_l1(self):
+        system = build("sp-nuca")
+        arch = system.architecture
+        block = 0x778
+        access(system, 3, block)  # still in core 3's L1
+        out = access(system, 6, block)
+        assert out.supplier is Supplier.L1_REMOTE
+        assert arch.classifier.classify(block) is Classification.SHARED
+
+    def test_shared_eviction_goes_to_shared_bank(self):
+        system = build("sp-nuca")
+        block = 0x779
+        access(system, 3, block)
+        access(system, 6, block)  # demote
+        evict_from_l1(system, 6, block)
+        sbank = system.amap.shared_bank(block)
+        entry = system.architecture.banks[sbank].peek(
+            system.amap.shared_index(block), block)
+        assert entry is not None and entry.cls is BlockClass.SHARED
+
+    def test_shared_hit_at_shared_bank(self):
+        system = build("sp-nuca")
+        block = 0x779
+        access(system, 3, block)
+        access(system, 6, block)
+        evict_from_l1(system, 6, block)
+        evict_from_l1(system, 3, block)
+        out = access(system, 1, block)
+        assert out.supplier in (Supplier.L2_SHARED, Supplier.L2_LOCAL)
+
+
+class TestClassificationReset:
+    def test_block_leaving_chip_resets_private_bit(self):
+        system = build("sp-nuca")
+        arch = system.architecture
+        amap = system.amap
+        assoc = system.config.l2.assoc
+        # Enough same-set private blocks to overflow the L2 set; SP-NUCA
+        # sends L2 private evictions to memory.
+        blocks, tag = [], 1
+        while len(blocks) < assoc + 2:
+            candidate = tag << 10
+            if amap.private_index(candidate) == 0 \
+                    and amap.private_bank(candidate, 0) == amap.private_banks(0)[0]:
+                blocks.append(candidate)
+            tag += 1
+        for b in blocks:
+            access(system, 0, b)
+            evict_from_l1(system, 0, b)
+        evicted = [b for b in blocks
+                   if arch.classifier.classify(b) is Classification.ABSENT]
+        assert evicted, "an overflowing block must have left the chip"
+
+
+class TestWriteUpgrade:
+    def test_owner_write_is_silent_with_all_tokens(self):
+        system = build("sp-nuca")
+        block = 0x780
+        access(system, 2, block)
+        out = access(system, 2, block, write=True)
+        assert out.complete - 0 <= system.config.l1.access_latency

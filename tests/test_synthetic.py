@@ -1,0 +1,31 @@
+"""Synthetic trace helpers used by tests and examples."""
+
+from repro.sim.cpu import TraceKind
+from repro.workloads.synthetic import (
+    mixed,
+    repeat_blocks,
+    single_core_traces,
+    stream,
+)
+
+
+class TestBuilders:
+    def test_repeat_blocks(self):
+        items = list(repeat_blocks([1, 2], repetitions=3, gap=5))
+        assert len(items) == 6
+        assert [i.block for i in items] == [1, 2, 1, 2, 1, 2]
+        assert all(i.gap == 5 and i.kind is TraceKind.LOAD for i in items)
+
+    def test_stream(self):
+        items = list(stream(base=100, length=4))
+        assert [i.block for i in items] == [100, 101, 102, 103]
+
+    def test_mixed(self):
+        items = list(mixed([(1, TraceKind.STORE), (2, TraceKind.DEP_LOAD)]))
+        assert items[0].kind is TraceKind.STORE
+        assert items[1].kind is TraceKind.DEP_LOAD
+
+    def test_single_core_traces(self):
+        traces = single_core_traces(8, 3, iter([]))
+        assert traces[3] is not None
+        assert sum(1 for t in traces if t is not None) == 1

@@ -1,0 +1,71 @@
+"""Timeline instrumentation (Figure 3 monitoring view)."""
+
+import pytest
+
+from repro.core.timeline import TimelineRecorder
+from repro.sim.cpu import TraceItem, TraceKind
+from repro.sim.engine import SimulationEngine
+
+from tests.util import build, tiny_config
+
+
+def run_with_recorder(trace_blocks, period=32):
+    system = build("esp-nuca", check_tokens=False)
+    recorder = TimelineRecorder(system.architecture, period=period).install()
+    trace = [TraceItem(gap=1, block=b, kind=TraceKind.LOAD)
+             for b in trace_blocks]
+    traces = [iter(trace)] + [None] * 7
+    SimulationEngine(system, traces).run()
+    return recorder
+
+
+class TestRecording:
+    def test_samples_accumulate(self):
+        blocks = list(range(0x100, 0x140)) * 30
+        recorder = run_with_recorder(blocks, period=16)
+        assert len(recorder.samples) >= 2
+        assert recorder.samples[0].events == 16
+
+    def test_sample_fields_in_range(self):
+        blocks = list(range(0x100, 0x140)) * 30
+        recorder = run_with_recorder(blocks)
+        for sample in recorder.samples:
+            assert 0.0 <= sample.hr_reference <= 1.0
+            assert 0 <= sample.average_nmax <= 15
+            assert len(sample.per_bank_nmax) == 32
+
+    def test_requires_dueling_variant(self):
+        system = build("esp-nuca-flat")
+        with pytest.raises(ValueError):
+            TimelineRecorder(system.architecture)
+
+    def test_double_install_is_idempotent(self):
+        system = build("esp-nuca")
+        recorder = TimelineRecorder(system.architecture, period=8)
+        assert recorder.install() is recorder.install()
+
+
+class TestRendering:
+    def test_sparkline_shape(self):
+        blocks = list(range(0x100, 0x180)) * 20
+        recorder = run_with_recorder(blocks, period=16)
+        line = recorder.sparkline("average_nmax")
+        assert len(line) == len(recorder.samples)
+        assert set(line) <= set("▁▂▃▄▅▆▇█")
+
+    def test_sparkline_downsampling(self):
+        blocks = list(range(0x100, 0x180)) * 20
+        recorder = run_with_recorder(blocks, period=8)
+        line = recorder.sparkline("average_nmax", width=10)
+        assert len(line) <= 10
+
+    def test_format_mentions_all_monitors(self):
+        blocks = list(range(0x100, 0x140)) * 30
+        text = run_with_recorder(blocks).format()
+        assert "HR_ref" in text and "HR_conv" in text and "HR_expl" in text
+
+    def test_empty_recorder_formats(self):
+        system = build("esp-nuca")
+        recorder = TimelineRecorder(system.architecture)
+        assert recorder.format() == "no samples"
+        assert recorder.sparkline() == ""

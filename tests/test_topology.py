@@ -1,0 +1,75 @@
+"""Mesh geometry and DOR routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.config import SystemConfig
+from repro.noc.topology import MeshTopology
+
+TOPO = MeshTopology(SystemConfig())
+ROUTERS = st.integers(min_value=0, max_value=7)
+
+
+class TestPlacement:
+    def test_router_coordinates(self):
+        assert (TOPO.router_coord(0).col, TOPO.router_coord(0).row) == (0, 0)
+        assert (TOPO.router_coord(3).col, TOPO.router_coord(3).row) == (3, 0)
+        assert (TOPO.router_coord(4).col, TOPO.router_coord(4).row) == (0, 1)
+        assert (TOPO.router_coord(7).col, TOPO.router_coord(7).row) == (3, 1)
+
+    def test_invalid_router_rejected(self):
+        with pytest.raises(ValueError):
+            TOPO.router_coord(8)
+
+    def test_banks_of_router(self):
+        assert TOPO.banks_of_router(0) == (0, 1, 2, 3)
+        assert TOPO.banks_of_router(7) == (28, 29, 30, 31)
+
+    def test_router_of_bank_inverse(self):
+        for bank in range(32):
+            assert bank in TOPO.banks_of_router(TOPO.router_of_bank(bank))
+
+
+class TestRouting:
+    @given(ROUTERS, ROUTERS)
+    def test_hops_is_manhattan(self, a, b):
+        ca, cb = TOPO.router_coord(a), TOPO.router_coord(b)
+        assert TOPO.hops(a, b) == abs(ca.col - cb.col) + abs(ca.row - cb.row)
+
+    @given(ROUTERS, ROUTERS)
+    def test_route_length_matches_hops(self, a, b):
+        route = TOPO.dor_route(a, b)
+        assert len(route) == TOPO.hops(a, b) + 1
+        assert route[0] == a and route[-1] == b
+
+    @given(ROUTERS, ROUTERS)
+    def test_route_steps_are_neighbours(self, a, b):
+        route = TOPO.dor_route(a, b)
+        for u, v in zip(route, route[1:]):
+            assert TOPO.hops(u, v) == 1
+
+    def test_x_then_y_order(self):
+        # 0 (0,0) -> 7 (3,1): X first then Y.
+        assert list(TOPO.dor_route(0, 7)) == [0, 1, 2, 3, 7]
+
+    def test_self_route(self):
+        assert list(TOPO.dor_route(5, 5)) == [5]
+
+
+class TestMemoryControllers:
+    def test_left_column_prefers_controller0(self):
+        mc, hops = TOPO.controller_hops(0)
+        assert mc == 0 and hops == 1
+
+    def test_right_column_prefers_controller1(self):
+        mc, hops = TOPO.controller_hops(3)
+        assert mc == 1 and hops == 1
+
+    @given(ROUTERS)
+    def test_controller_distance_consistent(self, router):
+        mc, hops = TOPO.controller_hops(router)
+        assert TOPO.controller_distance(mc, router) == hops
+
+    def test_controller_distance_bounds(self):
+        with pytest.raises(ValueError):
+            TOPO.controller_distance(2, 0)

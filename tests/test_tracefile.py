@@ -1,0 +1,78 @@
+"""Trace persistence: save/load round trips and replay equivalence."""
+
+import pytest
+
+from repro.sim.cpu import TraceItem, TraceKind
+from repro.workloads.base import TraceGenerator
+from repro.workloads.registry import get_workload
+from repro.workloads.tracefile import load_traces, save_traces, trace_info
+
+
+def small_traces():
+    spec = get_workload("gcc-4").capacity_scaled(8).scaled(150)
+    return [list(t) if t is not None else None
+            for t in TraceGenerator(spec, seed=9).traces(8)]
+
+
+class TestRoundTrip:
+    def test_save_load_identical(self, tmp_path):
+        traces = small_traces()
+        path = tmp_path / "t.trace.gz"
+        save_traces(path, traces, workload="gcc-4", seed=9)
+        loaded = load_traces(path)
+        assert loaded == traces
+
+    def test_idle_cores_preserved(self, tmp_path):
+        traces = small_traces()
+        path = tmp_path / "t.trace.gz"
+        save_traces(path, traces)
+        loaded = load_traces(path)
+        for original, restored in zip(traces, loaded):
+            assert (original is None) == (restored is None)
+
+    def test_all_kinds_roundtrip(self, tmp_path):
+        items = [TraceItem(3, 0xABC, TraceKind.LOAD),
+                 TraceItem(0, 0xDEF, TraceKind.STORE),
+                 TraceItem(7, 1 << 40, TraceKind.DEP_LOAD)]
+        path = tmp_path / "k.trace.gz"
+        save_traces(path, [items] + [None] * 7)
+        assert load_traces(path)[0] == items
+
+    def test_info_reads_header_only(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        save_traces(path, small_traces(), workload="gcc-4", seed=9)
+        info = trace_info(path)
+        assert info == {"workload": "gcc-4", "seed": 9, "cores": 8}
+
+    def test_rejects_foreign_files(self, tmp_path):
+        import gzip
+        path = tmp_path / "bogus.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("something else\n")
+        with pytest.raises(ValueError):
+            load_traces(path)
+
+
+class TestReplayEquivalence:
+    def test_replayed_trace_gives_identical_run(self, tmp_path):
+        from repro.architectures.registry import make_architecture
+        from repro.common.config import scaled_config
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.system import CmpSystem
+
+        config = scaled_config(8)
+        traces = small_traces()
+        path = tmp_path / "replay.trace.gz"
+        save_traces(path, traces)
+
+        def run(per_core):
+            system = CmpSystem(config, make_architecture("esp-nuca", config))
+            engine = SimulationEngine(
+                system, [iter(t) if t is not None else None
+                         for t in per_core])
+            return engine.run()
+
+        live = run(traces)
+        replayed = run(load_traces(path))
+        assert live.cycles == replayed.cycles
+        assert live.supplier_count == replayed.supplier_count

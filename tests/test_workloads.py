@@ -1,0 +1,187 @@
+"""Workload registry (Table 1) and trace-generator properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cpu import TraceKind
+from repro.workloads.base import (
+    OS_REGION_BASE,
+    SHARED_REGION_BASE,
+    STREAM_REGION_BASE,
+    TraceGenerator,
+    WorkloadSpec,
+)
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+
+
+class TestRegistry:
+    def test_all_22_workloads_present(self):
+        assert len(WORKLOADS) == 22
+
+    def test_table1_names(self):
+        # Table 1 rows, adapted naming for hybrids.
+        expected_transactional = {"apache", "jbb", "oltp", "zeus"}
+        expected_half = {"art-4", "gcc-4", "gzip-4", "mcf-4", "twolf-4"}
+        expected_hybrid = {"art-gzip", "gcc-gzip", "gcc-twolf",
+                           "mcf-gzip", "mcf-twolf"}
+        expected_nas = {"BT", "CG", "FT", "IS", "LU", "MG", "SP", "UA"}
+        names = set(WORKLOADS)
+        for family in (expected_transactional, expected_half,
+                       expected_hybrid, expected_nas):
+            assert family <= names
+
+    def test_family_filter(self):
+        assert len(workload_names("transactional")) == 4
+        assert len(workload_names("nas")) == 8
+        assert len(workload_names("spec-half")) == 5
+        assert len(workload_names("spec-hybrid")) == 5
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("doom3")
+
+    def test_half_rate_has_service_core(self):
+        spec = get_workload("mcf-4")
+        assert spec.active_cores == (0, 1, 2, 3, 4)
+        assert 4 in spec.per_core
+
+    def test_hybrid_splits_the_chip(self):
+        spec = get_workload("art-gzip")
+        assert spec.active_cores == tuple(range(8))
+        assert set(spec.per_core) == {4, 5, 6, 7}
+
+    def test_transactional_uses_all_cores_and_shares(self):
+        for name in workload_names("transactional"):
+            spec = get_workload(name)
+            assert spec.active_cores == tuple(range(8))
+            assert spec.shared_fraction > 0.25
+
+    def test_nas_low_sharing(self):
+        for name in workload_names("nas"):
+            assert get_workload(name).shared_fraction <= 0.15
+
+
+class TestScaling:
+    def test_refs_scaling(self):
+        spec = get_workload("apache").scaled(12345)
+        assert spec.refs_per_core == 12345
+
+    def test_refs_scaling_propagates_to_overrides(self):
+        spec = get_workload("mcf-4")
+        scaled = spec.scaled(spec.refs_per_core * 2)
+        child = scaled.per_core[4]
+        assert child.refs_per_core == spec.per_core[4].refs_per_core * 2
+
+    def test_capacity_scaling(self):
+        spec = get_workload("apache")
+        small = spec.capacity_scaled(4)
+        assert small.private_footprint_blocks == spec.private_footprint_blocks // 4
+        assert small.shared_footprint_blocks == spec.shared_footprint_blocks // 4
+
+    def test_capacity_scaling_propagates(self):
+        spec = get_workload("art-gzip").capacity_scaled(4)
+        child = spec.per_core[4]
+        base = get_workload("art-gzip").per_core[4]
+        assert child.private_footprint_blocks == base.private_footprint_blocks // 4
+
+    def test_capacity_identity(self):
+        spec = get_workload("apache")
+        assert spec.capacity_scaled(1) is spec
+
+
+def tiny_spec(**overrides):
+    params = dict(name="t", family="synthetic", active_cores=(0, 1),
+                  refs_per_core=2000, private_footprint_blocks=256,
+                  shared_footprint_blocks=128, shared_fraction=0.3,
+                  reuse_fraction=0.5, os_noise=0.02)
+    params.update(overrides)
+    return WorkloadSpec(**params)
+
+
+class TestGenerator:
+    def test_determinism(self):
+        a = list(TraceGenerator(tiny_spec(), seed=5).core_trace(0))
+        b = list(TraceGenerator(tiny_spec(), seed=5).core_trace(0))
+        assert a == b
+
+    def test_seed_changes_trace(self):
+        a = list(TraceGenerator(tiny_spec(), seed=5).core_trace(0))
+        b = list(TraceGenerator(tiny_spec(), seed=6).core_trace(0))
+        assert a != b
+
+    def test_trace_length(self):
+        assert len(list(TraceGenerator(tiny_spec(), 1).core_trace(0))) == 2000
+
+    def test_idle_cores_have_no_trace(self):
+        traces = TraceGenerator(tiny_spec(), 1).traces(8)
+        assert traces[0] is not None and traces[1] is not None
+        assert all(t is None for t in traces[2:])
+
+    def test_private_regions_disjoint_across_cores(self):
+        gen = TraceGenerator(tiny_spec(shared_fraction=0.0, os_noise=0.0), 1)
+        blocks0 = {i.block for i in gen.core_trace(0)}
+        blocks1 = {i.block for i in gen.core_trace(1)}
+        assert not (blocks0 & blocks1)
+
+    def test_shared_region_is_common(self):
+        gen = TraceGenerator(tiny_spec(shared_fraction=0.9), 1)
+        shared0 = {i.block for i in gen.core_trace(0)
+                   if SHARED_REGION_BASE <= i.block < OS_REGION_BASE}
+        shared1 = {i.block for i in gen.core_trace(1)
+                   if SHARED_REGION_BASE <= i.block < OS_REGION_BASE}
+        assert shared0 & shared1
+
+    def test_shared_fraction_approximate(self):
+        spec = tiny_spec(shared_fraction=0.5, reuse_fraction=0.0,
+                         os_noise=0.0, refs_per_core=4000)
+        items = list(TraceGenerator(spec, 1).core_trace(0))
+        shared = sum(1 for i in items
+                     if SHARED_REGION_BASE <= i.block < OS_REGION_BASE)
+        assert 0.4 < shared / len(items) < 0.6
+
+    def test_write_fraction_approximate(self):
+        spec = tiny_spec(write_fraction=0.3, shared_fraction=0.0,
+                         os_noise=0.0, refs_per_core=4000)
+        items = list(TraceGenerator(spec, 1).core_trace(0))
+        writes = sum(1 for i in items if i.kind is TraceKind.STORE)
+        assert 0.22 < writes / len(items) < 0.38
+
+    def test_dep_fraction_generates_dep_loads(self):
+        spec = tiny_spec(dep_fraction=0.5, write_fraction=0.0)
+        items = list(TraceGenerator(spec, 1).core_trace(0))
+        deps = sum(1 for i in items if i.kind is TraceKind.DEP_LOAD)
+        assert deps > 0.3 * len(items)
+
+    def test_stream_region_never_repeats_far(self):
+        spec = tiny_spec(stream_fraction=1.0, reuse_fraction=0.0,
+                         stream_advance=1.0, os_noise=0.0,
+                         shared_fraction=0.0)
+        items = list(TraceGenerator(spec, 1).core_trace(0))
+        stream_blocks = [i.block for i in items
+                         if i.block >= STREAM_REGION_BASE]
+        assert len(set(stream_blocks)) == len(stream_blocks)
+
+    def test_loop_pattern_cycles(self):
+        spec = tiny_spec(loop_blocks=50, loop_fraction=1.0,
+                         reuse_fraction=0.0, shared_fraction=0.0,
+                         os_noise=0.0, refs_per_core=200)
+        items = list(TraceGenerator(spec, 1).core_trace(0))
+        loop_blocks = {i.block for i in items}
+        assert len(loop_blocks) <= 51
+
+    def test_footprint_respected(self):
+        spec = tiny_spec(shared_fraction=0.0, os_noise=0.0,
+                         stream_fraction=0.0,
+                         private_footprint_blocks=100)
+        blocks = {i.block for i in TraceGenerator(spec, 1).core_trace(0)}
+        assert len(blocks) <= 100
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=0.9),
+           st.floats(min_value=0.0, max_value=0.8))
+    def test_generator_total_probability(self, shared, reuse):
+        spec = tiny_spec(shared_fraction=shared, reuse_fraction=reuse,
+                         refs_per_core=300)
+        items = list(TraceGenerator(spec, 3).core_trace(0))
+        assert len(items) == 300
+        assert all(i.gap >= 0 for i in items)

@@ -1,0 +1,80 @@
+"""Shared test helpers: tiny configurations and directed-trace drivers."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, List, Optional, Tuple
+
+from repro.architectures.registry import make_architecture
+from repro.common.addresses import AddressMap
+from repro.common.config import L1Config, L2Config, SystemConfig
+from repro.sim.cpu import TraceItem, TraceKind
+from repro.sim.engine import SimulationEngine
+from repro.sim.system import CmpSystem
+
+
+def tiny_config(l1_sets: int = 4, l2_sets: int = 8, l2_assoc: int = 4
+                ) -> SystemConfig:
+    """A full 8-core/32-bank system with very small caches, so directed
+    tests hit capacity limits in a handful of accesses."""
+    base = SystemConfig()
+    l1 = L1Config(size=64 * 4 * l1_sets, assoc=4, block_size=64,
+                  access_latency=3, tag_latency=1)
+    l2 = L2Config(size=64 * l2_assoc * l2_sets * 32, num_banks=32,
+                  assoc=l2_assoc, block_size=64,
+                  access_latency=5, tag_latency=2)
+    return replace(base, l1=l1, l2=l2)
+
+
+def build(arch_name: str, config: Optional[SystemConfig] = None,
+          check_tokens: bool = True) -> CmpSystem:
+    config = config or tiny_config()
+    return CmpSystem(config, make_architecture(arch_name, config),
+                     check_tokens=check_tokens)
+
+
+def access(system: CmpSystem, core: int, block: int, write: bool = False,
+           t: int = 0):
+    """One demand access followed by a full invariant check."""
+    outcome = system.access(core, block, write, t)
+    system.check_invariants()
+    return outcome
+
+
+def shared_block(amap: AddressMap, bank: int, index: int, tag: int = 1) -> int:
+    """Construct a block address with the given *shared-map* location."""
+    block = (tag << (amap.bank_bits + amap.index_bits)) \
+        | (index << amap.bank_bits) | bank
+    assert amap.shared_bank(block) == bank
+    assert amap.shared_index(block) == index
+    return block
+
+
+def blocks_mapping_to_private(amap: AddressMap, core: int, bank_local: int,
+                              index: int, count: int) -> List[int]:
+    """``count`` distinct blocks that land in the same private-map set
+    of ``core`` (useful for forcing private-partition evictions)."""
+    found = []
+    tag = 1
+    while len(found) < count:
+        block = (tag << (amap.private_bank_bits + amap.index_bits)) \
+            | (index << amap.private_bank_bits) | bank_local
+        assert amap.private_index(block) == index
+        found.append(block)
+        tag += 1
+    return found
+
+
+def run_trace(system: CmpSystem, per_core: List[Optional[Iterable[TraceItem]]],
+              **kwargs):
+    engine = SimulationEngine(system, [iter(t) if t is not None else None
+                                       for t in per_core])
+    return engine.run(**kwargs)
+
+
+def loads(blocks: Iterable[int], gap: int = 0) -> List[TraceItem]:
+    return [TraceItem(gap=gap, block=b, kind=TraceKind.LOAD) for b in blocks]
+
+
+def stores(blocks: Iterable[int], gap: int = 0) -> List[TraceItem]:
+    return [TraceItem(gap=gap, block=b, kind=TraceKind.STORE) for b in blocks]
