@@ -1,0 +1,111 @@
+"""Before/after wall-clock comparison of the parallel executor and the
+persistent run cache; writes BENCH_executor.json at the repo root.
+
+Three passes over one representative (architecture, workload, seed)
+grid, each with fresh runner state:
+
+1. **serial-cold** — the pre-executor baseline: one process, no
+   persistent cache (``REPRO_JOBS=1`` semantics);
+2. **parallel-cold** — the executor fanning out over worker processes
+   into an empty cache directory;
+3. **parallel-warm** — a second invocation against the now-populated
+   cache (fresh runner and executor objects, so nothing is served from
+   process memory).
+
+Pass 3's hit fraction is the acceptance criterion: a repeated
+experiment must serve >= 90% of its run points from the persistent
+cache. Results are also cross-checked for equality between passes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_executor.py [--jobs N]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.executor import Executor, default_jobs
+from repro.harness.runcache import RunCache
+from repro.harness.runner import ExperimentRunner, RunSettings
+
+ARCHS = ["shared", "private", "d-nuca", "asr", "esp-nuca"]
+WORKLOADS = ["apache", "oltp", "CG", "art-4"]
+SETTINGS = RunSettings(capacity_factor=8, refs_per_core=2_000,
+                       warmup_refs_per_core=500, num_seeds=2)
+
+
+def run_pass(jobs, cache):
+    runner = ExperimentRunner(SETTINGS,
+                              executor=Executor(jobs=jobs, cache=cache))
+    start = time.perf_counter()
+    matrix = runner.matrix(ARCHS, WORKLOADS)
+    elapsed = time.perf_counter() - start
+    checksum = {f"{arch}/{wl}": [r.cycles for r in agg.runs]
+                for (arch, wl), agg in matrix.items()}
+    return elapsed, runner.executor.cache, checksum
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker count (default $REPRO_JOBS "
+                             "or CPU count)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_executor.json"))
+    args = parser.parse_args(argv)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    points = len(ARCHS) * len(WORKLOADS) * SETTINGS.num_seeds
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro_bench_cache_") as tmp:
+        serial_t, _, serial_sum = run_pass(1, RunCache(enabled=False))
+        cold_t, cold_cache, cold_sum = run_pass(jobs, RunCache(root=tmp))
+        warm_t, warm_cache, warm_sum = run_pass(jobs, RunCache(root=tmp))
+
+    assert serial_sum == cold_sum == warm_sum, \
+        "parallel/cached results diverge from the serial path"
+    hit_fraction = warm_cache.hits / points
+    payload = {
+        "benchmark": "parallel executor + persistent run cache",
+        "grid": {"architectures": ARCHS, "workloads": WORKLOADS,
+                 "seeds": SETTINGS.num_seeds, "run_points": points,
+                 "refs_per_core": SETTINGS.refs_per_core,
+                 "warmup_refs_per_core": SETTINGS.warmup_refs_per_core,
+                 "capacity_factor": SETTINGS.capacity_factor},
+        "environment": {"cpu_count": os.cpu_count(), "jobs": jobs,
+                        "python": sys.version.split()[0]},
+        "before": {"label": "serial, no persistent cache (pre-executor "
+                            "ExperimentRunner behaviour)",
+                   "wall_clock_s": round(serial_t, 3)},
+        "after_cold": {"label": f"executor, {jobs} job(s), empty cache",
+                       "wall_clock_s": round(cold_t, 3),
+                       "cache_hits": cold_cache.hits,
+                       "cache_writes": cold_cache.writes,
+                       "speedup_vs_before": round(serial_t / cold_t, 2)},
+        "after_warm": {"label": "second invocation, fresh process state, "
+                                "populated cache",
+                       "wall_clock_s": round(warm_t, 3),
+                       "cache_hits": warm_cache.hits,
+                       "cache_hit_fraction": round(hit_fraction, 3),
+                       "speedup_vs_before": round(serial_t / warm_t, 2)},
+        "results_identical_across_passes": True,
+    }
+    out = os.path.abspath(args.out)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {out}")
+    assert hit_fraction >= 0.9, \
+        f"warm pass served only {hit_fraction:.0%} of points from cache"
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

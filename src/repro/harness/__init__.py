@@ -1,6 +1,9 @@
 """Experiment harness: one entry point per table/figure of the paper."""
 
+from repro.harness.executor import Executor, RunPoint
+from repro.harness.runcache import RunCache
 from repro.harness.runner import ExperimentRunner, RunSettings
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 
-__all__ = ["ExperimentRunner", "RunSettings", "EXPERIMENTS", "run_experiment"]
+__all__ = ["ExperimentRunner", "RunSettings", "Executor", "RunPoint",
+           "RunCache", "EXPERIMENTS", "run_experiment"]

@@ -6,6 +6,9 @@ Examples::
     esp-nuca all                   # every table/figure
     esp-nuca fig10 --seeds 3 --refs 40000
     esp-nuca run --arch esp-nuca --workload apache   # one raw run
+    esp-nuca all --jobs 8          # fan runs out over 8 processes
+    esp-nuca repro-cache stats     # inspect the persistent run cache
+    esp-nuca repro-cache clear
 """
 
 from __future__ import annotations
@@ -27,11 +30,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("experiment",
                         choices=list(EXPERIMENTS) + ["all", "run", "list",
                                                      "trace", "overhead",
-                                                     "claims"],
+                                                     "claims", "repro-cache"],
                         help="experiment id (figN/stability/ablation), "
                              "'all', 'run' (single run), 'trace' (record a "
                              "workload trace), 'overhead' (storage model), "
-                             "'claims' (verdicts over --json dir), or 'list'")
+                             "'claims' (verdicts over --json dir), "
+                             "'repro-cache' (persistent cache maintenance), "
+                             "or 'list'")
+    parser.add_argument("action", nargs="?", default=None,
+                        choices=["stats", "clear"],
+                        help="for 'repro-cache': stats (default) or clear")
     parser.add_argument("--seeds", type=int, default=None,
                         help="perturbed runs per data point (default 2)")
     parser.add_argument("--refs", type=int, default=None,
@@ -52,6 +60,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="append a bar chart of each report's last column")
     parser.add_argument("--out", metavar="FILE", default=None,
                         help="output file for 'trace'")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for independent run points "
+                             "(default $REPRO_JOBS or the CPU count; "
+                             "1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the persistent run cache for this "
+                             "invocation (equivalent to REPRO_CACHE=0)")
     return parser
 
 
@@ -101,7 +116,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"claims over {len(reports)} report(s) from {directory}:")
         print(format_results(verify_claims(reports)))
         return 0
-    runner = ExperimentRunner(_settings(args))
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.experiment == "repro-cache":
+        from repro.harness.runcache import main as cache_main
+
+        return cache_main([args.action or "stats"])
+    from repro.harness.executor import Executor
+    from repro.harness.runcache import RunCache
+
+    cache = RunCache(enabled=False) if args.no_cache else RunCache.from_env()
+    executor = Executor(jobs=args.jobs, cache=cache)
+    runner = ExperimentRunner(_settings(args), executor=executor)
     if args.experiment == "trace":
         from repro.workloads.tracefile import save_traces
 

@@ -1,0 +1,259 @@
+"""Parallel execution of independent run points.
+
+The evaluation grid is embarrassingly parallel: every (architecture,
+workload, seed) point is an independent simulation — paired comparisons
+come from *regenerating the same trace deterministically*, not from
+shared mutable state. This module fans run points out over
+``multiprocessing`` workers while preserving exactly the serial
+semantics:
+
+* **paired traces** — trace materialization is deterministic in
+  (workload spec, seed), so every worker replays byte-identical traces
+  against its architecture (:func:`materialize_traces` is the single
+  shared implementation; the serial runner delegates to it too);
+* **identical results** — a parallel batch returns the same
+  :class:`SimResult` values the serial loop would (tested field-for-field
+  in ``tests/test_executor.py``);
+* **persistent caching** — results are read from / written to the
+  on-disk :class:`~repro.harness.runcache.RunCache` keyed by a content
+  hash of the run point, so a second invocation of the same experiment
+  (even in a new process) simulates nothing.
+
+Worker count comes from ``REPRO_JOBS`` (default ``os.cpu_count()``);
+``REPRO_JOBS=1`` is a deterministic serial fallback that never spawns a
+process. Custom architecture factories that cannot be pickled (lambdas,
+closures — e.g. the Section 5.2 ablations) are detected and simulated
+in the parent process; everything else goes to the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.architectures.registry import make_architecture
+from repro.common.config import SystemConfig
+from repro.harness.runcache import RunCache, cache_key
+from repro.sim.cpu import TraceItem
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import SimResult
+from repro.sim.system import CmpSystem
+from repro.workloads.base import TraceGenerator, WorkloadSpec
+from repro.workloads.registry import get_workload
+
+
+def env_int(name: str, default: int, minimum: int = 0) -> int:
+    """Validated integer environment knob.
+
+    Unset or blank returns ``default``; anything non-integer or below
+    ``minimum`` raises a :class:`ValueError` naming the variable, so a
+    typo in ``REPRO_REFS`` fails at startup instead of deep inside
+    ``int()``.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name} must be an integer, "
+            f"got {raw!r}") from None
+    if value < minimum:
+        raise ValueError(
+            f"environment variable {name} must be >= {minimum}, "
+            f"got {value}")
+    return value
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` or the machine's CPU count."""
+    return env_int("REPRO_JOBS", os.cpu_count() or 1, minimum=1)
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """One independent simulation: everything a worker needs.
+
+    ``arch`` is a registry name; for custom architectures it is ``None``
+    and ``factory(config)`` builds the instance, with ``name`` keying
+    the caches (it must encode the factory's parameters). ``settings``
+    is a :class:`~repro.harness.runner.RunSettings`.
+    """
+
+    name: str
+    workload: str
+    seed: int
+    config: SystemConfig
+    settings: "RunSettings"  # noqa: F821 — runner imports this module
+    arch: Optional[str] = None
+    factory: Optional[Callable[[SystemConfig], object]] = None
+
+    @property
+    def key(self) -> str:
+        return cache_key(self.config, self.settings, self.name,
+                         self.workload, self.seed)
+
+
+# -- trace materialization (shared by serial runner and workers) -------------
+
+def prepare_spec(settings, workload: str) -> WorkloadSpec:
+    """The scaled workload spec a run uses — single source of truth for
+    trace pairing: serial runner and every worker call this."""
+    spec = get_workload(workload)
+    spec = spec.capacity_scaled(settings.capacity_factor)
+    total = settings.refs_per_core + settings.warmup_refs_per_core
+    return spec.scaled(total)
+
+
+def materialize_traces(config: SystemConfig, settings, workload: str,
+                       seed: int) -> List[Optional[List[TraceItem]]]:
+    """Deterministically generate the per-core traces of a run point."""
+    generator = TraceGenerator(prepare_spec(settings, workload), seed)
+    return [list(trace) if trace is not None else None
+            for trace in generator.traces(config.num_cores)]
+
+
+#: Per-process memo of materialized traces, bounded because a single
+#: (workload, seed) entry at full fidelity is tens of MB. Grouping run
+#: points by (workload, seed) before dispatch keeps the hit rate high
+#: with a small bound.
+_TRACE_CACHE_MAX = 8
+_trace_cache: "OrderedDict[Tuple, List[Optional[List[TraceItem]]]]" = \
+    OrderedDict()
+
+
+def _cached_traces(point: RunPoint) -> List[Optional[List[TraceItem]]]:
+    key = (point.workload, point.seed, point.settings.refs_per_core,
+           point.settings.warmup_refs_per_core,
+           point.settings.capacity_factor, point.config.num_cores)
+    traces = _trace_cache.get(key)
+    if traces is None:
+        traces = materialize_traces(point.config, point.settings,
+                                    point.workload, point.seed)
+        _trace_cache[key] = traces
+        while len(_trace_cache) > _TRACE_CACHE_MAX:
+            _trace_cache.popitem(last=False)
+    else:
+        _trace_cache.move_to_end(key)
+    return traces
+
+
+def simulate_point(point: RunPoint) -> SimResult:
+    """Simulate one run point from scratch (modulo the trace memo).
+
+    This is the multiprocessing worker entry; it reproduces
+    ``ExperimentRunner.run_one`` / ``run_custom`` exactly.
+    """
+    if point.arch is not None:
+        architecture = make_architecture(point.arch, point.config)
+    else:
+        architecture = point.factory(point.config)
+    system = CmpSystem(point.config, architecture)
+    traces = [iter(t) if t is not None else None
+              for t in _cached_traces(point)]
+    engine = SimulationEngine(system, traces)
+    result = engine.run(
+        max_refs_per_core=point.settings.refs_per_core,
+        warmup_refs_per_core=point.settings.warmup_refs_per_core)
+    if point.arch is None:
+        result.architecture = point.name
+    result.workload = point.workload
+    result.seed = point.seed
+    return result
+
+
+def _picklable(point: RunPoint) -> bool:
+    if point.factory is None:
+        return True
+    try:
+        pickle.dumps(point)
+        return True
+    except Exception:
+        return False
+
+
+class Executor:
+    """Runs batches of :class:`RunPoint` with caching and parallelism.
+
+    ``jobs=1`` (or a single-point batch) never touches
+    ``multiprocessing`` — the deterministic serial fallback. Results
+    come back in submission order; duplicate points are simulated once.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[RunCache] = None) -> None:
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        self.cache = cache if cache is not None else RunCache.from_env()
+
+    def run(self, points: Sequence[RunPoint]) -> List[SimResult]:
+        order: List[str] = []
+        unique: "OrderedDict[str, RunPoint]" = OrderedDict()
+        for point in points:
+            key = point.key
+            order.append(key)
+            unique.setdefault(key, point)
+        results: Dict[str, SimResult] = {}
+        misses: List[Tuple[str, RunPoint]] = []
+        for key, point in unique.items():
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[key] = cached
+            else:
+                misses.append((key, point))
+        if misses:
+            for (key, point), result in zip(misses, self._execute(
+                    [point for _, point in misses])):
+                self.cache.put(key, result)
+                results[key] = result
+        return [results[key] for key in order]
+
+    # -- internals ----------------------------------------------------------
+
+    def _execute(self, points: List[RunPoint]) -> List[SimResult]:
+        if self.jobs <= 1 or len(points) <= 1:
+            return [simulate_point(p) for p in points]
+        out: List[Optional[SimResult]] = [None] * len(points)
+        pool_idx = [i for i, p in enumerate(points) if _picklable(p)]
+        local_idx = [i for i in range(len(points)) if i not in set(pool_idx)]
+        if len(pool_idx) > 1:
+            # Contiguous (workload, seed) chunks let each worker reuse
+            # its materialized traces across architectures.
+            pool_idx.sort(key=lambda i: (points[i].workload, points[i].seed,
+                                         points[i].name))
+            jobs = min(self.jobs, len(pool_idx))
+            chunk = -(-len(pool_idx) // jobs)
+            ctx = self._context()
+            with ctx.Pool(processes=jobs) as pool:
+                computed = pool.map(simulate_point,
+                                    [points[i] for i in pool_idx],
+                                    chunksize=chunk)
+            for i, result in zip(pool_idx, computed):
+                out[i] = result
+        else:
+            local_idx = sorted(local_idx + pool_idx)
+        for i in local_idx:
+            out[i] = simulate_point(points[i])
+        return out  # type: ignore[return-value]
+
+    @staticmethod
+    def _context():
+        import multiprocessing
+
+        # fork inherits sys.path (bare-checkout runs work unchanged);
+        # on spawn-only platforms export the package location instead.
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        pkg_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        existing = os.environ.get("PYTHONPATH", "")
+        if pkg_root not in existing.split(os.pathsep):
+            os.environ["PYTHONPATH"] = (
+                pkg_root + (os.pathsep + existing if existing else ""))
+        return multiprocessing.get_context("spawn")

@@ -65,6 +65,7 @@ def _performance_figure(runner: ExperimentRunner, experiment: str,
                         ) -> ExperimentReport:
     """The common shape of Figures 8, 9 and 10: performance of all six
     families normalized to the shared S-NUCA, plus the geometric mean."""
+    runner.prefetch(FIGURE_ARCHITECTURES, workloads)
     report = ExperimentReport(experiment=experiment, title=title,
                               columns=list(workloads) + ["GMEAN"])
     for arch in ["shared", "private", "d-nuca", "asr"]:
@@ -86,6 +87,8 @@ def fig4(runner: ExperimentRunner) -> ExperimentReport:
         title="SP-NUCA partitioning: flat LRU vs shadow tags vs static 12/4 "
               "(normalized to shadow tags)",
         columns=list(FIG45_WORKLOADS))
+    runner.prefetch(["sp-nuca", "sp-nuca-static", "sp-nuca-shadow"],
+                    FIG45_WORKLOADS)
     for arch in ["sp-nuca", "sp-nuca-static", "sp-nuca-shadow"]:
         report.series[arch] = _normalized(runner, arch, "sp-nuca-shadow",
                                           FIG45_WORKLOADS)
@@ -102,6 +105,8 @@ def fig5(runner: ExperimentRunner) -> ExperimentReport:
         experiment="fig5",
         title="ESP-NUCA flat vs protected LRU (normalized to SP-NUCA)",
         columns=list(FIG45_WORKLOADS))
+    runner.prefetch(["esp-nuca-flat", "esp-nuca", "sp-nuca"],
+                    FIG45_WORKLOADS)
     for arch in ["esp-nuca-flat", "esp-nuca"]:
         report.series[arch] = _normalized(runner, arch, "sp-nuca",
                                           FIG45_WORKLOADS)
@@ -119,6 +124,7 @@ def fig6(runner: ExperimentRunner) -> ExperimentReport:
         title="Average access time decomposition, transactional workloads "
               "(cycles per demand access)",
         columns=[s.value for s in COMPONENT_ORDER] + ["total"])
+    runner.prefetch(FIGURE_ARCHITECTURES, TRANSACTIONAL)
     for wl in TRANSACTIONAL:
         rows = []
         for arch in FIGURE_ARCHITECTURES:
@@ -140,6 +146,7 @@ def fig7(runner: ExperimentRunner) -> ExperimentReport:
         title="Off-chip accesses and on-chip latency normalized to shared "
               "(transactional workloads)",
         columns=list(archs))
+    runner.prefetch(archs, TRANSACTIONAL)
     offchip, onchip = [], []
     for arch in archs:
         off_ratio, on_ratio = [], []
@@ -221,6 +228,7 @@ def stability(runner: ExperimentRunner) -> ExperimentReport:
         title="Variance of shared-normalized performance (stability; "
               "lower is more stable)",
         columns=list(suites))
+    runner.prefetch(FIGURE_ARCHITECTURES, suites["all"])
     series: Dict[str, List[float]] = {arch: [] for arch in archs}
     for workloads in suites.values():
         cc = _cc_normalized(runner, "shared", workloads)
@@ -266,6 +274,11 @@ def ablation(runner: ExperimentRunner,
         experiment="ablation",
         title="ESP-NUCA parameter sensitivity (normalized to SP-NUCA)",
         columns=workloads + ["GMEAN"])
+    runner.prefetch(["sp-nuca"], workloads)
+    runner.prefetch_custom(
+        [(f"esp[{label}]", replace(base_cfg, esp=esp_cfg),
+          lambda c: EspNuca(c), wl)
+         for label, esp_cfg in variants.items() for wl in workloads])
     for label, esp_cfg in variants.items():
         cfg = replace(base_cfg, esp=esp_cfg)
         values = []

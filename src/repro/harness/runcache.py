@@ -1,0 +1,236 @@
+"""Persistent on-disk cache of simulation results.
+
+The in-memory run cache of :class:`~repro.harness.runner.ExperimentRunner`
+dies with the interpreter, so reproducing the full figure suite twice
+re-simulates every (architecture, workload, seed) point from scratch.
+This module persists :class:`~repro.sim.results.SimResult` payloads as
+JSON under ``.repro_cache/`` keyed by a content hash of everything that
+determines a run:
+
+* the full :class:`~repro.common.config.SystemConfig` (nested dataclass,
+  canonically serialized),
+* the fidelity knobs of :class:`~repro.harness.runner.RunSettings` that
+  affect a single run (``refs_per_core``, ``warmup_refs_per_core``,
+  ``capacity_factor`` — seed count does not, the seed is part of the key),
+* the architecture cache name, the workload name and the seed,
+* :data:`CACHE_VERSION`.
+
+Layout on disk (see docs/harness.md)::
+
+    .repro_cache/
+      v<CACHE_VERSION>/
+        <first 2 hex chars of key>/
+          <64-hex-char sha256 key>.json
+
+Invalidation is versioned two ways: bumping :data:`CACHE_VERSION`
+changes every key (and the directory prefix, so ``repro-cache clear``
+can drop stale generations wholesale), and payloads whose field set no
+longer matches :class:`SimResult` are treated as misses, so adding a
+counter to ``SimResult`` never resurrects a stale result.
+
+Custom (non-registry) architectures are cached under their display
+name; as with the in-memory cache, the name must encode the parameters
+(the config is hashed too, but the factory itself cannot be).
+
+Environment knobs: ``REPRO_CACHE=0`` disables the cache entirely,
+``REPRO_CACHE_DIR`` relocates it (default ``.repro_cache``).
+
+CLI: ``esp-nuca repro-cache stats`` / ``esp-nuca repro-cache clear``
+(also installed standalone as ``repro-cache``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import shutil
+from typing import Dict, List, Optional
+
+from repro.sim.request import Supplier
+from repro.sim.results import SimResult
+
+#: Bump whenever simulation semantics change (timing model, trace
+#: generation, counter meaning): every key changes and old entries are
+#: never read again.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_SUPPLIER_FIELDS = ("supplier_count", "supplier_cycles")
+
+
+def cache_key(config, settings, architecture: str, workload: str,
+              seed: int) -> str:
+    """Content hash identifying one run point.
+
+    ``config`` is a :class:`SystemConfig`; ``settings`` anything with
+    ``refs_per_core``/``warmup_refs_per_core``/``capacity_factor``.
+    """
+    payload = {
+        "version": CACHE_VERSION,
+        "config": dataclasses.asdict(config),
+        "refs_per_core": settings.refs_per_core,
+        "warmup_refs_per_core": settings.warmup_refs_per_core,
+        "capacity_factor": settings.capacity_factor,
+        "architecture": architecture,
+        "workload": workload,
+        "seed": seed,
+    }
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def result_to_payload(result: SimResult) -> Dict[str, object]:
+    """JSON-serializable form of a :class:`SimResult` (exact round-trip)."""
+    payload: Dict[str, object] = {}
+    for f in dataclasses.fields(SimResult):
+        value = getattr(result, f.name)
+        if f.name in _SUPPLIER_FIELDS:
+            value = {s.name: value.get(s, 0) for s in Supplier}
+        payload[f.name] = value
+    return payload
+
+
+def payload_to_result(payload: Dict[str, object]) -> Optional[SimResult]:
+    """Rebuild a :class:`SimResult`, or ``None`` if the payload's field
+    set does not match the current dataclass (stale cache entry)."""
+    names = {f.name for f in dataclasses.fields(SimResult)}
+    if not isinstance(payload, dict) or set(payload) != names:
+        return None
+    kwargs = dict(payload)
+    try:
+        for name in _SUPPLIER_FIELDS:
+            kwargs[name] = {Supplier[k]: v for k, v in kwargs[name].items()}
+    except (KeyError, AttributeError, TypeError):
+        return None
+    return SimResult(**kwargs)
+
+
+class RunCache:
+    """Filesystem-backed store of run results, safe for concurrent use
+    (writes are atomic renames; readers of half-written entries see a
+    miss and re-simulate)."""
+
+    def __init__(self, root: Optional[str] = None,
+                 enabled: bool = True) -> None:
+        self.root = root or os.environ.get("REPRO_CACHE_DIR") or \
+            DEFAULT_CACHE_DIR
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    @classmethod
+    def from_env(cls) -> "RunCache":
+        flag = os.environ.get("REPRO_CACHE", "1").strip().lower()
+        return cls(enabled=flag not in ("0", "off", "false", "no"))
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"v{CACHE_VERSION}", key[:2],
+                            f"{key}.json")
+
+    def get(self, key: str) -> Optional[SimResult]:
+        if not self.enabled:
+            return None
+        try:
+            with open(self._path(key), encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        result = payload_to_result(payload)
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult) -> None:
+        if not self.enabled:
+            return
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(result_to_payload(result), handle)
+        os.replace(tmp, path)
+        self.writes += 1
+
+    # -- maintenance (the repro-cache CLI) ----------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        per_version: Dict[str, int] = {}
+        entries = 0
+        size = 0
+        if os.path.isdir(self.root):
+            for version in sorted(os.listdir(self.root)):
+                vdir = os.path.join(self.root, version)
+                if not os.path.isdir(vdir):
+                    continue
+                count = 0
+                for dirpath, _, filenames in os.walk(vdir):
+                    for name in filenames:
+                        if name.endswith(".json"):
+                            count += 1
+                            size += os.path.getsize(
+                                os.path.join(dirpath, name))
+                per_version[version] = count
+                entries += count
+        return {"root": self.root, "enabled": self.enabled,
+                "entries": entries, "bytes": size,
+                "per_version": per_version,
+                "session": {"hits": self.hits, "misses": self.misses,
+                            "writes": self.writes}}
+
+    def clear(self) -> int:
+        """Delete the whole cache directory; returns entries removed."""
+        removed = self.stats()["entries"]
+        if os.path.isdir(self.root):
+            shutil.rmtree(self.root)
+        return removed
+
+
+def format_stats(stats: Dict[str, object]) -> str:
+    lines = [f"run cache at {stats['root']} "
+             f"({'enabled' if stats['enabled'] else 'disabled'})",
+             f"  entries: {stats['entries']}  "
+             f"({stats['bytes'] / 1024:.1f} KiB)"]
+    for version, count in stats["per_version"].items():
+        marker = " (current)" if version == f"v{CACHE_VERSION}" else " (stale)"
+        lines.append(f"    {version}: {count} result(s){marker}")
+    session = stats["session"]
+    lines.append(f"  this session: {session['hits']} hit(s), "
+                 f"{session['misses']} miss(es), "
+                 f"{session['writes']} write(s)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``repro-cache stats|clear`` — also reachable as the
+    ``esp-nuca repro-cache`` subcommand."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-cache",
+        description="inspect or clear the persistent run cache")
+    parser.add_argument("action", choices=["stats", "clear"], nargs="?",
+                        default="stats")
+    parser.add_argument("--dir", default=None,
+                        help=f"cache directory (default $REPRO_CACHE_DIR "
+                             f"or {DEFAULT_CACHE_DIR})")
+    args = parser.parse_args(argv)
+    cache = RunCache(root=args.dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached result(s) from {cache.root}")
+    else:
+        print(format_stats(cache.stats()))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

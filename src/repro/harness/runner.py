@@ -5,34 +5,33 @@ Key properties:
 * **trace reuse** — the same materialized trace (workload, seed) is
   replayed against every architecture, so comparisons are paired;
 * **run caching** — a (settings, architecture, workload, seed) run is
-  simulated once per process and reused across experiments (Figures
-  6, 7 and 8 share their transactional runs, as in the paper);
+  simulated once and reused, first from an in-process memo and then
+  from the persistent on-disk cache (Figures 6, 7 and 8 share their
+  transactional runs, as in the paper; a second harness invocation
+  shares *everything* via ``.repro_cache/``);
+* **parallel execution** — independent run points are submitted in
+  batches through :class:`~repro.harness.executor.Executor`, which fans
+  them out over ``REPRO_JOBS`` worker processes (``REPRO_JOBS=1`` is a
+  deterministic serial fallback with identical results);
 * **perturbed seeds** — each extra seed regenerates the workload with
   a different random stream, the stand-in for the paper's pseudo-random
   perturbation, giving the 95% confidence intervals.
+
+See docs/harness.md for the pipeline end-to-end.
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.architectures.registry import make_architecture
 from repro.common.config import SystemConfig, scaled_config
 from repro.common.rng import perturbed_seeds
+from repro.harness.executor import (Executor, RunPoint, env_int,
+                                    materialize_traces)
 from repro.metrics.performance import AggregateResult
 from repro.sim.cpu import TraceItem
-from repro.sim.engine import SimulationEngine
 from repro.sim.results import SimResult
-from repro.sim.system import CmpSystem
-from repro.workloads.base import TraceGenerator, WorkloadSpec
-from repro.workloads.registry import get_workload
-
-
-def _env_int(name: str, default: int) -> int:
-    value = os.environ.get(name)
-    return int(value) if value else default
 
 
 @dataclass(frozen=True)
@@ -41,7 +40,9 @@ class RunSettings:
 
     The defaults implement the capacity-scaled configuration argued in
     DESIGN.md §2; environment variables allow scaling the fidelity:
-    ``REPRO_REFS``, ``REPRO_WARMUP``, ``REPRO_SEEDS``, ``REPRO_SCALE``.
+    ``REPRO_REFS``, ``REPRO_WARMUP``, ``REPRO_SEEDS``, ``REPRO_SCALE``
+    (and ``REPRO_JOBS`` for the executor). Malformed or out-of-range
+    values raise a :class:`ValueError` naming the variable.
     """
 
     capacity_factor: int = 8
@@ -53,10 +54,10 @@ class RunSettings:
     @classmethod
     def from_env(cls) -> "RunSettings":
         return cls(
-            capacity_factor=_env_int("REPRO_SCALE", 8),
-            refs_per_core=_env_int("REPRO_REFS", 20_000),
-            warmup_refs_per_core=_env_int("REPRO_WARMUP", 12_000),
-            num_seeds=_env_int("REPRO_SEEDS", 2),
+            capacity_factor=env_int("REPRO_SCALE", 8, minimum=1),
+            refs_per_core=env_int("REPRO_REFS", 20_000, minimum=1),
+            warmup_refs_per_core=env_int("REPRO_WARMUP", 12_000, minimum=0),
+            num_seeds=env_int("REPRO_SEEDS", 2, minimum=1),
         )
 
     def quick(self) -> "RunSettings":
@@ -67,63 +68,102 @@ class RunSettings:
 
 
 class ExperimentRunner:
+    """Session-level façade over the executor: builds run points, memoizes
+    results in-process, and aggregates them per (architecture, workload).
+    """
+
     def __init__(self, settings: Optional[RunSettings] = None,
-                 config: Optional[SystemConfig] = None) -> None:
+                 config: Optional[SystemConfig] = None,
+                 executor: Optional[Executor] = None) -> None:
         self.settings = settings or RunSettings.from_env()
         self.config = config or scaled_config(self.settings.capacity_factor)
         self.seeds = perturbed_seeds(self.settings.base_seed,
                                      self.settings.num_seeds)
+        self.executor = executor or Executor()
         self._trace_cache: Dict[Tuple[str, int], List[Optional[List[TraceItem]]]] = {}
         self._run_cache: Dict[Tuple[str, str, int], SimResult] = {}
 
-    # -- workload preparation -----------------------------------------------------
-
-    def _prepared_spec(self, workload: str) -> WorkloadSpec:
-        spec = get_workload(workload)
-        spec = spec.capacity_scaled(self.settings.capacity_factor)
-        total = self.settings.refs_per_core + self.settings.warmup_refs_per_core
-        return spec.scaled(total)
+    # -- workload preparation -----------------------------------------------
 
     def _traces(self, workload: str, seed: int
                 ) -> List[Optional[List[TraceItem]]]:
         key = (workload, seed)
         cached = self._trace_cache.get(key)
         if cached is None:
-            generator = TraceGenerator(self._prepared_spec(workload), seed)
-            cached = [list(trace) if trace is not None else None
-                      for trace in generator.traces(self.config.num_cores)]
+            cached = materialize_traces(self.config, self.settings,
+                                        workload, seed)
             self._trace_cache[key] = cached
         return cached
 
-    # -- running ----------------------------------------------------------------------
+    # -- run-point construction ---------------------------------------------
+
+    def _point(self, architecture: str, workload: str, seed: int) -> RunPoint:
+        return RunPoint(name=architecture, workload=workload, seed=seed,
+                        config=self.config, settings=self.settings,
+                        arch=architecture)
+
+    def _custom_point(self, name: str, config: SystemConfig, arch_factory,
+                      workload: str, seed: int) -> RunPoint:
+        return RunPoint(name=name, workload=workload, seed=seed,
+                        config=config, settings=self.settings,
+                        factory=arch_factory)
+
+    def submit(self, points: Sequence[RunPoint]) -> List[SimResult]:
+        """Run a batch of points through the executor, memoizing results.
+
+        The in-process memo keys on (name, workload, seed) — the
+        executor's content-hash cache additionally covers the config, so
+        custom names must encode their parameters (as before).
+        """
+        pending: List[RunPoint] = []
+        seen = set()
+        for point in points:
+            key = (point.name, point.workload, point.seed)
+            if key not in self._run_cache and key not in seen:
+                seen.add(key)
+                pending.append(point)
+        if pending:
+            for point, result in zip(pending, self.executor.run(pending)):
+                self._run_cache[(point.name, point.workload,
+                                 point.seed)] = result
+        return [self._run_cache[(p.name, p.workload, p.seed)]
+                for p in points]
+
+    # -- running -------------------------------------------------------------
 
     def run_one(self, architecture: str, workload: str, seed: int) -> SimResult:
-        key = (architecture, workload, seed)
-        cached = self._run_cache.get(key)
-        if cached is not None:
-            return cached
-        arch = make_architecture(architecture, self.config)
-        system = CmpSystem(self.config, arch)
-        traces = [iter(t) if t is not None else None
-                  for t in self._traces(workload, seed)]
-        engine = SimulationEngine(system, traces)
-        result = engine.run(
-            max_refs_per_core=self.settings.refs_per_core,
-            warmup_refs_per_core=self.settings.warmup_refs_per_core)
-        result.workload = workload
-        result.seed = seed
-        self._run_cache[key] = result
-        return result
+        return self.submit([self._point(architecture, workload, seed)])[0]
 
     def aggregate(self, architecture: str, workload: str) -> AggregateResult:
+        points = [self._point(architecture, workload, seed)
+                  for seed in self.seeds]
         agg = AggregateResult(architecture, workload)
-        for seed in self.seeds:
-            agg.add(self.run_one(architecture, workload, seed))
+        for result in self.submit(points):
+            agg.add(result)
         return agg
+
+    def prefetch(self, architectures: Sequence[str],
+                 workloads: Sequence[str]) -> None:
+        """Submit a whole (architecture, workload, seed) grid as one
+        batch so the executor can fan it out; results land in the memo
+        and subsequent :meth:`aggregate` calls are cache hits."""
+        self.submit([self._point(arch, wl, seed)
+                     for wl in workloads for arch in architectures
+                     for seed in self.seeds])
+
+    def prefetch_custom(self, specs: Sequence[Tuple[str, SystemConfig,
+                                                    object, str]]) -> None:
+        """Batch custom run points: ``specs`` holds
+        (name, config, arch_factory, workload) tuples, expanded over the
+        session's seeds."""
+        self.submit([self._custom_point(name, config, factory, wl, seed)
+                     for name, config, factory, wl in specs
+                     for seed in self.seeds])
 
     def matrix(self, architectures: Sequence[str], workloads: Sequence[str]
                ) -> Dict[Tuple[str, str], AggregateResult]:
         """All (architecture, workload) aggregates, trace-paired."""
+        self.prefetch(architectures, workloads)
         return {(arch, wl): self.aggregate(arch, wl)
                 for wl in workloads for arch in architectures}
 
@@ -132,31 +172,24 @@ class ExperimentRunner:
         """Run a non-registry architecture (parameter ablations).
 
         ``arch_factory(config)`` builds the architecture; ``name`` keys
-        the cache, so it must encode the parameters.
+        the cache, so it must encode the parameters. Factories that
+        cannot be pickled still work — the executor simulates them in
+        the parent process.
         """
-        key = (name, workload, seed)
-        cached = self._run_cache.get(key)
-        if cached is not None:
-            return cached
-        system = CmpSystem(config, arch_factory(config))
-        traces = [iter(t) if t is not None else None
-                  for t in self._traces(workload, seed)]
-        engine = SimulationEngine(system, traces)
-        result = engine.run(
-            max_refs_per_core=self.settings.refs_per_core,
-            warmup_refs_per_core=self.settings.warmup_refs_per_core)
-        result.architecture = name
-        result.workload = workload
-        result.seed = seed
-        self._run_cache[key] = result
-        return result
+        return self.submit([self._custom_point(name, config, arch_factory,
+                                               workload, seed)])[0]
 
     def aggregate_custom(self, name: str, config: SystemConfig, arch_factory,
                          workload: str) -> AggregateResult:
+        points = [self._custom_point(name, config, arch_factory,
+                                     workload, seed)
+                  for seed in self.seeds]
         agg = AggregateResult(name, workload)
-        for seed in self.seeds:
-            agg.add(self.run_custom(name, config, arch_factory, workload, seed))
+        for result in self.submit(points):
+            agg.add(result)
         return agg
 
     def clear_run_cache(self) -> None:
+        """Drop the in-process memo (the on-disk cache is unaffected;
+        use ``repro-cache clear`` for that)."""
         self._run_cache.clear()

@@ -56,6 +56,9 @@ class Sweep:
         self.arch_label = arch_label
         self.metric = metric
 
+    def _label(self, value) -> str:
+        return f"{self.arch_label}[{self.field}={value}]"
+
     def run(self, workloads: Sequence[str],
             baseline_arch: str = "shared") -> ExperimentReport:
         report = ExperimentReport(
@@ -63,14 +66,23 @@ class Sweep:
             title=f"{self.arch_label} vs {self.field} "
                   f"(metric normalized to {baseline_arch})",
             columns=list(workloads))
+        # One batch for the whole grid: the executor parallelizes the
+        # (value, workload, seed) points and the loops below hit the memo.
+        configs = {value: set_config_field(self.runner.config, self.field,
+                                           value)
+                   for value in self.values}
+        self.runner.prefetch([baseline_arch], workloads)
+        self.runner.prefetch_custom(
+            [(self._label(value), config, self.arch_factory, workload)
+             for value, config in configs.items() for workload in workloads])
         for value in self.values:
-            config = set_config_field(self.runner.config, self.field, value)
+            config = configs[value]
             row = []
             for workload in workloads:
                 base = self.metric(
                     self.runner.aggregate(baseline_arch, workload))
                 agg = self.runner.aggregate_custom(
-                    f"{self.arch_label}[{self.field}={value}]", config,
+                    self._label(value), config,
                     self.arch_factory, workload)
                 row.append(self.metric(agg) / base)
             report.series[f"{self.field}={value}"] = row

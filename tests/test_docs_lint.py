@@ -1,0 +1,64 @@
+"""lint-docs: documentation stays honest or tier-1 fails.
+
+Two checks, run as ordinary tests so the tier-1 entry point
+(``pytest -x -q``) covers them:
+
+* every fenced ``python`` code block in ``docs/*.md`` and README.md
+  at least compiles (docs with syntax errors are worse than no docs);
+* every relative markdown link in any tracked ``*.md`` resolves to an
+  existing file (renames and deletions must update their references).
+"""
+
+import glob
+import os
+import re
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: docs whose code blocks must compile (the worked examples).
+CODE_DOCS = sorted(glob.glob(os.path.join(ROOT, "docs", "*.md"))) + \
+    [os.path.join(ROOT, "README.md")]
+
+#: all markdown subject to the dead-link check. SNIPPETS.md holds
+#: verbatim excerpts of *other* repositories, so its links are exempt.
+LINK_DOCS = sorted(
+    path
+    for pattern in ("*.md", os.path.join("docs", "*.md"))
+    for path in glob.glob(os.path.join(ROOT, pattern))
+    if os.path.basename(path) != "SNIPPETS.md")
+
+_FENCE = re.compile(r"```python[ \t]*\n(.*?)^```", re.DOTALL | re.MULTILINE)
+_LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+
+
+def _read(path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+@pytest.mark.parametrize("path", CODE_DOCS,
+                         ids=[os.path.relpath(p, ROOT) for p in CODE_DOCS])
+def test_python_blocks_compile(path):
+    for i, block in enumerate(_FENCE.findall(_read(path))):
+        try:
+            compile(block, f"{os.path.relpath(path, ROOT)}#block{i}", "exec")
+        except SyntaxError as exc:
+            pytest.fail(f"fenced python block {i} of "
+                        f"{os.path.relpath(path, ROOT)} does not compile: "
+                        f"{exc}")
+
+
+def test_relative_links_resolve():
+    dead = []
+    for path in LINK_DOCS:
+        base = os.path.dirname(path)
+        for target in _LINK.findall(_read(path)):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(base, target.split("#", 1)[0]))
+            if not os.path.exists(resolved):
+                dead.append(f"{os.path.relpath(path, ROOT)} -> {target}")
+    assert not dead, "dead relative links:\n  " + "\n  ".join(dead)

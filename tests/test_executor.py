@@ -1,0 +1,163 @@
+"""Executor and persistent run cache: parallel == serial, cache hits,
+versioned invalidation, validated environment knobs."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.common.config import scaled_config
+from repro.core.esp_nuca import EspNuca
+from repro.harness.executor import Executor, RunPoint, default_jobs, env_int
+from repro.harness.runcache import (RunCache, cache_key, payload_to_result,
+                                    result_to_payload)
+from repro.harness.runcache import main as cache_main
+from repro.harness.runner import ExperimentRunner, RunSettings
+
+QUICK = RunSettings(capacity_factor=8, refs_per_core=400,
+                    warmup_refs_per_core=100, num_seeds=2)
+GRID_ARCHS = ["shared", "private", "esp-nuca"]
+GRID_WORKLOADS = ["apache", "gcc-4"]
+
+
+def make_runner(cache_dir, jobs, settings=QUICK):
+    cache = (RunCache(root=str(cache_dir)) if cache_dir is not None
+             else RunCache(enabled=False))
+    return ExperimentRunner(settings, executor=Executor(jobs=jobs,
+                                                        cache=cache))
+
+
+@pytest.fixture(scope="module")
+def serial_grid():
+    """The reference results: serial path, no persistent cache."""
+    runner = make_runner(None, 1)
+    runner.matrix(GRID_ARCHS, GRID_WORKLOADS)
+    return runner
+
+
+class TestParallelEqualsSerial:
+    def test_results_identical_fieldwise(self, serial_grid, tmp_path):
+        parallel = make_runner(tmp_path / "cache", 2)
+        parallel.matrix(GRID_ARCHS, GRID_WORKLOADS)
+        for arch in GRID_ARCHS:
+            for wl in GRID_WORKLOADS:
+                for seed in serial_grid.seeds:
+                    a = serial_grid.run_one(arch, wl, seed)
+                    b = parallel.run_one(arch, wl, seed)
+                    assert a == b, (arch, wl, seed)
+
+    def test_unpicklable_factory_falls_back_in_parent(self, serial_grid,
+                                                      tmp_path):
+        runner = make_runner(tmp_path / "cache", 2)
+        agg = runner.aggregate_custom("esp[lambda]", runner.config,
+                                      lambda c: EspNuca(c), "apache")
+        reference = make_runner(None, 1).aggregate("esp-nuca", "apache")
+        assert [r.cycles for r in agg.runs] == \
+            [r.cycles for r in reference.runs]
+
+    def test_jobs_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        assert default_jobs() == 1
+        assert Executor().jobs == 1
+        monkeypatch.delenv("REPRO_JOBS")
+        assert default_jobs() == (os.cpu_count() or 1)
+
+    def test_jobs_must_be_positive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            Executor()
+
+
+class TestPersistentCache:
+    def test_second_run_all_hits(self, tmp_path):
+        first = make_runner(tmp_path / "cache", 1)
+        first.matrix(GRID_ARCHS, GRID_WORKLOADS)
+        points = len(GRID_ARCHS) * len(GRID_WORKLOADS) * QUICK.num_seeds
+        assert first.executor.cache.writes == points
+
+        second = make_runner(tmp_path / "cache", 1)
+        second.matrix(GRID_ARCHS, GRID_WORKLOADS)
+        assert second.executor.cache.misses == 0
+        assert second.executor.cache.hits == points
+        for arch in GRID_ARCHS:
+            for wl in GRID_WORKLOADS:
+                for seed in first.seeds:
+                    assert first.run_one(arch, wl, seed) == \
+                        second.run_one(arch, wl, seed)
+
+    def test_settings_change_invalidates(self, tmp_path):
+        runner = make_runner(tmp_path / "cache", 1)
+        runner.run_one("shared", "apache", runner.seeds[0])
+        longer = dataclasses.replace(QUICK, refs_per_core=500)
+        rerun = make_runner(tmp_path / "cache", 1, settings=longer)
+        rerun.run_one("shared", "apache", rerun.seeds[0])
+        assert rerun.executor.cache.hits == 0
+        assert rerun.executor.cache.misses == 1
+
+    def test_config_change_invalidates(self):
+        base = scaled_config(8)
+        other = dataclasses.replace(
+            base, mem=dataclasses.replace(base.mem, latency=351))
+        assert cache_key(base, QUICK, "shared", "apache", 1) != \
+            cache_key(other, QUICK, "shared", "apache", 1)
+
+    def test_duplicate_points_simulated_once(self, tmp_path):
+        executor = Executor(jobs=1, cache=RunCache(root=str(tmp_path)))
+        point = RunPoint(name="shared", workload="apache", seed=7,
+                         config=scaled_config(8), settings=QUICK,
+                         arch="shared")
+        results = executor.run([point, point, point])
+        assert executor.cache.writes == 1
+        assert results[0] == results[1] == results[2]
+
+    def test_payload_round_trip(self, tmp_path):
+        result = make_runner(None, 1).run_one("shared", "apache", 3)
+        assert payload_to_result(result_to_payload(result)) == result
+
+    def test_stale_payload_is_a_miss(self):
+        result = make_runner(None, 1).run_one("shared", "apache", 3)
+        payload = result_to_payload(result)
+        payload.pop("cycles")  # field set no longer matches SimResult
+        assert payload_to_result(payload) is None
+
+    def test_disabled_cache_never_touches_disk(self, tmp_path):
+        cache_dir = tmp_path / "never"
+        runner = ExperimentRunner(QUICK, executor=Executor(
+            jobs=1, cache=RunCache(root=str(cache_dir), enabled=False)))
+        runner.run_one("shared", "apache", runner.seeds[0])
+        assert not cache_dir.exists()
+
+    def test_cli_stats_and_clear(self, tmp_path, capsys):
+        runner = make_runner(tmp_path / "cache", 1)
+        runner.run_one("shared", "apache", runner.seeds[0])
+        assert cache_main(["stats", "--dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert cache_main(["clear", "--dir", str(tmp_path / "cache")]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+        assert not (tmp_path / "cache").exists()
+
+
+class TestEnvValidation:
+    def test_malformed_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REFS", "twenty")
+        with pytest.raises(ValueError, match="REPRO_REFS.*integer"):
+            RunSettings.from_env()
+
+    def test_negative_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WARMUP", "-5")
+        with pytest.raises(ValueError, match="REPRO_WARMUP.*>= 0"):
+            RunSettings.from_env()
+
+    def test_zero_seeds_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEEDS", "0")
+        with pytest.raises(ValueError, match="REPRO_SEEDS.*>= 1"):
+            RunSettings.from_env()
+
+    def test_blank_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "  ")
+        assert RunSettings.from_env().capacity_factor == 8
+
+    def test_env_int_passes_good_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REFS", " 123 ")
+        assert env_int("REPRO_REFS", 7, minimum=1) == 123
