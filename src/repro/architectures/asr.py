@@ -58,7 +58,19 @@ class AdaptiveSelectiveReplication(TiledPrivate):
         self._victim_tags: List[Deque[int]] = [
             deque(maxlen=self.victim_tag_depth) for _ in range(n)]
         self._victim_sets: List[set] = [set() for _ in range(n)]
-        self.level_changes = 0
+        # Observability: per-core replication level (a gauge — the level
+        # itself is mechanism state and survives warm-up reset) and the
+        # number of adaptation steps taken.
+        repl = self.stats.scope("replication")
+        self._level_changes = repl.counter("level_changes")
+        self._level_gauges = [repl.scope(f"core{c}").gauge("level_index")
+                              for c in range(n)]
+        for c in range(n):
+            self._level_gauges[c].set(self.level_index[c])
+
+    @property
+    def level_changes(self) -> int:
+        return self._level_changes.value
 
     # -- level bookkeeping -------------------------------------------------------
 
@@ -79,11 +91,12 @@ class AdaptiveSelectiveReplication(TiledPrivate):
         index = self.level_index[core]
         if cost > benefit and index > 0:
             index -= 1
-            self.level_changes += 1
+            self._level_changes.value += 1
         elif growth > cost and index < len(LEVELS) - 1:
             index += 1
-            self.level_changes += 1
+            self._level_changes.value += 1
         self.level_index[core] = index
+        self._level_gauges[core].set(index)
         self._events[core] = 0
         self._replica_hits[core] = 0
         self._remote_shared_hits[core] = 0

@@ -25,6 +25,7 @@ from repro.cache.bank import CacheBank
 from repro.cache.block import BlockClass, CacheBlock
 from repro.cache.l1 import L1Line
 from repro.common.config import SystemConfig
+from repro.common.statsreg import Scope
 from repro.noc.message import MessageKind
 from repro.sim.request import Supplier
 
@@ -40,6 +41,10 @@ class NucaArchitecture:
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
         self.system: "CmpSystem" = None  # type: ignore[assignment]
+        # Policy-level statistics (helping-block creation, demotions,
+        # ...). Subclasses register counters here; the system mounts
+        # the scope at ``arch``.
+        self.stats = Scope()
 
     # -- wiring ---------------------------------------------------------------
 
@@ -52,6 +57,9 @@ class NucaArchitecture:
         self.ledger = system.ledger
         self.banks: List[CacheBank] = self.build_banks()
         self._bank_busy = [0] * len(self.banks)
+        # A rebound architecture starts its statistics from zero (the
+        # mechanism state is rebuilt by build_banks/on_bound anyway).
+        self.stats.reset()
         self.on_bound()
 
     def build_banks(self) -> List[CacheBank]:

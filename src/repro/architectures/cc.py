@@ -67,8 +67,17 @@ class CooperativeCaching(TiledPrivate):
             raise ValueError("cooperation probability must be in [0, 1]")
         self.cooperation = cooperation
         self.name = f"cc{int(round(cooperation * 100)):02d}"
-        self.spills = 0
-        self.spill_hits = 0
+        coop = self.stats.scope("cooperation")
+        self._spills = coop.counter("spills")
+        self._spill_hits = coop.counter("spill_hits")
+
+    @property
+    def spills(self) -> int:
+        return self._spills.value
+
+    @property
+    def spill_hits(self) -> int:
+        return self._spill_hits.value
 
     def build_banks(self) -> List[CacheBank]:
         cfg = self.config.l2
@@ -100,7 +109,7 @@ class CooperativeCaching(TiledPrivate):
                           and source[1].entry.meta.get("spilled"))
         t_done, supplier = super().handle_miss(core, block, is_write, t)
         if spilled_source:
-            self.spill_hits += 1
+            self._spill_hits.value += 1
         if supplier in (Supplier.L1_REMOTE, Supplier.L2_REMOTE):
             # Cache-to-cache transfers are brokered by the central
             # coherence engine (CCE): charge the directory indirection
@@ -129,7 +138,7 @@ class CooperativeCaching(TiledPrivate):
                 host_index = self.amap.private_index(block)
                 if self.l2_allocate(host_bank, host_index, spilled,
                                     cascade=True):
-                    self.spills += 1
+                    self._spills.value += 1
                     return
         self.system.send_to_memory(block, tokens, entry.dirty,
                                    self.router_of_bank(bank_id))

@@ -28,8 +28,17 @@ class VictimReplication(SharedNuca):
 
     def bind(self, system) -> None:
         super().bind(system)
-        self.replicas_created = 0
-        self.replica_hits = 0
+        helping = self.stats.scope("helping")
+        self._replicas_created = helping.counter("replicas_created")
+        self._replica_hits = helping.counter("replica_hits")
+
+    @property
+    def replicas_created(self) -> int:
+        return self._replicas_created.value
+
+    @property
+    def replica_hits(self) -> int:
+        return self._replica_hits.value
 
     def _local_bank(self, block: int, core: int) -> Tuple[int, int]:
         """The local-cluster bank slot VR uses for replicas: the bank
@@ -48,7 +57,7 @@ class VictimReplication(SharedNuca):
             entry = self.banks[bank_id].lookup(
                 index, block, classes=(BlockClass.REPLICA,), owner=core)
             if entry is not None:
-                self.replica_hits += 1
+                self._replica_hits.value += 1
                 t_hit = self.bank_service(bank_id, t, hit=True)
                 tokens, dirty, _ = self.take_from_l2_entry(
                     block, bank_id, index, entry,
@@ -89,7 +98,7 @@ class VictimReplication(SharedNuca):
         entry = CacheBlock(block=block, cls=BlockClass.REPLICA, owner=core,
                            dirty=line.dirty, tokens=tokens)
         if self.l2_allocate(bank_id, index, entry):
-            self.replicas_created += 1
+            self._replicas_created.value += 1
             return
         self.system.send_to_memory(block, tokens, line.dirty,
                                    self.router_of_bank(bank_id))

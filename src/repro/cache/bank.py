@@ -6,6 +6,14 @@ decision; the bank provides exact storage, LRU bookkeeping, replacement
 delegation, and — for ESP-NUCA — the set-role machinery (reference /
 explorer / monitored-conventional sets) plus the ``nmax`` helping-block
 budget that the dueling controller adjusts.
+
+Statistics live in the bank's own :class:`~repro.common.statsreg.Scope`
+(``hits.<class>``, ``misses``, ``allocations``, ``refusals``,
+``evictions``); :class:`~repro.sim.system.CmpSystem` mounts it at
+``l2.bank<i>`` so warm-up reset and per-bank reporting walk the
+registry instead of hand-listed fields. The legacy attribute API
+(``bank.misses``, ``bank.hits[cls]``, ...) reads through to the same
+counters.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from repro.cache.block import BlockClass, CacheBlock
 from repro.cache.cache_set import CacheSet
 from repro.cache.replacement import FlatLru, ReplacementPolicy
+from repro.common.statsreg import Counter, Scope
 
 
 class SetRole(enum.Enum):
@@ -40,12 +49,15 @@ class CacheBank:
         self.roles: Dict[int, SetRole] = {}
         self.nmax: Optional[int] = None  # None => helping blocks unbounded
         self.monitor: Optional[Callable[["CacheBank", int, bool], None]] = None
-        # Statistics.
-        self.hits: Dict[BlockClass, int] = {cls: 0 for cls in BlockClass}
-        self.misses = 0
-        self.allocations = 0
-        self.refusals = 0
-        self.evictions = 0
+        # Statistics: one scope per bank, mounted by the system.
+        self.stats = Scope()
+        hit_scope = self.stats.scope("hits")
+        self._hits: Dict[BlockClass, Counter] = {
+            cls: hit_scope.counter(cls.value) for cls in BlockClass}
+        self._misses = self.stats.counter("misses")
+        self._allocations = self.stats.counter("allocations")
+        self._refusals = self.stats.counter("refusals")
+        self._evictions = self.stats.counter("evictions")
 
     # -- roles & helping budget ------------------------------------------------
 
@@ -84,9 +96,9 @@ class CacheBank:
             self.touch(entry)
         if record:
             if entry is not None:
-                self.hits[entry.cls] += 1
+                self._hits[entry.cls].value += 1
             else:
-                self.misses += 1
+                self._misses.value += 1
             if self.monitor is not None and set_index in self.roles:
                 self.monitor(self, set_index,
                              entry is not None and entry.is_first_class)
@@ -110,14 +122,14 @@ class CacheBank:
         cache_set = self.sets[set_index]
         way = self.policy.choose(cache_set, entry, self, set_index)
         if way is None:
-            self.refusals += 1
+            self._refusals.value += 1
             return False, None
         evicted = cache_set.blocks[way]
         if evicted is not None:
-            self.evictions += 1
+            self._evictions.value += 1
         cache_set.install(way, entry)
         self.touch(entry)
-        self.allocations += 1
+        self._allocations.value += 1
         return True, evicted
 
     def remove(self, set_index: int, entry: CacheBlock) -> None:
@@ -130,15 +142,32 @@ class CacheBank:
     # -- stats ----------------------------------------------------------------------
 
     @property
+    def hits(self) -> Dict[BlockClass, int]:
+        """Per-class demand hits (a read-only view of the counters)."""
+        return {cls: c.value for cls, c in self._hits.items()}
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def allocations(self) -> int:
+        return self._allocations.value
+
+    @property
+    def refusals(self) -> int:
+        return self._refusals.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @property
     def total_hits(self) -> int:
-        return sum(self.hits.values())
+        return sum(c.value for c in self._hits.values())
 
     def occupancy(self) -> int:
         return sum(len(s.valid_blocks()) for s in self.sets)
 
     def reset_stats(self) -> None:
-        self.hits = {cls: 0 for cls in BlockClass}
-        self.misses = 0
-        self.allocations = 0
-        self.refusals = 0
-        self.evictions = 0
+        self.stats.reset()

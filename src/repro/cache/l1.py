@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.common.statsreg import Scope
+
 
 class L1Line:
     __slots__ = ("block", "dirty", "tokens", "lru", "reused")
@@ -33,8 +35,10 @@ class L1Cache:
         self.assoc = assoc
         self._sets: List[Dict[int, L1Line]] = [dict() for _ in range(num_sets)]
         self._stamp = 0
-        self.hits = 0
-        self.misses = 0
+        # Statistics scope, mounted at ``l1.core<i>`` by the system.
+        self.stats = Scope()
+        self._hits = self.stats.counter("hits")
+        self._misses = self.stats.counter("misses")
 
     def _index(self, block: int) -> int:
         return block % self.num_sets
@@ -51,9 +55,9 @@ class L1Cache:
         """Demand access: updates hit/miss statistics."""
         line = self.lookup(block)
         if line is None:
-            self.misses += 1
+            self._misses.value += 1
         else:
-            self.hits += 1
+            self._hits.value += 1
         return line
 
     def fill(self, block: int, tokens: int, dirty: bool
@@ -87,6 +91,13 @@ class L1Cache:
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)
 
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
     def reset_stats(self) -> None:
-        self.hits = 0
-        self.misses = 0
+        self.stats.reset()

@@ -22,6 +22,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.cache.block import CacheBlock
 from repro.cache.l1 import L1Line
+from repro.common.statsreg import Scope
 
 
 @dataclass
@@ -57,7 +58,21 @@ class TokenLedger:
         self.total_tokens = 2 * num_cores
         self.checking = checking
         self._states: Dict[int, BlockState] = {}
-        self.token_steals = 0
+        # Statistics scope, mounted at ``coherence`` by the system.
+        self.stats = Scope()
+        self._token_steals = self.stats.counter("token_steals")
+        self._blocks_left_chip = self.stats.counter("blocks_left_chip")
+
+    @property
+    def token_steals(self) -> int:
+        """Times a new reader had to take a token from a live copy
+        because memory's pool for the block was empty."""
+        return self._token_steals.value
+
+    @property
+    def blocks_left_chip(self) -> int:
+        """Blocks whose last on-chip copy disappeared (state forgotten)."""
+        return self._blocks_left_chip.value
 
     # -- state access ----------------------------------------------------------
 
@@ -100,6 +115,7 @@ class TokenLedger:
         if not state.on_chip() and state.memory_tokens == self.total_tokens:
             # Block fully off chip: forget it (classification resets too,
             # handled by the caller via `left_chip`).
+            self._blocks_left_chip.value += 1
             del self._states[block]
 
     def take_from_l1(self, block: int, core: int, amount: Optional[int] = None) -> int:
@@ -167,9 +183,11 @@ class TokenLedger:
         state = self.state(block)
         for holding in state.l2.values():
             if holding.entry.tokens > 1:
+                self._token_steals.value += 1
                 return "l2", holding.entry
         for core, line in state.l1.items():
             if line.tokens > 1:
+                self._token_steals.value += 1
                 return "l1", core
         return None
 

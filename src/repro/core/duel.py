@@ -18,6 +18,7 @@ from typing import Dict, List
 from repro.cache.bank import CacheBank, SetRole
 from repro.common.config import EspConfig
 from repro.common.fixedpoint import EmaEstimator
+from repro.common.statsreg import Scope
 
 
 def sampled_set_indices(num_sets: int, config: EspConfig) -> Dict[int, SetRole]:
@@ -59,7 +60,16 @@ class BankDuelState:
 
 
 class DuelController:
-    """Owns the duel state of every bank of an ESP-NUCA L2."""
+    """Owns the duel state of every bank of an ESP-NUCA L2.
+
+    Mechanism state (the EMAs, the current ``nmax``, the update-period
+    pacing counter) lives in :class:`BankDuelState` and survives the
+    warm-up statistics reset — resetting it would change simulated
+    behaviour. *Observability* lives in ``stats`` (mounted by the
+    system under ``arch.duel``): per-bank monitored-event and
+    increase/decrease counters plus gauges tracking ``nmax`` and the
+    three role-set hit rates at the last evaluation.
+    """
 
     def __init__(self, config: EspConfig, ways: int, record_history: bool = False) -> None:
         self.config = config
@@ -67,6 +77,8 @@ class DuelController:
         self.nmax_cap = ways - 1  # log2(w)-bit counter, and >= 1 way stays first-class
         self.record_history = record_history
         self._states: Dict[int, BankDuelState] = {}
+        self.stats = Scope()
+        self._bank_stats: Dict[int, Dict[str, object]] = {}
 
     def attach(self, bank: CacheBank) -> BankDuelState:
         """Configure a bank for dueling and return its state."""
@@ -77,6 +89,18 @@ class DuelController:
             hr_conventional=EmaEstimator(self.config.ema_bits, self.config.ema_shift),
         )
         self._states[bank.bank_id] = state
+        scope = self.stats.scope(f"bank{bank.bank_id}")
+        self._bank_stats[bank.bank_id] = {
+            "events": scope.counter("events"),
+            "evaluations": scope.counter("evaluations"),
+            "increases": scope.counter("increases"),
+            "decreases": scope.counter("decreases"),
+            "nmax": scope.gauge("nmax"),
+            "hr_reference": scope.gauge("hr_reference"),
+            "hr_explorer": scope.gauge("hr_explorer"),
+            "hr_conventional": scope.gauge("hr_conventional"),
+        }
+        self._bank_stats[bank.bank_id]["nmax"].set(state.nmax)
         for set_index, role in sampled_set_indices(bank.num_sets, self.config).items():
             bank.assign_role(set_index, role)
         bank.nmax = state.nmax
@@ -99,6 +123,7 @@ class DuelController:
             state.hr_conventional.record(first_class_hit)
         else:
             return
+        self._bank_stats[bank.bank_id]["events"].value += 1
         state.events += 1
         if state.events >= self.config.update_period:
             state.events = 0
@@ -117,14 +142,22 @@ class DuelController:
         # the budget. Symmetrically, an explorer within tolerance —
         # including exact equality — argues one more helping block is
         # safe.
+        stats = self._bank_stats[bank.bank_id]
         if hr_r - state.hr_conventional.value > tolerance and state.nmax > 0:
             state.nmax -= 1
             state.decreases += 1
+            stats["decreases"].value += 1
         elif (hr_r - state.hr_explorer.value <= tolerance
               and state.nmax < self.nmax_cap):
             state.nmax += 1
             state.increases += 1
+            stats["increases"].value += 1
         bank.nmax = state.nmax
+        stats["evaluations"].value += 1
+        stats["nmax"].set(state.nmax)
+        stats["hr_reference"].set(state.hr_reference.hit_rate())
+        stats["hr_explorer"].set(state.hr_explorer.hit_rate())
+        stats["hr_conventional"].set(state.hr_conventional.hit_rate())
         if self.record_history:
             state.history.append(state.nmax)
 

@@ -53,11 +53,28 @@ class EspNuca(SpNuca):
             self.name = "esp-nuca-flat"
         self.duel: Optional[DuelController] = None
         self._record_nmax_history = record_nmax_history
-        # Helping-block statistics.
-        self.replicas_created = 0
-        self.victims_created = 0
-        self.replica_hits = 0
-        self.victim_hits = 0
+        # Helping-block statistics (mounted at ``arch.helping``).
+        helping = self.stats.scope("helping")
+        self._replicas_created = helping.counter("replicas_created")
+        self._victims_created = helping.counter("victims_created")
+        self._replica_hits = helping.counter("replica_hits")
+        self._victim_hits = helping.counter("victim_hits")
+
+    @property
+    def replicas_created(self) -> int:
+        return self._replicas_created.value
+
+    @property
+    def victims_created(self) -> int:
+        return self._victims_created.value
+
+    @property
+    def replica_hits(self) -> int:
+        return self._replica_hits.value
+
+    @property
+    def victim_hits(self) -> int:
+        return self._victim_hits.value
 
     # -- construction ---------------------------------------------------------------
 
@@ -76,6 +93,7 @@ class EspNuca(SpNuca):
                                        record_history=self._record_nmax_history)
             for bank in self.banks:
                 self.duel.attach(bank)
+            self.stats.mount("duel", self.duel.stats, replace=True)
 
     # -- hit handling refinements ---------------------------------------------------
 
@@ -83,7 +101,7 @@ class EspNuca(SpNuca):
                            bank_id: int, index: int, is_write: bool,
                            t_hit: int) -> Tuple[int, Supplier]:
         if entry.cls is BlockClass.REPLICA:
-            self.replica_hits += 1
+            self._replica_hits.value += 1
             if not is_write:
                 # Serve reads token-by-token so the replica persists
                 # across reuses instead of swapping into the L1 and
@@ -101,7 +119,7 @@ class EspNuca(SpNuca):
                           bank_id: int, index: int, sb_router: int,
                           is_write: bool, t_hit: int) -> Tuple[int, Supplier]:
         if entry.cls is BlockClass.VICTIM:
-            self.victim_hits += 1
+            self._victim_hits.value += 1
             if entry.owner == core:
                 # The owner reclaims its victim: swap it back into L1.
                 tokens, dirty, _ = self.take_from_l2_entry(
@@ -181,7 +199,7 @@ class EspNuca(SpNuca):
         entry = CacheBlock(block=block, cls=BlockClass.REPLICA, owner=core,
                            dirty=dirty, tokens=tokens)
         if self.l2_allocate(bank_id, index, entry, cascade=True):
-            self.replicas_created += 1
+            self._replicas_created.value += 1
             return True
         return False
 
@@ -203,7 +221,7 @@ class EspNuca(SpNuca):
                                 owner=entry.owner, dirty=entry.dirty,
                                 tokens=tokens)
             if self.l2_allocate(sb, sidx, victim, cascade=True):
-                self.victims_created += 1
+                self._victims_created.value += 1
                 return
         self.system.send_to_memory(entry.block, tokens, entry.dirty,
                                    self.router_of_bank(bank_id))

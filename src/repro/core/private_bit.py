@@ -14,6 +14,8 @@ from __future__ import annotations
 import enum
 from typing import Dict, Optional
 
+from repro.common.statsreg import Scope
+
 
 class Classification(enum.Enum):
     ABSENT = "absent"
@@ -27,7 +29,14 @@ _SHARED_OWNER = -1
 class PrivateBitDirectory:
     def __init__(self) -> None:
         self._owner: Dict[int, int] = {}
-        self.demotions = 0  # private -> shared transitions
+        # Mounted at ``arch.classifier`` when owned by an architecture.
+        self.stats = Scope()
+        self._demotions = self.stats.counter("demotions")
+
+    @property
+    def demotions(self) -> int:
+        """Private -> shared transitions."""
+        return self._demotions.value
 
     def classify(self, block: int) -> Classification:
         owner = self._owner.get(block)
@@ -52,7 +61,7 @@ class PrivateBitDirectory:
         if owner is None or owner == _SHARED_OWNER or owner == core:
             return False
         self._owner[block] = _SHARED_OWNER
-        self.demotions += 1
+        self._demotions.value += 1
         return True
 
     def force_shared(self, block: int) -> None:

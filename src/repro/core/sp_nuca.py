@@ -47,6 +47,7 @@ class SpNuca(NucaArchitecture):
             raise ValueError(f"unknown partitioning {partitioning!r}")
         self.partitioning = partitioning
         self.classifier = PrivateBitDirectory()
+        self.stats.mount("classifier", self.classifier.stats)
         self._shadow: Optional[ShadowTagPartition] = None
         if partitioning != "lru":
             self.name = f"sp-nuca-{partitioning}"

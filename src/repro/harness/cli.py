@@ -6,6 +6,7 @@ Examples::
     esp-nuca all                   # every table/figure
     esp-nuca fig10 --seeds 3 --refs 40000
     esp-nuca run --arch esp-nuca --workload apache   # one raw run
+    esp-nuca stats --arch esp-nuca --workload apache # per-bank breakdown
     esp-nuca all --jobs 8          # fan runs out over 8 processes
     esp-nuca repro-cache stats     # inspect the persistent run cache
     esp-nuca repro-cache clear
@@ -28,13 +29,15 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="esp-nuca",
         description="ESP-NUCA (HPCA 2010) reproduction harness")
     parser.add_argument("experiment",
-                        choices=list(EXPERIMENTS) + ["all", "run", "list",
-                                                     "trace", "overhead",
-                                                     "claims", "repro-cache"],
+                        choices=list(EXPERIMENTS) + ["all", "run", "stats",
+                                                     "list", "trace",
+                                                     "overhead", "claims",
+                                                     "repro-cache"],
                         help="experiment id (figN/stability/ablation), "
-                             "'all', 'run' (single run), 'trace' (record a "
-                             "workload trace), 'overhead' (storage model), "
-                             "'claims' (verdicts over --json dir), "
+                             "'all', 'run' (single run), 'stats' (one run's "
+                             "per-component statistics tables), 'trace' "
+                             "(record a workload trace), 'overhead' (storage "
+                             "model), 'claims' (verdicts over --json dir), "
                              "'repro-cache' (persistent cache maintenance), "
                              "or 'list'")
     parser.add_argument("action", nargs="?", default=None,
@@ -94,6 +97,19 @@ def _single_run(runner: ExperimentRunner, arch: str, workload: str) -> None:
     print(f"  on-chip latency:          {agg.onchip_latency:.2f} cycles")
 
 
+def _run_stats(runner: ExperimentRunner, arch: str, workload: str) -> None:
+    """Simulate one (arch, workload) point on the first session seed and
+    render the hierarchical registry snapshot as per-component tables."""
+    from repro.harness.executor import RunPoint
+    from repro.harness.reporting import format_run_stats
+
+    point = RunPoint(name=arch, workload=workload, seed=runner.seeds[0],
+                     config=runner.config, settings=runner.settings,
+                     arch=arch)
+    result = runner.executor.run([point])[0]
+    print(format_run_stats(result))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.experiment == "list":
@@ -141,6 +157,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.experiment == "run":
         _single_run(runner, args.arch, args.workload)
+        return 0
+    if args.experiment == "stats":
+        _run_stats(runner, args.arch, args.workload)
         return 0
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -18,15 +18,19 @@ determines a run:
 Layout on disk (see docs/harness.md)::
 
     .repro_cache/
-      v<CACHE_VERSION>/
+      v<CACHE_VERSION>-<schema fingerprint>/
         <first 2 hex chars of key>/
           <64-hex-char sha256 key>.json
 
-Invalidation is versioned two ways: bumping :data:`CACHE_VERSION`
-changes every key (and the directory prefix, so ``repro-cache clear``
-can drop stale generations wholesale), and payloads whose field set no
-longer matches :class:`SimResult` are treated as misses, so adding a
-counter to ``SimResult`` never resurrects a stale result.
+Invalidation is versioned two ways, both automatic at the schema level:
+the cache *generation* (:func:`cache_generation`) combines the
+hand-bumped :data:`CACHE_VERSION` (simulation *semantics* changed —
+same fields, different meaning) with a fingerprint derived from
+:meth:`SimResult.schema_keys` (the result *shape* changed), so adding,
+removing or renaming a ``SimResult`` field re-keys and re-prefixes the
+cache without anyone remembering to bump anything; and payloads whose
+key set still fails to match on read are treated as misses
+(:meth:`SimResult.from_dict` returns ``None``) rather than resurrected.
 
 Custom (non-registry) architectures are cached under their display
 name; as with the in-memory cache, the name must encode the parameters
@@ -48,17 +52,26 @@ import os
 import shutil
 from typing import Dict, List, Optional
 
-from repro.sim.request import Supplier
 from repro.sim.results import SimResult
 
 #: Bump whenever simulation semantics change (timing model, trace
 #: generation, counter meaning): every key changes and old entries are
-#: never read again.
+#: never read again. Schema changes (fields added/removed/renamed on
+#: ``SimResult``) need no bump — the generation fingerprints the schema.
 CACHE_VERSION = 1
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 
-_SUPPLIER_FIELDS = ("supplier_count", "supplier_cycles")
+
+def schema_fingerprint() -> str:
+    """Short stable hash of the current :class:`SimResult` schema."""
+    canon = ",".join(SimResult.schema_keys())
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:8]
+
+
+def cache_generation() -> str:
+    """Directory prefix for the current (version, schema) generation."""
+    return f"v{CACHE_VERSION}-{schema_fingerprint()}"
 
 
 def cache_key(config, settings, architecture: str, workload: str,
@@ -70,6 +83,7 @@ def cache_key(config, settings, architecture: str, workload: str,
     """
     payload = {
         "version": CACHE_VERSION,
+        "schema": SimResult.schema_keys(),
         "config": dataclasses.asdict(config),
         "refs_per_core": settings.refs_per_core,
         "warmup_refs_per_core": settings.warmup_refs_per_core,
@@ -84,28 +98,13 @@ def cache_key(config, settings, architecture: str, workload: str,
 
 def result_to_payload(result: SimResult) -> Dict[str, object]:
     """JSON-serializable form of a :class:`SimResult` (exact round-trip)."""
-    payload: Dict[str, object] = {}
-    for f in dataclasses.fields(SimResult):
-        value = getattr(result, f.name)
-        if f.name in _SUPPLIER_FIELDS:
-            value = {s.name: value.get(s, 0) for s in Supplier}
-        payload[f.name] = value
-    return payload
+    return result.to_dict()
 
 
 def payload_to_result(payload: Dict[str, object]) -> Optional[SimResult]:
-    """Rebuild a :class:`SimResult`, or ``None`` if the payload's field
-    set does not match the current dataclass (stale cache entry)."""
-    names = {f.name for f in dataclasses.fields(SimResult)}
-    if not isinstance(payload, dict) or set(payload) != names:
-        return None
-    kwargs = dict(payload)
-    try:
-        for name in _SUPPLIER_FIELDS:
-            kwargs[name] = {Supplier[k]: v for k, v in kwargs[name].items()}
-    except (KeyError, AttributeError, TypeError):
-        return None
-    return SimResult(**kwargs)
+    """Rebuild a :class:`SimResult`, or ``None`` if the payload's key
+    set does not match the current schema (stale cache entry)."""
+    return SimResult.from_dict(payload)
 
 
 class RunCache:
@@ -128,7 +127,7 @@ class RunCache:
         return cls(enabled=flag not in ("0", "off", "false", "no"))
 
     def _path(self, key: str) -> str:
-        return os.path.join(self.root, f"v{CACHE_VERSION}", key[:2],
+        return os.path.join(self.root, cache_generation(), key[:2],
                             f"{key}.json")
 
     def get(self, key: str) -> Optional[SimResult]:
@@ -198,7 +197,8 @@ def format_stats(stats: Dict[str, object]) -> str:
              f"  entries: {stats['entries']}  "
              f"({stats['bytes'] / 1024:.1f} KiB)"]
     for version, count in stats["per_version"].items():
-        marker = " (current)" if version == f"v{CACHE_VERSION}" else " (stale)"
+        marker = (" (current)" if version == cache_generation()
+                  else " (stale)")
         lines.append(f"    {version}: {count} result(s){marker}")
     session = stats["session"]
     lines.append(f"  this session: {session['hits']} hit(s), "

@@ -5,6 +5,12 @@ bounding off-chip bandwidth; the request then pays the DRAM latency.
 The introduction of the paper motivates NUCA management precisely by
 this off-chip bandwidth wall, so the queue is not optional detail: the
 off-chip component in Figure 6 includes its queueing.
+
+Per-controller statistics (``demand``, ``writebacks``, ``queueing``)
+live in each controller's :class:`~repro.common.statsreg.Scope`; the
+:class:`MemorySystem` mounts them as ``mc<i>`` under its own scope,
+which the system mounts at ``mem`` — so a skewed controller (one mesh
+edge absorbing most of the off-chip traffic) is visible per run.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.common.config import SystemConfig
+from repro.common.statsreg import Scope
 
 
 class MemoryController:
@@ -21,9 +28,10 @@ class MemoryController:
         self.latency = latency
         self.occupancy = occupancy
         self._busy_until = 0
-        self.requests = 0
-        self.writebacks = 0
-        self.total_queueing = 0
+        self.stats = Scope()
+        self._requests = self.stats.counter("demand")
+        self._writebacks = self.stats.counter("writebacks")
+        self._queueing = self.stats.counter("queueing")
 
     #: Bound on the queueing a request can be charged (in services);
     #: caps phantom waits from out-of-time-order reservations (see
@@ -36,31 +44,44 @@ class MemoryController:
         if self._busy_until > start:
             start += min(self._busy_until - start,
                          self.MAX_QUEUE_SERVICES * self.occupancy)
-        self.total_queueing += start - arrive
+        self._queueing.value += start - arrive
         self._busy_until = max(self._busy_until, start + self.occupancy)
-        self.requests += 1
+        self._requests.value += 1
         return start + self.latency
 
     def post_writeback(self, arrive: int) -> None:
         """Writebacks consume bandwidth but nobody waits on them."""
         start = arrive if arrive >= self._busy_until else self._busy_until
         self._busy_until = start + self.occupancy
-        self.writebacks += 1
+        self._writebacks.value += 1
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def writebacks(self) -> int:
+        return self._writebacks.value
+
+    @property
+    def total_queueing(self) -> int:
+        return self._queueing.value
 
     def reset_stats(self) -> None:
-        self.requests = 0
-        self.writebacks = 0
-        self.total_queueing = 0
+        self.stats.reset()
 
 
 class MemorySystem:
     """The set of controllers hanging off the mesh edges."""
 
     def __init__(self, config: SystemConfig) -> None:
-        self.controllers: List[MemoryController] = [
-            MemoryController(config.mem.latency, config.mem.occupancy)
-            for _ in range(config.mem.num_controllers)
-        ]
+        self.stats = Scope()
+        self.controllers: List[MemoryController] = []
+        for index in range(config.mem.num_controllers):
+            controller = MemoryController(config.mem.latency,
+                                          config.mem.occupancy)
+            self.stats.mount(f"mc{index}", controller.stats)
+            self.controllers.append(controller)
 
     def controller(self, index: int) -> MemoryController:
         return self.controllers[index]
@@ -74,5 +95,4 @@ class MemorySystem:
         return sum(c.writebacks for c in self.controllers)
 
     def reset_stats(self) -> None:
-        for controller in self.controllers:
-            controller.reset_stats()
+        self.stats.reset()

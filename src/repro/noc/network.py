@@ -9,6 +9,12 @@ costs ``5 * h`` cycles; contention adds queueing on top.
 The model deliberately ignores virtual channels and buffer depth: at
 the injection rates cache studies produce on a 4x2 mesh, serialization
 at links is the first-order congestion effect.
+
+Statistics live in the network's :class:`~repro.common.statsreg.Scope`
+(mounted at ``noc`` by the system): aggregate ``messages`` / ``flits``
+/ ``hops`` / ``queueing``, per-kind counts under ``kinds.<kind>``, and
+per-directed-link traffic under ``links.r<src>-r<dst>`` (``messages`` +
+``queueing``) — the breakdown that shows *where* the mesh saturates.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.common.config import SystemConfig
+from repro.common.statsreg import Counter, Scope
 from repro.noc.message import FLITS, Message, MessageKind
 from repro.noc.topology import MeshTopology
 
@@ -35,23 +42,54 @@ class Network:
         n = self.topology.num_routers
         self._links = [[self._route_links(s, d) for d in range(n)]
                        for s in range(n)]
-        # Aggregate statistics.
-        self.messages_sent = 0
-        self.flits_sent = 0
-        self.total_hops = 0
-        self.total_queueing = 0
-        self.kind_counts: Dict[MessageKind, int] = {k: 0 for k in MessageKind}
+        # Statistics.
+        self.stats = Scope()
+        self._messages = self.stats.counter("messages")
+        self._flits = self.stats.counter("flits")
+        self._hops = self.stats.counter("hops")
+        self._queueing = self.stats.counter("queueing")
+        kind_scope = self.stats.scope("kinds")
+        self._kind_counts: Dict[MessageKind, Counter] = {
+            k: kind_scope.counter(k.name.lower()) for k in MessageKind}
+        # Every directed link any DOR route uses, in a stable order.
+        link_scope = self.stats.scope("links")
+        self._link_stats: Dict[Tuple[int, int], Tuple[Counter, Counter]] = {}
+        for src in range(n):
+            for dst in range(n):
+                for link in self._links[src][dst]:
+                    if link not in self._link_stats:
+                        ls = link_scope.scope(f"r{link[0]}-r{link[1]}")
+                        self._link_stats[link] = (ls.counter("messages"),
+                                                  ls.counter("queueing"))
 
     def _route_links(self, src: int, dst: int) -> Tuple[Tuple[int, int], ...]:
         route = self.topology.dor_route(src, dst)
         return tuple(zip(route[:-1], route[1:]))
 
+    # -- legacy attribute API (reads through to the registry) ---------------
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages.value
+
+    @property
+    def flits_sent(self) -> int:
+        return self._flits.value
+
+    @property
+    def total_hops(self) -> int:
+        return self._hops.value
+
+    @property
+    def total_queueing(self) -> int:
+        return self._queueing.value
+
+    @property
+    def kind_counts(self) -> Dict[MessageKind, int]:
+        return {k: c.value for k, c in self._kind_counts.items()}
+
     def reset_stats(self) -> None:
-        self.messages_sent = 0
-        self.flits_sent = 0
-        self.total_hops = 0
-        self.total_queueing = 0
-        self.kind_counts = {k: 0 for k in MessageKind}
+        self.stats.reset()
 
     def latency(self, src_router: int, dst_router: int) -> int:
         """Uncontended latency between two routers."""
@@ -81,26 +119,33 @@ class Network:
             # traffic. The cap (a few messages' worth of flits) keeps
             # genuine burst serialization while bounding the skew error.
             busy = self._link_busy
+            link_stats = self._link_stats
             queue = 0
             cap = 4 * flits
             for link in links:
+                msg_c, queue_c = link_stats[link]
+                msg_c.value += 1
                 ready = busy.get(link, 0)
                 if ready > now:
                     wait = ready - now
                     if wait > cap:
                         wait = cap
                     queue += wait
+                    queue_c.value += wait
                     now += wait
                 if ready > now + flits:
                     busy[link] = ready  # keep the later reservation
                 else:
                     busy[link] = now + flits
                 now += self.hop_latency
-            self.total_queueing += queue
+            self._queueing.value += queue
         else:
             now += self.hop_latency * hops
-        self.messages_sent += 1
-        self.flits_sent += flits * max(hops, 1)
-        self.total_hops += hops
-        self.kind_counts[kind] += 1
+            if hops:
+                for link in links:
+                    self._link_stats[link][0].value += 1
+        self._messages.value += 1
+        self._flits.value += flits * max(hops, 1)
+        self._hops.value += hops
+        self._kind_counts[kind].value += 1
         return now

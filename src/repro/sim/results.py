@@ -1,11 +1,24 @@
-"""Aggregated results of one simulation run."""
+"""Aggregated results of one simulation run.
+
+A :class:`SimResult` is a *snapshot*: the flat aggregate counters every
+experiment consumes (with the derived-metric API the metrics layer
+builds on) plus ``stats`` — the full hierarchical registry snapshot
+(see :mod:`repro.common.statsreg`) with per-bank, per-link,
+per-controller and per-policy breakdowns. ``to_dict``/``from_dict``
+round-trip the whole object through JSON losslessly; the persistent run
+cache and the ``esp-nuca stats`` renderer both consume that form.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+import warnings
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional
 
 from repro.sim.request import Supplier
+
+#: Fields keyed by the Supplier enum, serialized by member name.
+_SUPPLIER_FIELDS = ("supplier_count", "supplier_cycles")
 
 
 @dataclass
@@ -15,6 +28,9 @@ class SimResult:
     ``supplier_count`` / ``supplier_cycles`` accumulate, per data
     supplier, the number of demand accesses and the sum of their
     latencies — exactly the decomposition plotted in Figure 6.
+    ``stats`` is the hierarchical per-component snapshot exported by
+    :meth:`repro.sim.system.CmpSystem.finalize`; empty for results
+    built by hand (unit tests, synthetic fixtures).
     """
 
     architecture: str = ""
@@ -37,7 +53,7 @@ class SimResult:
     offchip_writebacks: int = 0
     noc_messages: int = 0
     noc_queueing: int = 0
-    extra: Dict[str, float] = field(default_factory=dict)
+    stats: Dict[str, object] = field(default_factory=dict)
 
     # -- derived metrics -----------------------------------------------------
 
@@ -96,3 +112,58 @@ class SimResult:
         self.memory_accesses += 1
         self.supplier_count[supplier] += 1
         self.supplier_cycles[supplier] += latency
+
+    # -- deprecated grab-bag -------------------------------------------------
+
+    @property
+    def extra(self) -> Dict[str, object]:
+        """Deprecated: the untyped side-channel ``extra`` used to be.
+
+        Ad-hoc per-run values belong in a named registry scope (they
+        then reset, serialize and render like every other statistic).
+        This shim keeps old readers/writers working by aliasing an
+        ``extra`` subtree of ``stats``.
+        """
+        warnings.warn(
+            "SimResult.extra is deprecated; put ad-hoc values in a named "
+            "scope of the stats registry instead (see docs/observability.md)",
+            DeprecationWarning, stacklevel=2)
+        return self.stats.setdefault("extra", {})  # type: ignore[return-value]
+
+    # -- structured serialization --------------------------------------------
+
+    @classmethod
+    def schema_keys(cls) -> List[str]:
+        """Sorted top-level key set of :meth:`to_dict` — the *result
+        schema*. The persistent run cache derives its version from a
+        hash of this list, so any field add/remove/rename invalidates
+        stale entries automatically."""
+        return sorted(f.name for f in fields(cls))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-clean structured form (exact round-trip via from_dict)."""
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name in _SUPPLIER_FIELDS:
+                value = {s.name: value.get(s, 0) for s in Supplier}
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> Optional["SimResult"]:
+        """Rebuild from :meth:`to_dict` output (or its JSON round-trip).
+
+        Returns ``None`` when the payload's top-level key set does not
+        match the current schema — the stale-cache signal.
+        """
+        if not isinstance(data, dict) or sorted(data) != cls.schema_keys():
+            return None
+        kwargs = dict(data)
+        try:
+            for name in _SUPPLIER_FIELDS:
+                kwargs[name] = {Supplier[k]: v
+                                for k, v in kwargs[name].items()}
+        except (KeyError, AttributeError, TypeError):
+            return None
+        return cls(**kwargs)

@@ -4,15 +4,24 @@
 the bound :class:`~repro.architectures.base.NucaArchitecture` supplies
 the L2 placement/search/replacement policy. One system instance equals
 one run: build, feed references, read the :class:`SimResult`.
+
+Statistics live in one :class:`~repro.common.statsreg.StatsRegistry`:
+every component keeps its own :class:`Scope` and the system mounts them
+all here (``l2.bank<i>``, ``l1.core<i>``, ``noc``, ``mem``,
+``coherence``, ``arch``, plus the system-level ``access`` scope with
+the per-supplier latency decomposition). Warm-up reset is one tree walk
+and :class:`SimResult` is a snapshot of the tree — see
+docs/observability.md.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Dict, List
 
 from repro.cache.l1 import L1Cache, L1Line
 from repro.common.addresses import AddressMap
 from repro.common.config import SystemConfig
+from repro.common.statsreg import Counter, Histogram, StatsRegistry
 from repro.mem.controller import MemorySystem
 from repro.noc.network import Network
 from repro.noc.topology import MeshTopology
@@ -37,9 +46,31 @@ class CmpSystem:
             L1Cache(core, config.l1.num_sets, config.l1.assoc)
             for core in range(config.num_cores)
         ]
-        self.result = SimResult(architecture=architecture.name)
+        self.stats = StatsRegistry()
+        l1_scope = self.stats.scope("l1")
+        for l1 in self.l1s:
+            l1_scope.mount(f"core{l1.core_id}", l1.stats)
+        self.stats.mount("noc", self.network.stats)
+        self.stats.mount("mem", self.memory.stats)
+        self.stats.mount("coherence", self.ledger.stats)
+        # Demand-access decomposition by data supplier (Figure 6): per
+        # supplier an access count, a latency sum and a power-of-two
+        # latency histogram.
+        access_scope = self.stats.scope("access")
+        self._access_count: Dict[Supplier, Counter] = {}
+        self._access_cycles: Dict[Supplier, Counter] = {}
+        self._access_hist: Dict[Supplier, Histogram] = {}
+        for supplier in Supplier:
+            sub = access_scope.scope(supplier.name.lower())
+            self._access_count[supplier] = sub.counter("count")
+            self._access_cycles[supplier] = sub.counter("cycles")
+            self._access_hist[supplier] = sub.histogram("latency")
         self.architecture = architecture
         architecture.bind(self)
+        l2_scope = self.stats.scope("l2")
+        for bank in architecture.banks:
+            l2_scope.mount(f"bank{bank.bank_id}", bank.stats)
+        self.stats.mount("arch", architecture.stats)
 
     # -- demand access entry point -----------------------------------------------
 
@@ -54,22 +85,24 @@ class CmpSystem:
         l1 = self.l1s[core]
         line = l1.access(block)
         if line is not None:
-            self.result.l1_hits += 1
             t_done = t_issue + self.config.l1.access_latency
             if is_write:
                 if line.tokens < self.ledger.total_tokens:
                     t_done = max(t_done, self.architecture.handle_upgrade(
                         core, block, line, t_issue + self.config.l1.tag_latency))
                 line.dirty = True
-            latency = t_done - t_issue
-            self.result.record_access(Supplier.L1_LOCAL, latency)
+            self._record_access(Supplier.L1_LOCAL, t_done - t_issue)
             return AccessOutcome(t_done, Supplier.L1_LOCAL)
-        self.result.l1_misses += 1
         t_miss = t_issue + self.config.l1.tag_latency
         t_done, supplier = self.architecture.handle_miss(core, block,
                                                          is_write, t_miss)
-        self.result.record_access(supplier, t_done - t_issue)
+        self._record_access(supplier, t_done - t_issue)
         return AccessOutcome(t_done, supplier)
+
+    def _record_access(self, supplier: Supplier, latency: int) -> None:
+        self._access_count[supplier].value += 1
+        self._access_cycles[supplier].value += latency
+        self._access_hist[supplier].record(latency)
 
     # -- helpers used by architectures ---------------------------------------------
 
@@ -112,21 +145,48 @@ class CmpSystem:
         if dirty:
             mc, _ = self.topology.controller_hops(router)
             self.memory.controller(mc).post_writeback(0)
-            self.result.offchip_writebacks += 1
         self.ledger.give_to_memory(block, tokens)
         if not self.ledger.on_chip(block):
             self.architecture.on_block_left_chip(block)
 
     def reset_stats(self) -> None:
         """Clear all statistics while keeping cache/coherence state —
-        used to exclude the warm-up phase from measurements."""
-        self.result = SimResult(architecture=self.architecture.name)
+        used to exclude the warm-up phase from measurements.
+
+        One registry walk: every mounted component scope (banks, L1s,
+        links, controllers, token ledger, duel controller, policy
+        counters) is zeroed, so a newly added component cannot be
+        forgotten here. Mechanism state (duel EMAs, ``nmax``, ASR
+        levels) is deliberately *not* stored in the registry and
+        survives — resetting it would change simulated behaviour.
+        """
+        self.stats.reset()
+
+    # -- snapshots ---------------------------------------------------------------------
+
+    @property
+    def result(self) -> SimResult:
+        """Live aggregate view of the registry (cheap, rebuilt per read).
+
+        Timing totals (``cycles``/``instructions``) belong to the
+        engine and appear only in the result built by :meth:`finalize`.
+        """
+        result = SimResult(architecture=self.architecture.name)
+        result.supplier_count = {s: self._access_count[s].value
+                                 for s in Supplier}
+        result.supplier_cycles = {s: self._access_cycles[s].value
+                                  for s in Supplier}
+        result.memory_accesses = sum(result.supplier_count.values())
+        result.l1_hits = sum(l1.hits for l1 in self.l1s)
+        result.l1_misses = sum(l1.misses for l1 in self.l1s)
         for bank in self.architecture.banks:
-            bank.reset_stats()
-        for l1 in self.l1s:
-            l1.reset_stats()
-        self.memory.reset_stats()
-        self.network.reset_stats()
+            result.l2_hits += bank.total_hits
+            result.l2_demand_lookups += bank.total_hits + bank.misses
+        result.offchip_demand = self.memory.demand_requests
+        result.offchip_writebacks = self.memory.writebacks
+        result.noc_messages = self.network.messages_sent
+        result.noc_queueing = self.network.total_queueing
+        return result
 
     # -- end-of-run aggregation -------------------------------------------------------
 
@@ -137,12 +197,7 @@ class CmpSystem:
         result.per_core_instructions = list(per_core_instructions)
         result.cycles = max(per_core_cycles) if per_core_cycles else 0
         result.instructions = sum(per_core_instructions)
-        for bank in self.architecture.banks:
-            result.l2_hits += bank.total_hits
-            result.l2_demand_lookups += bank.total_hits + bank.misses
-        result.offchip_demand = self.memory.demand_requests
-        result.noc_messages = self.network.messages_sent
-        result.noc_queueing = self.network.total_queueing
+        result.stats = self.stats.to_dict()
         return result
 
     # -- introspection (tests, examples) ------------------------------------------------

@@ -1,0 +1,162 @@
+"""Unit tests for the hierarchical statistics registry."""
+
+import json
+
+import pytest
+
+from repro.common.statsreg import (HIST_KEY, Counter, Gauge, Histogram,
+                                   Scope, StatsRegistry, flatten,
+                                   histogram_count, histogram_total,
+                                   is_histogram, snapshot_get)
+
+
+class TestPrimitives:
+    def test_counter_inc_and_reset(self):
+        c = Counter()
+        c.value += 3
+        c.inc()
+        c.inc(2)
+        assert c.value == 6 and c.snapshot() == 6
+        c.reset()
+        assert c.value == 0
+
+    def test_gauge_is_a_level_not_a_sum(self):
+        g = Gauge()
+        g.set(7)
+        g.set(2.5)
+        assert g.snapshot() == 2.5
+        g.reset()
+        assert g.value == 0
+
+    def test_histogram_bucket_is_bit_length(self):
+        h = Histogram()
+        for value in (0, 1, 2, 3, 4, 100):
+            h.record(value)
+        snap = h.snapshot()[HIST_KEY]
+        assert snap["count"] == 6
+        assert snap["total"] == 110
+        assert snap["buckets"]["0"] == 1       # the zero
+        assert snap["buckets"]["1"] == 1       # 1
+        assert snap["buckets"]["2"] == 2       # 2, 3
+        assert snap["buckets"]["3"] == 1       # 4
+        assert snap["buckets"]["7"] == 1       # 100 in [64, 128)
+        assert h.mean == pytest.approx(110 / 6)
+
+    def test_histogram_saturates_huge_values(self):
+        h = Histogram()
+        h.record(1 << 200)
+        snap = h.snapshot()[HIST_KEY]
+        assert sum(snap["buckets"].values()) == 1
+
+    def test_histogram_reset(self):
+        h = Histogram()
+        h.record(9)
+        h.reset()
+        assert h.count == 0 and h.total == 0
+        assert h.snapshot()[HIST_KEY]["buckets"] == {}
+
+
+class TestScope:
+    def test_stat_creation_is_idempotent_by_name(self):
+        s = Scope()
+        assert s.counter("x") is s.counter("x")
+        assert s.gauge("g") is s.gauge("g")
+        assert s.histogram("h") is s.histogram("h")
+
+    def test_name_collisions_rejected(self):
+        s = Scope()
+        s.counter("x")
+        with pytest.raises(ValueError):
+            s.gauge("x")  # same name, different kind
+        with pytest.raises(ValueError):
+            s.scope("x")  # stat name cannot become a scope
+        s.scope("child")
+        with pytest.raises(ValueError):
+            s.counter("child")
+
+    def test_invalid_names_rejected(self):
+        s = Scope()
+        with pytest.raises(ValueError):
+            s.counter("a.b")
+        with pytest.raises(ValueError):
+            s.scope("")
+        with pytest.raises(ValueError):
+            s.mount("a.b", Scope())
+
+    def test_mount_duplicate_requires_replace(self):
+        root = Scope()
+        first = Scope()
+        root.mount("duel", first)
+        with pytest.raises(ValueError):
+            root.mount("duel", Scope())
+        second = Scope()
+        root.mount("duel", second, replace=True)
+        assert root.get("duel") is second
+
+    def test_dotted_get(self):
+        root = StatsRegistry()
+        root.scope("l2").scope("bank0").counter("misses").value += 3
+        assert root.get("l2.bank0.misses").value == 3
+        assert isinstance(root.get("l2.bank0"), Scope)
+        with pytest.raises(KeyError):
+            root.get("l2.bank1.misses")
+        with pytest.raises(KeyError):
+            root.get("l2.bank0.misses.deeper")
+
+    def test_walk_yields_dotted_paths(self):
+        root = Scope()
+        root.counter("top")
+        root.scope("a").scope("b").counter("leaf")
+        assert [path for path, _ in root.walk()] == ["top", "a.b.leaf"]
+
+    def test_reset_is_recursive(self):
+        root = Scope()
+        root.counter("top").value = 5
+        child = root.scope("child")
+        child.gauge("g").set(9)
+        child.histogram("h").record(4)
+        root.reset()
+        assert all(stat.snapshot() in (0, 0.0) or
+                   histogram_count(stat.snapshot()) == 0
+                   for _, stat in root.walk())
+
+    def test_mounted_scope_shares_objects(self):
+        component = Scope()
+        hits = component.counter("hits")
+        registry = StatsRegistry()
+        registry.mount("l1", component)
+        hits.value += 2
+        assert registry.get("l1.hits").value == 2
+        registry.reset()
+        assert hits.value == 0
+
+
+class TestSnapshots:
+    def _tree(self):
+        root = StatsRegistry()
+        root.scope("l2").scope("bank0").counter("misses").value = 4
+        root.scope("l2").scope("bank0").gauge("nmax").set(3)
+        root.scope("noc").histogram("latency").record(12)
+        return root
+
+    def test_to_dict_shape(self):
+        snap = self._tree().to_dict()
+        assert snap["l2"]["bank0"]["misses"] == 4
+        assert snapshot_get(snap, "l2.bank0.nmax") == 3
+        hist = snapshot_get(snap, "noc.latency")
+        assert is_histogram(hist)
+        assert histogram_count(hist) == 1 and histogram_total(hist) == 12
+
+    def test_snapshot_is_json_lossless(self):
+        snap = self._tree().to_dict()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_flatten(self):
+        flat = flatten(self._tree().to_dict())
+        assert flat["l2.bank0.misses"] == 4
+        assert flat["l2.bank0.nmax"] == 3
+        assert is_histogram(flat["noc.latency"])
+
+    def test_snapshot_get_missing_path(self):
+        with pytest.raises(KeyError):
+            snapshot_get(self._tree().to_dict(), "l2.bank9")
