@@ -5,9 +5,36 @@ may be unavailable (no ``wheel`` package, no network for build
 isolation); inserting ``src`` here lets ``pytest`` run from a bare
 checkout. An installed copy, when present, takes the same code anyway
 (editable install points back at ``src``).
+
+Also honors ``REPRO_TEST_TIMEOUT`` (seconds): a suite-level deadline
+for the whole pytest run, so a hung server or deadlocked worker in CI
+fails fast with tracebacks of every thread instead of eating the job's
+30-minute budget. ``faulthandler.dump_traceback_later`` runs its
+watchdog off-thread, so it fires even when the main thread is stuck in
+a blocking C call (socket read, lock acquire) where a Python-level
+signal handler never would. Unset (the default) means no deadline.
 """
 
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+
+def _arm_suite_deadline():
+    raw = os.environ.get("REPRO_TEST_TIMEOUT", "").strip()
+    if not raw:
+        return
+    try:
+        seconds = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_TEST_TIMEOUT must be an integer number "
+                         f"of seconds, got {raw!r}") from None
+    if seconds <= 0:
+        raise ValueError(f"REPRO_TEST_TIMEOUT must be > 0, got {seconds}")
+    import faulthandler
+
+    faulthandler.dump_traceback_later(seconds, exit=True)
+
+
+_arm_suite_deadline()

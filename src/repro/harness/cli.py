@@ -7,14 +7,18 @@ Examples::
     esp-nuca fig10 --seeds 3 --refs 40000
     esp-nuca run --arch esp-nuca --workload apache   # one raw run
     esp-nuca stats --arch esp-nuca --workload apache # per-bank breakdown
+    esp-nuca stats --arch esp-nuca --workload apache --json  # same, JSON
     esp-nuca all --jobs 8          # fan runs out over 8 processes
     esp-nuca repro-cache stats     # inspect the persistent run cache
     esp-nuca repro-cache clear
+    esp-nuca serve --bind 127.0.0.1:8642             # simulation daemon
+    esp-nuca submit --arch esp-nuca,shared --workload apache --watch
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -32,14 +36,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=list(EXPERIMENTS) + ["all", "run", "stats",
                                                      "list", "trace",
                                                      "overhead", "claims",
-                                                     "repro-cache"],
+                                                     "repro-cache", "serve",
+                                                     "submit"],
                         help="experiment id (figN/stability/ablation), "
                              "'all', 'run' (single run), 'stats' (one run's "
                              "per-component statistics tables), 'trace' "
                              "(record a workload trace), 'overhead' (storage "
                              "model), 'claims' (verdicts over --json dir), "
                              "'repro-cache' (persistent cache maintenance), "
-                             "or 'list'")
+                             "'serve' (simulation daemon), 'submit' (send a "
+                             "grid to a running daemon), or 'list'")
     parser.add_argument("action", nargs="?", default=None,
                         choices=["stats", "clear"],
                         help="for 'repro-cache': stats (default) or clear")
@@ -53,12 +59,18 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="capacity scale factor (default 4; 1 = full "
                              "Table 2 sizes, needs much longer traces)")
     parser.add_argument("--arch", default="esp-nuca",
-                        help="architecture for 'run'")
+                        help="architecture for 'run'/'stats' "
+                             "(comma-separated list for 'submit')")
     parser.add_argument("--workload", default="apache",
-                        help="workload for 'run'")
+                        help="workload for 'run'/'stats' "
+                             "(comma-separated list for 'submit')")
     parser.add_argument("--precision", type=int, default=3)
     parser.add_argument("--json", metavar="DIR", default=None,
-                        help="also write each report as DIR/<id>.json")
+                        nargs="?", const="-",
+                        help="experiments: also write each report as "
+                             "DIR/<id>.json; 'stats'/'submit': emit JSON "
+                             "instead of tables (to stdout, or to the "
+                             "given file)")
     parser.add_argument("--chart", action="store_true",
                         help="append a bar chart of each report's last column")
     parser.add_argument("--out", metavar="FILE", default=None,
@@ -70,6 +82,28 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="skip the persistent run cache for this "
                              "invocation (equivalent to REPRO_CACHE=0)")
+    service = parser.add_argument_group("simulation service "
+                                        "('serve' / 'submit')")
+    service.add_argument("--bind", default="127.0.0.1:8642",
+                         help="service address: host:port or unix:/path "
+                              "(default 127.0.0.1:8642)")
+    service.add_argument("--queue-limit", type=int, default=256,
+                         help="serve: max queued point tasks before "
+                              "submissions get a typed queue-full reject")
+    service.add_argument("--service-workers", type=int, default=2,
+                         help="serve: concurrent executor batches")
+    service.add_argument("--batch", type=int, default=8,
+                         help="serve: max points per executor batch")
+    service.add_argument("--client-jobs", type=int, default=8,
+                         help="serve: max unfinished jobs per connection")
+    service.add_argument("--priority", type=int, default=0,
+                         help="submit: higher runs earlier (default 0)")
+    service.add_argument("--no-wait", action="store_true",
+                         help="submit: return the job id immediately "
+                              "instead of waiting for results")
+    service.add_argument("--watch", action="store_true",
+                         help="submit: stream progress events while "
+                              "waiting")
     return parser
 
 
@@ -97,17 +131,151 @@ def _single_run(runner: ExperimentRunner, arch: str, workload: str) -> None:
     print(f"  on-chip latency:          {agg.onchip_latency:.2f} cycles")
 
 
-def _run_stats(runner: ExperimentRunner, arch: str, workload: str) -> None:
+def _run_stats(runner: ExperimentRunner, arch: str, workload: str,
+               json_out: Optional[str] = None) -> None:
     """Simulate one (arch, workload) point on the first session seed and
-    render the hierarchical registry snapshot as per-component tables."""
+    render the hierarchical registry snapshot — per-component tables by
+    default, the machine-readable ``to_dict`` payload with ``--json``
+    (the same serialization the simulation service streams)."""
     from repro.harness.executor import RunPoint
-    from repro.harness.reporting import format_run_stats
+    from repro.harness.reporting import format_run_stats, format_run_stats_json
 
     point = RunPoint(name=arch, workload=workload, seed=runner.seeds[0],
                      config=runner.config, settings=runner.settings,
                      arch=arch)
     result = runner.executor.run([point])[0]
-    print(format_run_stats(result))
+    if json_out is None:
+        print(format_run_stats(result))
+    elif json_out == "-":
+        print(format_run_stats_json(result))
+    else:
+        with open(json_out, "w", encoding="utf-8") as handle:
+            handle.write(format_run_stats_json(result) + "\n")
+        print(f"wrote {arch}/{workload} stats snapshot to {json_out}")
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """``esp-nuca serve`` — run the simulation daemon until drained."""
+    import asyncio
+    import signal
+
+    from repro.harness.executor import Executor
+    from repro.harness.runcache import RunCache
+    from repro.service.protocol import parse_address
+    from repro.service.server import ServiceConfig, SimulationService
+
+    try:
+        bind = parse_address(args.bind)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = RunCache(enabled=False) if args.no_cache else RunCache.from_env()
+    service = SimulationService(
+        ServiceConfig(bind=bind, queue_limit=args.queue_limit,
+                      workers=args.service_workers, batch=args.batch,
+                      client_jobs=args.client_jobs),
+        executor=Executor(jobs=args.jobs, cache=cache),
+        settings=_settings(args))
+
+    async def _main() -> None:
+        address = await service.start()
+        shown = (f"unix:{address[1]}" if address[0] == "unix"
+                 else f"{address[1]}:{address[2]}")
+        print(f"esp-nuca service listening on {shown} "
+              f"(queue limit {args.queue_limit}, "
+              f"{args.service_workers} worker(s) x batch {args.batch})",
+              flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(service.shutdown()))
+            except NotImplementedError:  # pragma: no cover — non-POSIX
+                pass
+        await service.serve_forever()
+        points = service.points_requested
+        print(f"service drained: {len(service.jobs)} job(s), "
+              f"{points} point(s) requested, "
+              f"{service.points_cached} from cache, "
+              f"{service.points_coalesced} coalesced, "
+              f"{service.executor.executed} executed", flush=True)
+
+    asyncio.run(_main())
+    return 0
+
+
+def _submit(args: argparse.Namespace) -> int:
+    """``esp-nuca submit`` — send one grid to a running daemon."""
+    from repro.service.client import (ServiceClient, ServiceError,
+                                      payloads_to_results)
+
+    archs = [a.strip() for a in args.arch.split(",") if a.strip()]
+    workloads = [w.strip() for w in args.workload.split(",") if w.strip()]
+    settings = {key: value for key, value in (
+        ("refs_per_core", args.refs),
+        ("warmup_refs_per_core", args.warmup),
+        ("capacity_factor", args.scale),
+        ("num_seeds", args.seeds),
+    ) if value is not None}
+    wait = not args.no_wait
+    try:
+        with ServiceClient.connect(args.bind) as client:
+            if args.watch:
+                reply = client.submit(archs, workloads,
+                                      settings=settings or None,
+                                      priority=args.priority, wait=False)
+                job = reply["job"]
+                final = reply
+                for event in client.watch(job):
+                    if event.get("event") == "progress":
+                        counts = event["counts"]
+                        print(f"[{job}] {event['state']}: "
+                              f"{counts['done'] + counts['cached']}"
+                              f"/{event['unique_points']} point(s) done "
+                              f"({counts['cached']} cached, "
+                              f"{counts['running']} running)", flush=True)
+                    else:
+                        final = event
+                reply = final
+            else:
+                reply = client.submit(archs, workloads,
+                                      settings=settings or None,
+                                      priority=args.priority, wait=wait)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach service at {args.bind}: {exc}",
+              file=sys.stderr)
+        return 1
+    state = reply.get("state", "queued")
+    job = reply.get("job", "?")
+    if "results" not in reply:
+        print(f"job {job}: {state}"
+              + ("" if wait or args.watch else " (use 'status'/'watch')"))
+        if reply.get("errors"):
+            for key, message in reply["errors"].items():
+                print(f"  point failed: {message}", file=sys.stderr)
+            return 1
+        return 0
+    if args.json is not None:
+        payload = json.dumps(reply["results"], indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {len(reply['results'])} result(s) to {args.json}")
+        return 0
+    results = payloads_to_results(reply["results"])
+    print(f"job {job}: {state}, {len(results)} result(s) "
+          f"({reply.get('cached', 0)} from cache, "
+          f"{reply.get('coalesced', 0)} coalesced)")
+    for result in results:
+        print(f"  {result.architecture} on {result.workload} "
+              f"(seed {result.seed}): perf {result.performance:.4f}, "
+              f"avg access {result.average_access_time:.2f} cycles")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -127,7 +295,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                           load_reports_from_json,
                                           verify_claims)
 
-        directory = args.json or "results_json"
+        directory = (args.json if args.json not in (None, "-")
+                     else "results_json")
         reports = load_reports_from_json(directory)
         print(f"claims over {len(reports)} report(s) from {directory}:")
         print(format_results(verify_claims(reports)))
@@ -139,6 +308,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.harness.runcache import main as cache_main
 
         return cache_main([args.action or "stats"])
+    if args.experiment == "serve":
+        return _serve(args)
+    if args.experiment == "submit":
+        return _submit(args)
     from repro.harness.executor import Executor
     from repro.harness.runcache import RunCache
 
@@ -159,7 +332,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         _single_run(runner, args.arch, args.workload)
         return 0
     if args.experiment == "stats":
-        _run_stats(runner, args.arch, args.workload)
+        _run_stats(runner, args.arch, args.workload, json_out=args.json)
         return 0
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
@@ -172,7 +345,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
             print(report_chart(report))
         print(f"[{name} completed in {time.time() - start:.1f}s]\n")
-        if args.json:
+        if args.json == "-":
+            print(report.to_json())
+        elif args.json:
             import os
 
             os.makedirs(args.json, exist_ok=True)

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -124,21 +125,27 @@ def materialize_traces(config: SystemConfig, settings, workload: str,
 _TRACE_CACHE_MAX = 8
 _trace_cache: "OrderedDict[Tuple, List[Optional[List[TraceItem]]]]" = \
     OrderedDict()
+# The simulation service runs serial batches on a thread pool, so the
+# memo sees concurrent access; materialization happens outside the lock
+# (it is the expensive part and duplicate work is merely wasteful).
+_trace_cache_lock = threading.Lock()
 
 
 def _cached_traces(point: RunPoint) -> List[Optional[List[TraceItem]]]:
     key = (point.workload, point.seed, point.settings.refs_per_core,
            point.settings.warmup_refs_per_core,
            point.settings.capacity_factor, point.config.num_cores)
-    traces = _trace_cache.get(key)
-    if traces is None:
-        traces = materialize_traces(point.config, point.settings,
-                                    point.workload, point.seed)
+    with _trace_cache_lock:
+        traces = _trace_cache.get(key)
+        if traces is not None:
+            _trace_cache.move_to_end(key)
+            return traces
+    traces = materialize_traces(point.config, point.settings,
+                                point.workload, point.seed)
+    with _trace_cache_lock:
         _trace_cache[key] = traces
         while len(_trace_cache) > _TRACE_CACHE_MAX:
             _trace_cache.popitem(last=False)
-    else:
-        _trace_cache.move_to_end(key)
     return traces
 
 
@@ -190,6 +197,11 @@ class Executor:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         self.cache = cache if cache is not None else RunCache.from_env()
+        #: Points actually simulated (cache misses); the simulation
+        #: service asserts its cache-hit fast path against this.
+        self.executed = 0
+        # The service calls run() from several threads concurrently.
+        self._executed_lock = threading.Lock()
 
     def run(self, points: Sequence[RunPoint]) -> List[SimResult]:
         order: List[str] = []
@@ -216,6 +228,8 @@ class Executor:
     # -- internals ----------------------------------------------------------
 
     def _execute(self, points: List[RunPoint]) -> List[SimResult]:
+        with self._executed_lock:
+            self.executed += len(points)
         if self.jobs <= 1 or len(points) <= 1:
             return [simulate_point(p) for p in points]
         out: List[Optional[SimResult]] = [None] * len(points)

@@ -83,6 +83,19 @@ class ExperimentReport:
 
 # -- per-run registry snapshot rendering (`esp-nuca stats`) --------------------
 
+def run_stats_payload(result) -> Dict[str, object]:
+    """Machine-readable form of one run: the full
+    :meth:`~repro.sim.results.SimResult.to_dict` snapshot (flat counters
+    plus the hierarchical ``stats`` registry tree). This is the single
+    wire serializer — ``esp-nuca stats --json`` prints it and the
+    simulation service's ``watch``/result streams carry it."""
+    return result.to_dict()
+
+
+def format_run_stats_json(result) -> str:
+    """``esp-nuca stats --json`` output: canonical, diff-friendly JSON."""
+    return json.dumps(run_stats_payload(result), indent=2, sort_keys=True)
+
 def _instance_order(name: str) -> tuple:
     """Sort ``bank2`` before ``bank10`` (trailing-integer aware)."""
     head = name.rstrip("0123456789")

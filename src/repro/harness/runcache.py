@@ -126,7 +126,9 @@ class RunCache:
         flag = os.environ.get("REPRO_CACHE", "1").strip().lower()
         return cls(enabled=flag not in ("0", "off", "false", "no"))
 
-    def _path(self, key: str) -> str:
+    def entry_path(self, key: str) -> str:
+        """Where a key's payload lives on disk (whether or not it
+        exists) — the current generation's shard of the key."""
         return os.path.join(self.root, cache_generation(), key[:2],
                             f"{key}.json")
 
@@ -134,9 +136,12 @@ class RunCache:
         if not self.enabled:
             return None
         try:
-            with open(self._path(key), encoding="utf-8") as handle:
+            with open(self.entry_path(key), encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (OSError, ValueError):
+            # Missing entries and corrupt/truncated payloads (a reader
+            # racing put()'s atomic rename, a torn write from a crash,
+            # garbage on disk) are all the same thing: a miss.
             self.misses += 1
             return None
         result = payload_to_result(payload)
@@ -149,7 +154,7 @@ class RunCache:
     def put(self, key: str, result: SimResult) -> None:
         if not self.enabled:
             return
-        path = self._path(key)
+        path = self.entry_path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "w", encoding="utf-8") as handle:

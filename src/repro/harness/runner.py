@@ -67,6 +67,21 @@ class RunSettings:
                            num_seeds=1, base_seed=self.base_seed)
 
 
+def grid_points(config: SystemConfig, settings: RunSettings,
+                architectures: Sequence[str], workloads: Sequence[str],
+                seeds: Sequence[int]) -> List[RunPoint]:
+    """Expand an (architecture × workload × seed) grid into run points.
+
+    Single source of truth for grid expansion order: the runner's
+    :meth:`~ExperimentRunner.prefetch` and the simulation service's
+    ``submit`` both build their batches here, which is what makes
+    service results byte-identical to direct runner results.
+    """
+    return [RunPoint(name=arch, workload=wl, seed=seed, config=config,
+                     settings=settings, arch=arch)
+            for wl in workloads for arch in architectures for seed in seeds]
+
+
 class ExperimentRunner:
     """Session-level façade over the executor: builds run points, memoizes
     results in-process, and aggregates them per (architecture, workload).
@@ -147,9 +162,8 @@ class ExperimentRunner:
         """Submit a whole (architecture, workload, seed) grid as one
         batch so the executor can fan it out; results land in the memo
         and subsequent :meth:`aggregate` calls are cache hits."""
-        self.submit([self._point(arch, wl, seed)
-                     for wl in workloads for arch in architectures
-                     for seed in self.seeds])
+        self.submit(grid_points(self.config, self.settings, architectures,
+                                workloads, self.seeds))
 
     def prefetch_custom(self, specs: Sequence[Tuple[str, SystemConfig,
                                                     object, str]]) -> None:

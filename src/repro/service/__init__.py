@@ -1,0 +1,28 @@
+"""Long-running simulation service on top of the executor + run cache.
+
+The batch harness answers "reproduce figure N"; this package answers
+"serve simulation requests continuously": a daemon (``esp-nuca serve``)
+owning a prioritized bounded job queue, batched workers over
+:class:`~repro.harness.executor.Executor`, cache-hit fast paths through
+:class:`~repro.harness.runcache.RunCache`, and a JSON-lines protocol
+with streaming progress (``esp-nuca submit``). See docs/service.md.
+"""
+
+from repro.service.client import (ServiceClient, ServiceError,
+                                  payloads_to_results)
+from repro.service.protocol import parse_address
+from repro.service.queue import QueueFullError, Scheduler
+from repro.service.server import (ServiceConfig, ServiceThread,
+                                  SimulationService)
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "ServiceConfig",
+    "ServiceThread",
+    "SimulationService",
+    "Scheduler",
+    "QueueFullError",
+    "parse_address",
+    "payloads_to_results",
+]

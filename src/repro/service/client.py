@@ -1,0 +1,162 @@
+"""Thin synchronous client for the simulation service.
+
+Stdlib sockets only — usable from scripts, tests and the ``esp-nuca
+submit`` CLI without touching asyncio. One client wraps one connection;
+commands are sequential on it (open several clients for concurrency —
+the server handles each connection independently).
+
+::
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient.connect("127.0.0.1:8642") as client:
+        reply = client.submit(["esp-nuca"], ["apache"], wait=True)
+        results = payloads_to_results(reply["results"])
+
+Typed server errors raise :class:`ServiceError` carrying the protocol
+error ``code`` (``queue-full``, ``client-limit``, ``draining``, ...),
+so callers can branch on backpressure without string matching.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.service import protocol as proto
+from repro.sim.results import SimResult
+
+
+class ServiceError(Exception):
+    """A typed ``{"ok": false}`` reply from the server."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.detail = message
+
+
+def payloads_to_results(payloads: List[Dict[str, Any]]) -> List[SimResult]:
+    """Rebuild full :class:`SimResult` objects from wire payloads."""
+    out = []
+    for payload in payloads:
+        result = SimResult.from_dict(payload)
+        if result is None:
+            raise ValueError("result payload does not match the current "
+                             "SimResult schema (server/client skew?)")
+        out.append(result)
+    return out
+
+
+class ServiceClient:
+    """One JSON-lines connection to a running service."""
+
+    def __init__(self, sock: socket.socket,
+                 timeout: Optional[float] = 120.0) -> None:
+        sock.settimeout(timeout)
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    @classmethod
+    def connect(cls, address, timeout: Optional[float] = 120.0
+                ) -> "ServiceClient":
+        """``address`` is ``"host:port"`` / ``"unix:/path"`` or an
+        already-parsed tuple from :func:`repro.service.protocol.parse_address`.
+        """
+        if isinstance(address, str):
+            address = proto.parse_address(address)
+        if address[0] == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(address[1])
+        else:
+            sock = socket.create_connection((address[1], address[2]),
+                                            timeout=timeout)
+        return cls(sock, timeout=timeout)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        self._file.write(proto.encode(message))
+        self._file.flush()
+
+    def _recv(self) -> Dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return proto.decode(line)
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/one reply; raises :class:`ServiceError` on a
+        typed error response."""
+        self._send(message)
+        reply = self._recv()
+        if reply.get("ok") is False:
+            err = reply.get("error") or {}
+            raise ServiceError(err.get("code", "unknown"),
+                               err.get("message", "unspecified error"))
+        return reply
+
+    # -- commands ------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"cmd": "ping"})
+
+    def submit(self, architectures: List[str], workloads: List[str],
+               seeds: Optional[List[int]] = None,
+               settings: Optional[Dict[str, int]] = None,
+               priority: int = 0, wait: bool = False) -> Dict[str, Any]:
+        """Submit a grid; returns the job snapshot reply (with
+        ``results`` when ``wait=True`` or the grid was fully cached)."""
+        message: Dict[str, Any] = {
+            "cmd": "submit",
+            "architectures": architectures,
+            "workloads": workloads,
+            "priority": priority,
+            "wait": wait,
+        }
+        if seeds is not None:
+            message["seeds"] = seeds
+        if settings is not None:
+            message["settings"] = settings
+        return self.request(message)
+
+    def status(self, job: Optional[str] = None) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"cmd": "status"}
+        if job is not None:
+            message["job"] = job
+        return self.request(message)
+
+    def watch(self, job: str, results: bool = True
+              ) -> Iterator[Dict[str, Any]]:
+        """Yield progress events for a job; the last yielded event has
+        ``event == "end"`` (with ``results`` unless disabled)."""
+        self._send({"cmd": "watch", "job": job, "results": results})
+        while True:
+            event = self._recv()
+            if event.get("ok") is False:
+                err = event.get("error") or {}
+                raise ServiceError(err.get("code", "unknown"),
+                                   err.get("message", "unspecified error"))
+            yield event
+            if event.get("event") == "end":
+                return
+
+    def cancel(self, job: str) -> Dict[str, Any]:
+        return self.request({"cmd": "cancel", "job": job})
+
+    def drain(self) -> Dict[str, Any]:
+        """Graceful shutdown: returns once every job has completed, the
+        workers have stopped and the run cache holds every result."""
+        return self.request({"cmd": "drain"})

@@ -1,0 +1,527 @@
+"""The simulation daemon: asyncio server over the executor + run cache.
+
+``esp-nuca serve`` turns the batch harness into a long-running,
+request-serving system. One process owns:
+
+* an :class:`~repro.harness.executor.Executor` (and through it the
+  persistent :class:`~repro.harness.runcache.RunCache` and the
+  ``REPRO_JOBS`` process pool);
+* a :class:`~repro.service.queue.Scheduler` — prioritized bounded
+  backlog with in-flight coalescing;
+* ``workers`` asyncio worker tasks, each pulling **batches** of up to
+  ``batch`` point tasks and running them through the executor on a
+  thread pool (the event loop never blocks on a simulation);
+* the JSON-lines protocol of :mod:`repro.service.protocol` over TCP or
+  a Unix socket.
+
+Request lifecycle of ``submit``: the grid expands to run points exactly
+as :class:`~repro.harness.runner.ExperimentRunner` builds them (same
+:func:`~repro.harness.runner.grid_points`, same perturbed seeds, same
+scaled config — results are byte-identical to a direct run); each
+unique point is first looked up in the persistent run cache (**hits are
+answered on the event loop and never reach a worker**), then coalesced
+onto an identical in-flight point if one exists, and only genuinely new
+work is admitted to the bounded queue — all-or-nothing, with a typed
+``queue-full`` reject instead of blocking.
+
+Shutdown contract (``drain`` or SIGINT/SIGTERM): stop admitting
+(``draining`` errors), let workers finish the backlog, resolve every
+job, stop the workers, and only then answer the drainer — at which
+point every computed result has been committed to ``.repro_cache``
+(writes are write-through atomic renames, so the drain barrier *is*
+the cache flush).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.architectures.registry import architecture_names
+from repro.common.config import scaled_config
+from repro.common.rng import perturbed_seeds
+from repro.harness.executor import Executor
+from repro.harness.reporting import run_stats_payload
+from repro.harness.runner import RunSettings, grid_points
+from repro.service import protocol as proto
+from repro.service import queue as q
+from repro.service.progress import TERMINAL, Job
+from repro.workloads.registry import workload_names
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-level knobs (executor knobs stay on the executor)."""
+
+    bind: Tuple = ("tcp", "127.0.0.1", proto.DEFAULT_PORT)
+    queue_limit: int = 256     # max queued point tasks (backpressure bound)
+    workers: int = 2           # concurrent executor batches
+    batch: int = 8             # max point tasks per executor invocation
+    client_jobs: int = 8       # max unfinished jobs per connection
+
+    def __post_init__(self) -> None:
+        for name in ("queue_limit", "workers", "batch", "client_jobs"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, "
+                                 f"got {getattr(self, name)}")
+
+
+class SimulationService:
+    """The daemon: queue + workers + protocol endpoint in one loop."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 executor: Optional[Executor] = None,
+                 settings: Optional[RunSettings] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.executor = executor or Executor()
+        self.defaults = settings or RunSettings.from_env()
+        self.scheduler: Optional[q.Scheduler] = None
+        self.jobs: Dict[str, Job] = {}
+        self.draining = False
+        self.address: Optional[Tuple] = None
+        self._job_seq = itertools.count(1)
+        self._client_seq = itertools.count(1)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conns: set = set()
+        self._workers: List[asyncio.Task] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._followers: Dict[str, List[Job]] = {}
+        self._configs: Dict[int, Any] = {}
+        self._stopped: Optional[asyncio.Event] = None
+        # lifetime counters (the `status` command's server section)
+        self.requests = 0
+        self.points_requested = 0
+        self.points_cached = 0
+        self.points_coalesced = 0
+        self.points_enqueued = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> Tuple:
+        """Bind, spawn workers, and return the live address (with the
+        real port when binding port 0)."""
+        self.scheduler = q.Scheduler(self.config.queue_limit)
+        self._stopped = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="esp-nuca-sim")
+        self._workers = [asyncio.ensure_future(self._worker())
+                         for _ in range(self.config.workers)]
+        bind = self.config.bind
+        if bind[0] == "unix":
+            self._server = await asyncio.start_unix_server(
+                self._serve_conn, path=bind[1], limit=proto.MAX_LINE_BYTES)
+            self.address = bind
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_conn, host=bind[1], port=bind[2],
+                limit=proto.MAX_LINE_BYTES)
+            port = self._server.sockets[0].getsockname()[1]
+            self.address = ("tcp", bind[1], port)
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Run until a drain (protocol or :meth:`shutdown`) completes,
+        then reap any connections still open (idle clients get EOF)."""
+        assert self._stopped is not None, "start() first"
+        await self._stopped.wait()
+        for conn in list(self._conns):
+            conn.cancel()
+        if self._conns:
+            await asyncio.gather(*self._conns, return_exceptions=True)
+
+    async def shutdown(self) -> Dict[str, Any]:
+        """Graceful stop: drain everything, then release the sockets,
+        workers and thread pool. Idempotent."""
+        summary = await self._drain()
+        self._finish_stop()
+        return summary
+
+    async def _drain(self) -> Dict[str, Any]:
+        self.draining = True
+        self.scheduler.close()
+        pending = [job.done for job in self.jobs.values()
+                   if not job.done.done()]
+        if pending:
+            await asyncio.wait(pending)
+        if self._workers:
+            await asyncio.wait(self._workers)
+        alive = sum(1 for w in self._workers if not w.done())
+        self._workers = []
+        if self._pool is not None:
+            # All batches have completed, so this returns immediately —
+            # it exists to reap the simulation threads ("zero orphaned
+            # workers" covers OS threads too).
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        return {
+            "drained": True,
+            "jobs": len(self.jobs),
+            "workers_alive": alive,
+            "executed_points": self.executor.executed,
+            "cache": self._cache_summary(),
+        }
+
+    def _cache_summary(self) -> Dict[str, int]:
+        cache = self.executor.cache
+        return {"hits": cache.hits, "misses": cache.misses,
+                "writes": cache.writes}
+
+    # -- worker side ---------------------------------------------------------
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await self.scheduler.next_batch(self.config.batch)
+            if batch is None:
+                return
+            for task in batch:
+                for job in self._followers.get(task.key, ()):
+                    job.mark_running([task.key])
+            points = [task.point for task in batch]
+            try:
+                results = await loop.run_in_executor(
+                    self._pool, self.executor.run, points)
+            except BaseException as exc:  # noqa: BLE001 — batch-fatal
+                for task in batch:
+                    self.scheduler.finish(task, error=exc)
+            else:
+                for task, result in zip(batch, results):
+                    self.scheduler.finish(task, result=result)
+            finally:
+                for task in batch:
+                    self._followers.pop(task.key, None)
+
+    # -- protocol endpoint ---------------------------------------------------
+
+    async def _serve_conn(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        owned: List[str] = []
+        client = f"client{next(self._client_seq)}"
+        self._conns.add(asyncio.current_task())
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, proto.error(
+                        proto.ERR_BAD_REQUEST, "request line too long"))
+                    break
+                if not line:
+                    break
+                await self._handle(line, client, owned, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass  # post-drain reaping: close quietly
+        finally:
+            self._conns.discard(asyncio.current_task())
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    message: Dict[str, Any]) -> None:
+        writer.write(proto.encode(message))
+        await writer.drain()
+
+    async def _handle(self, line: bytes, client: str, owned: List[str],
+                      writer: asyncio.StreamWriter) -> None:
+        self.requests += 1
+        try:
+            message = proto.decode(line)
+            cmd = proto.validate_request(message)
+        except proto.ProtocolError as exc:
+            await self._send(writer, proto.error(exc.code, str(exc)))
+            return
+        try:
+            if cmd == "ping":
+                await self._send(writer, proto.ok(
+                    pong=True, version=proto.PROTOCOL_VERSION,
+                    draining=self.draining))
+            elif cmd == "submit":
+                await self._cmd_submit(message, client, owned, writer)
+            elif cmd == "status":
+                await self._cmd_status(message, writer)
+            elif cmd == "watch":
+                await self._cmd_watch(message, writer)
+            elif cmd == "cancel":
+                await self._cmd_cancel(message, writer)
+            elif cmd == "drain":
+                summary = await self._drain()
+                await self._send(writer, proto.ok(**summary))
+                if self._stopped is not None:
+                    # Let serve_forever return once the reply is out.
+                    asyncio.get_running_loop().call_soon(self._finish_stop)
+        except proto.ProtocolError as exc:
+            await self._send(writer, proto.error(exc.code, str(exc)))
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except Exception as exc:  # noqa: BLE001 — keep the daemon alive
+            await self._send(writer, proto.error(
+                proto.ERR_INTERNAL, f"{type(exc).__name__}: {exc}"))
+
+    def _finish_stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        if self.address is not None and self.address[0] == "unix":
+            import os
+
+            try:
+                os.unlink(self.address[1])
+            except OSError:
+                pass
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # -- submit --------------------------------------------------------------
+
+    def _request_settings(self, message: Dict[str, Any]) -> RunSettings:
+        raw = message.get("settings", {})
+        if not isinstance(raw, dict):
+            raise proto.ProtocolError("field 'settings' must be an object")
+        known = ("refs_per_core", "warmup_refs_per_core", "capacity_factor",
+                 "num_seeds", "base_seed")
+        unknown = sorted(set(raw) - set(known))
+        if unknown:
+            raise proto.ProtocolError(
+                f"unknown settings field(s): {', '.join(unknown)} "
+                f"(known: {', '.join(known)})")
+        d = self.defaults
+        return RunSettings(
+            capacity_factor=proto.check_int(
+                raw, "capacity_factor", d.capacity_factor, 1),
+            refs_per_core=proto.check_int(
+                raw, "refs_per_core", d.refs_per_core, 1),
+            warmup_refs_per_core=proto.check_int(
+                raw, "warmup_refs_per_core", d.warmup_refs_per_core, 0),
+            num_seeds=proto.check_int(raw, "num_seeds", d.num_seeds, 1),
+            base_seed=proto.check_int(raw, "base_seed", d.base_seed, 0),
+        )
+
+    def _request_seeds(self, message: Dict[str, Any],
+                       settings: RunSettings) -> List[int]:
+        seeds = message.get("seeds")
+        if seeds is None:
+            return perturbed_seeds(settings.base_seed, settings.num_seeds)
+        if not isinstance(seeds, list) or not seeds or not all(
+                isinstance(s, int) and not isinstance(s, bool)
+                for s in seeds):
+            raise proto.ProtocolError(
+                "field 'seeds' must be a non-empty list of integers")
+        return seeds
+
+    async def _cmd_submit(self, message: Dict[str, Any], client: str,
+                          owned: List[str],
+                          writer: asyncio.StreamWriter) -> None:
+        if self.draining:
+            await self._send(writer, proto.error(
+                proto.ERR_DRAINING, "server is draining; no new jobs"))
+            return
+        active = sum(1 for jid in owned
+                     if self.jobs[jid].state not in TERMINAL)
+        if active >= self.config.client_jobs:
+            await self._send(writer, proto.error(
+                proto.ERR_CLIENT_LIMIT,
+                f"connection already has {active} unfinished job(s) "
+                f"(limit {self.config.client_jobs})"))
+            return
+        archs = proto.check_names(message, "architectures",
+                                  allowed=architecture_names())
+        workloads = proto.check_names(message, "workloads",
+                                      allowed=workload_names())
+        settings = self._request_settings(message)
+        seeds = self._request_seeds(message, settings)
+        priority = proto.check_int(message, "priority", 0, -1_000_000)
+        wait = bool(message.get("wait", False))
+        config = self._configs.setdefault(
+            settings.capacity_factor, scaled_config(settings.capacity_factor))
+        points = grid_points(config, settings, archs, workloads, seeds)
+        self.points_requested += len(points)
+
+        order: List[str] = []
+        unique: Dict[str, Any] = {}
+        meta: Dict[str, Tuple[str, str, int]] = {}
+        for point in points:
+            key = point.key
+            order.append(key)
+            unique.setdefault(key, point)
+            meta[key] = (point.name, point.workload, point.seed)
+        job = Job(f"j{next(self._job_seq)}", order, meta, priority, client)
+
+        missing: List[Tuple[str, Any]] = []
+        for key, point in unique.items():
+            cached = self.executor.cache.get(key)
+            if cached is not None:
+                job.resolve_cached(key, run_stats_payload(cached))
+                self.points_cached += 1
+            else:
+                missing.append((key, point))
+        try:
+            tasks, coalesced = self.scheduler.admit(missing, priority)
+        except q.QueueFullError as exc:
+            await self._send(writer, proto.error(
+                proto.ERR_QUEUE_FULL, str(exc)))
+            return
+        job.coalesced = coalesced
+        self.points_coalesced += coalesced
+        self.points_enqueued += len(missing) - coalesced
+        for key, task in tasks.items():
+            job.attach(key, task)
+            self._followers.setdefault(key, []).append(job)
+        self.jobs[job.id] = job
+        owned.append(job.id)
+        job.seal()
+
+        if wait:
+            await asyncio.shield(job.done)
+        reply = job.snapshot()
+        reply["cached"] = job.cached
+        results = job.results()
+        if results is not None:  # waited, or served entirely from cache
+            reply["results"] = results
+        await self._send(writer, proto.ok(**reply))
+
+    # -- status / watch / cancel ---------------------------------------------
+
+    def _job(self, message: Dict[str, Any]) -> Job:
+        job_id = message.get("job")
+        job = self.jobs.get(job_id) if isinstance(job_id, str) else None
+        if job is None:
+            raise proto.ProtocolError(f"unknown job {job_id!r}",
+                                      code=proto.ERR_UNKNOWN_JOB)
+        return job
+
+    def server_status(self) -> Dict[str, Any]:
+        by_state: Dict[str, int] = {}
+        for job in self.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {
+            "draining": self.draining,
+            "queue": {"backlog": self.scheduler.backlog,
+                      "inflight": self.scheduler.inflight,
+                      "limit": self.config.queue_limit},
+            "workers": self.config.workers,
+            "jobs": by_state,
+            "points": {"requested": self.points_requested,
+                       "cached": self.points_cached,
+                       "coalesced": self.points_coalesced,
+                       "enqueued": self.points_enqueued,
+                       "executed": self.executor.executed},
+            "cache": self._cache_summary(),
+        }
+
+    async def _cmd_status(self, message: Dict[str, Any],
+                          writer: asyncio.StreamWriter) -> None:
+        if message.get("job") is None:
+            await self._send(writer, proto.ok(**self.server_status()))
+        else:
+            job = self._job(message)
+            await self._send(writer, proto.ok(**job.snapshot(points=True)))
+
+    async def _cmd_watch(self, message: Dict[str, Any],
+                         writer: asyncio.StreamWriter) -> None:
+        job = self._job(message)
+        include_results = bool(message.get("results", True))
+        channel = job.subscribe()
+        try:
+            while True:
+                snap = await channel.get()
+                if snap is None:
+                    end: Dict[str, Any] = {"event": "end", "job": job.id,
+                                           "state": job.state}
+                    results = job.results()
+                    if include_results and results is not None:
+                        end["results"] = results
+                    if job.errors:
+                        end["errors"] = dict(job.errors)
+                    await self._send(writer, end)
+                    return
+                snap = dict(snap)
+                snap["event"] = "progress"
+                await self._send(writer, snap)
+        finally:
+            job.unsubscribe(channel)
+
+    async def _cmd_cancel(self, message: Dict[str, Any],
+                          writer: asyncio.StreamWriter) -> None:
+        job = self._job(message)
+        job.cancel(self.scheduler)
+        await self._send(writer, proto.ok(job=job.id, state=job.state))
+
+
+# -- embedding helpers --------------------------------------------------------
+
+async def _thread_main(service: SimulationService, started: threading.Event,
+                       box: Dict[str, Any]) -> None:
+    try:
+        box["address"] = await service.start()
+        box["loop"] = asyncio.get_running_loop()
+    except BaseException as exc:  # surface bind errors to the caller
+        box["error"] = exc
+        started.set()
+        raise
+    started.set()
+    await service.serve_forever()
+
+
+class ServiceThread:
+    """A service on a background event loop — tests and notebooks.
+
+    ::
+
+        with ServiceThread(config) as handle:
+            client = ServiceClient.connect(handle.address)
+            ...
+
+    Exiting the block drains the service (unless a protocol ``drain``
+    already stopped it) and joins the thread.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 executor: Optional[Executor] = None,
+                 settings: Optional[RunSettings] = None) -> None:
+        self.service = SimulationService(config, executor, settings)
+        self._box: Dict[str, Any] = {}
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple:
+        return self._box["address"]
+
+    def __enter__(self) -> "ServiceThread":
+        started = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(
+                _thread_main(self.service, started, self._box)),
+            name="esp-nuca-service", daemon=True)
+        self._thread.start()
+        started.wait(timeout=30)
+        if "error" in self._box:
+            self._thread.join(timeout=5)
+            raise self._box["error"]
+        if "address" not in self._box:
+            raise RuntimeError("service failed to start within 30s")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        import concurrent.futures
+
+        loop = self._box.get("loop")
+        if (self._thread is not None and self._thread.is_alive()
+                and loop is not None and not loop.is_closed()):
+            try:
+                future = asyncio.run_coroutine_threadsafe(
+                    self.service.shutdown(), loop)
+                future.result(timeout=60)
+            except (RuntimeError, concurrent.futures.TimeoutError):
+                pass  # loop already gone: a protocol drain stopped it
+        if self._thread is not None:
+            self._thread.join(timeout=60)

@@ -5,13 +5,15 @@ experiment consumes (with the derived-metric API the metrics layer
 builds on) plus ``stats`` — the full hierarchical registry snapshot
 (see :mod:`repro.common.statsreg`) with per-bank, per-link,
 per-controller and per-policy breakdowns. ``to_dict``/``from_dict``
-round-trip the whole object through JSON losslessly; the persistent run
-cache and the ``esp-nuca stats`` renderer both consume that form.
+round-trip the whole object through JSON losslessly; that form is the
+repo's one result serialization — the persistent run cache stores it,
+the ``esp-nuca stats`` renderer (and its ``--json`` mode) prints it,
+and the simulation service streams it over the wire (see
+docs/service.md).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
@@ -112,23 +114,6 @@ class SimResult:
         self.memory_accesses += 1
         self.supplier_count[supplier] += 1
         self.supplier_cycles[supplier] += latency
-
-    # -- deprecated grab-bag -------------------------------------------------
-
-    @property
-    def extra(self) -> Dict[str, object]:
-        """Deprecated: the untyped side-channel ``extra`` used to be.
-
-        Ad-hoc per-run values belong in a named registry scope (they
-        then reset, serialize and render like every other statistic).
-        This shim keeps old readers/writers working by aliasing an
-        ``extra`` subtree of ``stats``.
-        """
-        warnings.warn(
-            "SimResult.extra is deprecated; put ad-hoc values in a named "
-            "scope of the stats registry instead (see docs/observability.md)",
-            DeprecationWarning, stacklevel=2)
-        return self.stats.setdefault("extra", {})  # type: ignore[return-value]
 
     # -- structured serialization --------------------------------------------
 

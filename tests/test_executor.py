@@ -138,6 +138,61 @@ class TestPersistentCache:
         assert not (tmp_path / "cache").exists()
 
 
+class TestCorruptEntries:
+    """Real damage on disk — every flavor of bad payload reads as a
+    miss (the ``except (OSError, ValueError)`` and schema-check paths
+    in :meth:`RunCache.get`), and re-simulation heals the entry."""
+
+    def _seeded_cache(self, tmp_path):
+        """A cache holding one real entry; returns (cache, key, result)."""
+        cache = RunCache(root=str(tmp_path / "cache"))
+        runner = ExperimentRunner(QUICK, executor=Executor(jobs=1,
+                                                           cache=cache))
+        seed = runner.seeds[0]
+        result = runner.run_one("shared", "apache", seed)
+        key = cache_key(runner.config, QUICK, "shared", "apache", seed)
+        assert cache.get(key) == result  # sanity: entry is readable
+        return cache, key, result
+
+    @pytest.mark.parametrize("damage", [
+        pytest.param(b"", id="empty-file"),
+        pytest.param(b'{"architecture": "shared", "cyc', id="truncated"),
+        pytest.param(b"\x00\xffnot json at all\x80", id="binary-garbage"),
+        pytest.param(b'"hello"', id="json-non-object"),
+        pytest.param(b'{"foo": 1}', id="wrong-schema"),
+    ])
+    def test_damaged_entry_is_a_miss(self, tmp_path, damage):
+        cache, key, _ = self._seeded_cache(tmp_path)
+        with open(cache.entry_path(key), "wb") as handle:
+            handle.write(damage)
+        misses_before = cache.misses
+        assert cache.get(key) is None
+        assert cache.misses == misses_before + 1
+
+    def test_resimulation_heals_damaged_entry(self, tmp_path):
+        cache, key, result = self._seeded_cache(tmp_path)
+        with open(cache.entry_path(key), "wb") as handle:
+            handle.write(b'{"half a payl')
+        fresh = ExperimentRunner(QUICK, executor=Executor(
+            jobs=1, cache=RunCache(root=cache.root)))
+        healed = fresh.run_one("shared", "apache", fresh.seeds[0])
+        assert healed == result
+        assert fresh.executor.cache.misses == 1
+        assert fresh.executor.cache.writes == 1
+        assert cache.get(key) == result
+
+    def test_unreadable_entry_is_a_miss(self, tmp_path):
+        cache, key, _ = self._seeded_cache(tmp_path)
+        path = cache.entry_path(key)
+        os.chmod(path, 0o000)
+        try:
+            if os.access(path, os.R_OK):  # running as root: chmod no-op
+                pytest.skip("permissions not enforced for this user")
+            assert cache.get(key) is None
+        finally:
+            os.chmod(path, 0o644)
+
+
 class TestEnvValidation:
     def test_malformed_value_names_the_variable(self, monkeypatch):
         monkeypatch.setenv("REPRO_REFS", "twenty")

@@ -1,0 +1,501 @@
+"""Simulation service: protocol, coalescing, backpressure, streaming,
+drain — integration-tested against real (tiny-fidelity) simulations.
+
+The acceptance contract pinned here:
+
+* concurrent clients submitting overlapping grids get results
+  byte-identical to direct executor/runner runs;
+* duplicate in-flight submissions coalesce (executor sees fewer points
+  than were requested);
+* a full queue rejects with the typed ``queue-full`` error instead of
+  blocking;
+* repeat submissions are answered from the persistent run cache without
+  touching a worker;
+* ``drain`` completes with zero orphaned workers (asyncio tasks *and*
+  OS threads).
+"""
+
+import json
+import shutil
+import time
+import tempfile
+import threading
+
+import pytest
+
+from repro.harness.executor import Executor
+from repro.harness.runcache import RunCache
+from repro.harness.runner import RunSettings, grid_points
+from repro.service import (QueueFullError, ServiceClient, ServiceConfig,
+                           ServiceError, ServiceThread, payloads_to_results)
+from repro.service import protocol as proto
+
+QUICK = RunSettings(capacity_factor=8, refs_per_core=400,
+                    warmup_refs_per_core=100, num_seeds=2)
+SEEDS = [7, 11]
+ARCHS = ["shared", "private", "esp-nuca"]
+WORKLOADS = ["apache", "gcc-4"]
+SETTINGS_WIRE = {"refs_per_core": QUICK.refs_per_core,
+                 "warmup_refs_per_core": QUICK.warmup_refs_per_core,
+                 "capacity_factor": QUICK.capacity_factor}
+
+CLIENT_TIMEOUT = 120.0
+
+
+class CountingExecutor(Executor):
+    """Real executor that records traffic and can hold batches at a gate
+    (to pin work in-flight while assertions run)."""
+
+    def __init__(self, *args, gate=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.calls = 0
+        self.points_seen = 0
+        self.point_log = []
+        self._gate = gate
+        self._lock = threading.Lock()
+
+    def run(self, points):
+        with self._lock:
+            self.calls += 1
+            self.points_seen += len(points)
+            self.point_log.extend((p.name, p.workload, p.seed)
+                                  for p in points)
+        if self._gate is not None:
+            assert self._gate.wait(timeout=60), "test gate never released"
+        return super().run(points)
+
+
+@pytest.fixture
+def sock_dir():
+    """A short-lived directory with a short path (unix socket paths are
+    length-limited; pytest's tmp_path can exceed it)."""
+    path = tempfile.mkdtemp(prefix="espsvc-")
+    yield path
+    shutil.rmtree(path, ignore_errors=True)
+
+
+def service(sock_dir, executor, cache_dir=None, **config):
+    if executor is None:
+        cache = (RunCache(root=cache_dir) if cache_dir
+                 else RunCache(enabled=False))
+        executor = CountingExecutor(jobs=1, cache=cache)
+    config.setdefault("bind", ("unix", f"{sock_dir}/svc.sock"))
+    return ServiceThread(ServiceConfig(**config), executor=executor,
+                         settings=QUICK)
+
+
+def connect(handle):
+    address = handle.address
+    spec = (f"unix:{address[1]}" if address[0] == "unix"
+            else f"{address[1]}:{address[2]}")
+    return ServiceClient.connect(spec, timeout=CLIENT_TIMEOUT)
+
+
+def canonical(payload):
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def reference_payloads(archs, workloads, seeds):
+    """Direct serial executor run of the same grid, no caches."""
+    from repro.common.config import scaled_config
+
+    executor = Executor(jobs=1, cache=RunCache(enabled=False))
+    points = grid_points(scaled_config(QUICK.capacity_factor), QUICK,
+                         archs, workloads, seeds)
+    return [r.to_dict() for r in executor.run(points)]
+
+
+# -- protocol unit tests ------------------------------------------------------
+
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        message = {"cmd": "submit", "architectures": ["esp-nuca"],
+                   "priority": 3}
+        assert proto.decode(proto.encode(message).strip()) == message
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.decode(b"[1, 2, 3]")
+        with pytest.raises(proto.ProtocolError):
+            proto.decode(b"not json at all")
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(proto.ProtocolError, match="unknown cmd"):
+            proto.validate_request({"cmd": "reboot"})
+
+    def test_newer_protocol_version_rejected(self):
+        with pytest.raises(proto.ProtocolError, match="version"):
+            proto.validate_request(
+                {"cmd": "ping", "version": proto.PROTOCOL_VERSION + 1})
+
+    def test_check_int_rejects_bool_and_below_minimum(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.check_int({"n": True}, "n", 1, 0)
+        with pytest.raises(proto.ProtocolError):
+            proto.check_int({"n": -1}, "n", 1, 0)
+        assert proto.check_int({}, "n", 5, 0) == 5
+
+    def test_parse_address_forms(self):
+        assert proto.parse_address("unix:/tmp/x.sock") == \
+            ("unix", "/tmp/x.sock")
+        assert proto.parse_address("example.org:1234") == \
+            ("tcp", "example.org", 1234)
+        assert proto.parse_address(":9000") == ("tcp", "127.0.0.1", 9000)
+        with pytest.raises(ValueError):
+            proto.parse_address("host:not-a-port")
+        with pytest.raises(ValueError):
+            proto.parse_address("unix:")
+
+
+# -- scheduler unit tests -----------------------------------------------------
+
+class TestScheduler:
+    def _points(self, n):
+        from repro.common.config import scaled_config
+
+        config = scaled_config(QUICK.capacity_factor)
+        return [(p.key, p) for p in grid_points(
+            config, QUICK, ARCHS, WORKLOADS, range(n))][:n]
+
+    def test_admission_is_all_or_nothing(self):
+        import asyncio
+
+        from repro.service.queue import Scheduler
+
+        async def scenario():
+            scheduler = Scheduler(limit=3)
+            pts = self._points(5)
+            tasks, coalesced = scheduler.admit(pts[:2])
+            assert len(tasks) == 2 and coalesced == 0
+            with pytest.raises(QueueFullError):
+                scheduler.admit(pts[2:5])  # needs 3 slots, 1 free
+            assert scheduler.backlog == 2  # untouched by the reject
+            # resubmitting the same keys coalesces without using slots
+            tasks2, coalesced2 = scheduler.admit(pts[:2])
+            assert coalesced2 == 2
+            assert tasks2.keys() == tasks.keys()
+            assert scheduler.backlog == 2
+
+        asyncio.run(scenario())
+
+    def test_batch_pop_respects_priority_then_order(self):
+        import asyncio
+
+        from repro.service.queue import Scheduler
+
+        async def scenario():
+            scheduler = Scheduler(limit=10)
+            pts = self._points(4)
+            scheduler.admit(pts[:2], priority=0)
+            scheduler.admit(pts[2:4], priority=5)
+            batch = await scheduler.next_batch(10)
+            assert [t.key for t in batch] == \
+                [k for k, _ in pts[2:4] + pts[:2]]
+
+        asyncio.run(scenario())
+
+    def test_release_drops_unwanted_queued_tasks(self):
+        import asyncio
+
+        from repro.service.queue import Scheduler
+
+        async def scenario():
+            scheduler = Scheduler(limit=10)
+            pts = self._points(1)
+            tasks, _ = scheduler.admit(pts)
+            task = next(iter(tasks.values()))
+            scheduler.release(task)
+            assert scheduler.backlog == 0
+            assert scheduler.inflight == 0
+            scheduler.close()
+            assert await scheduler.next_batch(10) is None
+
+        asyncio.run(scenario())
+
+
+# -- integration: concurrent clients ------------------------------------------
+
+class TestConcurrentClients:
+    def test_overlapping_grids_byte_identical_and_coalesced(self, sock_dir):
+        """N=8 concurrent clients, overlapping grids, gate held so every
+        duplicate is genuinely in-flight when it coalesces."""
+        gate = threading.Event()
+        executor = CountingExecutor(jobs=1, cache=RunCache(enabled=False),
+                                    gate=gate)
+        # Overlapping subsets: every client shares points with others.
+        grids = [(ARCHS[i % 2:], WORKLOADS) for i in range(8)]
+        requested = sum(len(a) * len(w) * len(SEEDS) for a, w in grids)
+        collected = [None] * len(grids)
+
+        with service(sock_dir, executor, workers=2, batch=4,
+                     queue_limit=64) as handle:
+            def run_client(i, archs, workloads):
+                with connect(handle) as client:
+                    reply = client.submit(archs, workloads, seeds=SEEDS,
+                                          settings=SETTINGS_WIRE, wait=False)
+                    end = None
+                    for event in client.watch(reply["job"]):
+                        end = event
+                    assert end["event"] == "end" and end["state"] == "done"
+                    collected[i] = end["results"]
+
+            threads = [threading.Thread(target=run_client, args=(i, a, w))
+                       for i, (a, w) in enumerate(grids)]
+            for thread in threads:
+                thread.start()
+            # Everything submitted before any simulation completes.
+            with connect(handle) as admin:
+                deadline = 60
+                while True:
+                    status = admin.status()
+                    pts = status["points"]
+                    if pts["requested"] >= requested:
+                        break
+                    deadline -= 1
+                    assert deadline > 0, f"submissions missing: {pts}"
+                    time.sleep(0.05)
+                assert pts["coalesced"] > 0
+            gate.set()
+            for thread in threads:
+                thread.join(timeout=120)
+                assert not thread.is_alive()
+
+        # Coalescing: the executor saw each unique point once.
+        unique = len({(a, w, s) for archs, wls in grids
+                      for a in archs for w in wls for s in SEEDS})
+        assert executor.points_seen == unique
+        assert unique < requested
+
+        # Byte-identical to a direct serial executor run of each grid.
+        for (archs, workloads), results in zip(grids, collected):
+            reference = reference_payloads(archs, workloads, SEEDS)
+            assert [canonical(r) for r in results] == \
+                [canonical(r) for r in reference]
+
+    def test_tcp_transport(self, sock_dir):
+        executor = CountingExecutor(jobs=1, cache=RunCache(enabled=False))
+        with service(sock_dir, executor,
+                     bind=("tcp", "127.0.0.1", 0)) as handle:
+            with connect(handle) as client:
+                assert client.ping()["pong"] is True
+                reply = client.submit(["shared"], ["apache"], seeds=[7],
+                                      settings=SETTINGS_WIRE, wait=True)
+                assert reply["state"] == "done"
+                result = payloads_to_results(reply["results"])[0]
+                assert result.architecture == "shared"
+                assert result.cycles > 0
+
+
+# -- integration: cache fast path ---------------------------------------------
+
+class TestCacheFastPath:
+    def test_repeat_submission_never_reaches_a_worker(self, sock_dir):
+        cache_dir = f"{sock_dir}/cache"
+        executor = CountingExecutor(jobs=1, cache=RunCache(root=cache_dir))
+        with service(sock_dir, executor) as handle:
+            with connect(handle) as client:
+                first = client.submit(["shared", "esp-nuca"], ["apache"],
+                                      seeds=SEEDS, settings=SETTINGS_WIRE,
+                                      wait=True)
+                assert first["state"] == "done"
+                executed = executor.points_seen
+                assert executed == 4
+                second = client.submit(["shared", "esp-nuca"], ["apache"],
+                                       seeds=SEEDS, settings=SETTINGS_WIRE,
+                                       wait=True)
+                assert second["state"] == "done"
+                assert second["cached"] == 4
+                assert executor.points_seen == executed  # no worker touched
+                assert [canonical(r) for r in second["results"]] == \
+                    [canonical(r) for r in first["results"]]
+
+    def test_cache_survives_service_restart(self, sock_dir):
+        cache_dir = f"{sock_dir}/cache"
+        with service(sock_dir, None, cache_dir=cache_dir) as handle:
+            with connect(handle) as client:
+                first = client.submit(["shared"], ["apache"], seeds=[7],
+                                      settings=SETTINGS_WIRE, wait=True)
+        executor = CountingExecutor(jobs=1, cache=RunCache(root=cache_dir))
+        with service(sock_dir, executor) as handle:
+            with connect(handle) as client:
+                again = client.submit(["shared"], ["apache"], seeds=[7],
+                                      settings=SETTINGS_WIRE, wait=True)
+                assert again["cached"] == 1
+                assert executor.calls == 0
+                assert canonical(again["results"][0]) == \
+                    canonical(first["results"][0])
+
+
+# -- integration: backpressure and limits -------------------------------------
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_typed_error(self, sock_dir):
+        gate = threading.Event()
+        executor = CountingExecutor(jobs=1, cache=RunCache(enabled=False),
+                                    gate=gate)
+        try:
+            with service(sock_dir, executor, workers=1, batch=1,
+                         queue_limit=2) as handle:
+                with connect(handle) as client:
+                    blocker = client.submit(["shared"], ["apache"],
+                                            seeds=[1], wait=False,
+                                            settings=SETTINGS_WIRE)
+                    # Wait until the blocker occupies the worker, so the
+                    # backlog below is exactly deterministic.
+                    deadline = 100
+                    while True:
+                        snap = client.status(blocker["job"])
+                        if snap["counts"]["running"] == 1:
+                            break
+                        deadline -= 1
+                        assert deadline > 0
+                        time.sleep(0.05)
+                    client.submit(["shared"], ["apache"], seeds=[2],
+                                  wait=False, settings=SETTINGS_WIRE)
+                    client.submit(["shared"], ["apache"], seeds=[3],
+                                  wait=False, settings=SETTINGS_WIRE)
+                    with pytest.raises(ServiceError) as exc:
+                        client.submit(["shared"], ["apache"], seeds=[4],
+                                      wait=False, settings=SETTINGS_WIRE)
+                    assert exc.value.code == "queue-full"
+                    # The reject left the queue intact; coalescing onto
+                    # queued work still succeeds (needs no new slot).
+                    joined = client.submit(["shared"], ["apache"], seeds=[3],
+                                           wait=False,
+                                           settings=SETTINGS_WIRE)
+                    assert joined["coalesced"] == 1
+                    gate.set()
+        finally:
+            gate.set()
+
+    def test_per_client_job_limit(self, sock_dir):
+        gate = threading.Event()
+        executor = CountingExecutor(jobs=1, cache=RunCache(enabled=False),
+                                    gate=gate)
+        try:
+            with service(sock_dir, executor, workers=1, batch=1,
+                         client_jobs=2, queue_limit=64) as handle:
+                with connect(handle) as client:
+                    for seed in (1, 2):
+                        client.submit(["shared"], ["apache"], seeds=[seed],
+                                      wait=False, settings=SETTINGS_WIRE)
+                    with pytest.raises(ServiceError) as exc:
+                        client.submit(["shared"], ["apache"], seeds=[3],
+                                      wait=False, settings=SETTINGS_WIRE)
+                    assert exc.value.code == "client-limit"
+                    # A second connection has its own allowance.
+                    with connect(handle) as other:
+                        other.submit(["shared"], ["apache"], seeds=[3],
+                                     wait=False, settings=SETTINGS_WIRE)
+                    gate.set()
+        finally:
+            gate.set()
+
+    def test_bad_requests_are_typed(self, sock_dir):
+        with service(sock_dir, None) as handle:
+            with connect(handle) as client:
+                with pytest.raises(ServiceError) as exc:
+                    client.submit(["no-such-arch"], ["apache"], seeds=[1])
+                assert exc.value.code == "bad-request"
+                with pytest.raises(ServiceError) as exc:
+                    client.status(job="j999")
+                assert exc.value.code == "unknown-job"
+                with pytest.raises(ServiceError) as exc:
+                    client.request({"cmd": "submit",
+                                    "architectures": ["shared"],
+                                    "workloads": ["apache"],
+                                    "settings": {"bogus_knob": 3}})
+                assert exc.value.code == "bad-request"
+
+
+# -- integration: watch, cancel, drain ----------------------------------------
+
+class TestLifecycle:
+    def test_watch_streams_progress_then_results(self, sock_dir):
+        with service(sock_dir, None) as handle:
+            with connect(handle) as client:
+                reply = client.submit(["shared", "private"], ["apache"],
+                                      seeds=[7], settings=SETTINGS_WIRE,
+                                      wait=False)
+                events = list(client.watch(reply["job"]))
+        assert events[-1]["event"] == "end"
+        assert all(e["event"] == "progress" for e in events[:-1])
+        done_counts = [e["counts"]["done"] for e in events[:-1]]
+        assert done_counts == sorted(done_counts)  # monotonic progress
+        results = events[-1]["results"]
+        assert len(results) == 2
+        # Results carry the full hierarchical registry snapshot.
+        for payload in results:
+            assert payload["stats"].get("l2")
+            assert payload["stats"].get("noc")
+
+    def test_cancel_drops_queued_points(self, sock_dir):
+        gate = threading.Event()
+        executor = CountingExecutor(jobs=1, cache=RunCache(enabled=False),
+                                    gate=gate)
+        try:
+            with service(sock_dir, executor, workers=1, batch=1,
+                         queue_limit=64) as handle:
+                with connect(handle) as client:
+                    blocker = client.submit(["shared"], ["apache"],
+                                            seeds=[1], wait=False,
+                                            settings=SETTINGS_WIRE)
+                    victim = client.submit(["private"], ["apache"],
+                                           seeds=[2], wait=False,
+                                           settings=SETTINGS_WIRE)
+                    cancelled = client.cancel(victim["job"])
+                    assert cancelled["state"] == "cancelled"
+                    gate.set()
+                    end = list(client.watch(blocker["job"]))[-1]
+                    assert end["state"] == "done"
+                    drained = client.drain()
+            assert drained["workers_alive"] == 0
+            # The cancelled point never ran.
+            assert ("private", "apache", 2) not in executor.point_log
+        finally:
+            gate.set()
+
+    def test_drain_completes_with_zero_orphaned_workers(self, sock_dir):
+        executor = CountingExecutor(jobs=1, cache=RunCache(enabled=False))
+        with service(sock_dir, executor, workers=3) as handle:
+            with connect(handle) as client:
+                client.submit(["shared"], ["apache"], seeds=[5],
+                              wait=True, settings=SETTINGS_WIRE)
+                drained = client.drain()
+            assert drained["drained"] is True
+            assert drained["workers_alive"] == 0
+            assert drained["executed_points"] == 1
+            assert "cache" in drained
+        # No simulation threads survive the drain.
+        assert not [t for t in threading.enumerate()
+                    if t.name.startswith("esp-nuca-sim")]
+
+    def test_submissions_while_draining_get_typed_error(self, sock_dir):
+        gate = threading.Event()
+        executor = CountingExecutor(jobs=1, cache=RunCache(enabled=False),
+                                    gate=gate)
+        try:
+            with service(sock_dir, executor, workers=1, batch=1) as handle:
+                with connect(handle) as client:
+                    client.submit(["shared"], ["apache"], seeds=[1],
+                                  wait=False, settings=SETTINGS_WIRE)
+                    drain_reply = {}
+                    drainer = connect(handle)
+                    thread = threading.Thread(
+                        target=lambda: drain_reply.update(drainer.drain()))
+                    thread.start()
+                    deadline = 100
+                    while not client.ping()["draining"]:
+                        deadline -= 1
+                        assert deadline > 0
+                        time.sleep(0.05)
+                    with pytest.raises(ServiceError) as exc:
+                        client.submit(["shared"], ["apache"], seeds=[9],
+                                      wait=False, settings=SETTINGS_WIRE)
+                    assert exc.value.code == "draining"
+                    gate.set()
+                    thread.join(timeout=60)
+                    drainer.close()
+                    assert drain_reply.get("drained") is True
+        finally:
+            gate.set()

@@ -1,0 +1,109 @@
+"""CI smoke test for the simulation service, end to end as a user
+would run it: boot the real ``esp-nuca serve`` daemon in a subprocess,
+submit one uncached grid and then the identical grid again, and prove
+from the server's own counters that the second submission was answered
+entirely from the persistent run cache — ``points.executed`` unchanged,
+``points.cached`` incremented, results byte-identical — then drain and
+require a clean exit with zero orphaned workers.
+
+Run locally with ``PYTHONPATH=src python tools/service_smoke.py``; the
+in-process equivalent lives in ``tests/test_service.py`` (this script
+exists to exercise the actual CLI entry points and process lifecycle,
+which in-process tests cannot).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+ARCHS = ["shared", "esp-nuca"]
+WORKLOADS = ["apache"]
+SETTINGS = {"refs_per_core": 400, "warmup_refs_per_core": 100,
+            "capacity_factor": 8, "num_seeds": 1}
+POINTS = len(ARCHS) * len(WORKLOADS) * SETTINGS["num_seeds"]
+BOOT_TIMEOUT = 60
+DRAIN_TIMEOUT = 120
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_socket(path, proc):
+    deadline = time.monotonic() + BOOT_TIMEOUT
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            fail(f"server died during boot (exit {proc.returncode})")
+        if os.path.exists(path):
+            return
+        time.sleep(0.1)
+    fail(f"server socket {path} did not appear within {BOOT_TIMEOUT}s")
+
+
+def canonical(payloads):
+    return json.dumps(payloads, sort_keys=True, separators=(",", ":"))
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="esp-smoke-")
+    sock = os.path.join(workdir, "svc.sock")
+    env = dict(os.environ,
+               PYTHONPATH=os.path.join(os.path.dirname(os.path.dirname(
+                   os.path.abspath(__file__))), "src"),
+               REPRO_CACHE_DIR=os.path.join(workdir, "cache"),
+               REPRO_JOBS="1")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.harness.cli", "serve",
+         "--bind", f"unix:{sock}", "--service-workers", "1"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    try:
+        wait_for_socket(sock, server)
+        with ServiceClient.connect(f"unix:{sock}") as client:
+            first = client.submit(ARCHS, WORKLOADS, settings=SETTINGS,
+                                  wait=True)
+            if first["state"] != "done" or len(first["results"]) != POINTS:
+                fail(f"first submit did not complete: {first}")
+            status = client.status()["points"]
+            if status["executed"] != POINTS or status["cached"] != 0:
+                fail(f"first submit should simulate everything: {status}")
+
+            second = client.submit(ARCHS, WORKLOADS, settings=SETTINGS,
+                                   wait=True)
+            status = client.status()["points"]
+            if status["executed"] != POINTS:
+                fail(f"cached resubmission reached a worker: {status}")
+            if status["cached"] != POINTS or second["cached"] != POINTS:
+                fail(f"resubmission not served from cache: {status}")
+            if canonical(first["results"]) != canonical(second["results"]):
+                fail("cached results differ from computed results")
+
+            summary = client.drain()
+            if not summary.get("drained") or summary["workers_alive"] != 0:
+                fail(f"drain left workers running: {summary}")
+        server.wait(timeout=DRAIN_TIMEOUT)
+        if server.returncode != 0:
+            fail(f"server exited {server.returncode} after drain")
+        output = server.stdout.read()
+        if "service drained" not in output:
+            fail(f"missing drain summary in server output:\n{output}")
+        print("service smoke OK: "
+              f"{POINTS} point(s) simulated once, resubmission fully "
+              "cached, clean drain")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+if __name__ == "__main__":
+    main()
