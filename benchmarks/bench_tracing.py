@@ -1,0 +1,141 @@
+"""Overhead of the unified event-tracing layer; writes
+BENCH_tracing.json at the repo root.
+
+Three passes over one cold serial grid (no persistent cache, one
+process — so every pass simulates exactly the same work):
+
+1. **off** — the null tracer: instrumented sites pay one attribute
+   check per emission point and nothing else. This pass is compared
+   against the wall-clock of the identical grid measured immediately
+   *before* the instrumentation landed (recorded below), pinning the
+   tentpole's acceptance bound: tracing-off overhead <= 2%;
+2. **on** — a full-fidelity capture: default categories, every access
+   span tree, default ring buffer;
+3. **sampled** — ``sample=100``: 1-in-100 access trees, instants
+   unthinned — the configuration meant for long captures.
+
+Each pass reports the minimum of ``--repeats`` runs (minimum, not
+mean: tracing overhead is a lower-bound question and the minimum is
+the least noisy estimator of it).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tracing.py [--repeats N]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.executor import Executor
+from repro.harness.runcache import RunCache
+from repro.harness.runner import ExperimentRunner, RunSettings
+from repro.obs import Tracer, activated
+
+ARCHS = ["shared", "esp-nuca"]
+WORKLOADS = ["apache", "CG"]
+SETTINGS = RunSettings(refs_per_core=4_000, warmup_refs_per_core=1_000,
+                       num_seeds=1)
+
+#: Wall-clock of this exact grid (serial, cold, min of 3) measured on
+#: the same machine at the commit immediately before the obs
+#: instrumentation was added — the honest "before" for the off pass.
+PRE_INSTRUMENTATION_BASELINE_S = 3.674
+
+#: The tentpole's acceptance bound on the disabled-path cost.
+MAX_OFF_OVERHEAD = 0.02
+
+
+def run_grid():
+    runner = ExperimentRunner(
+        SETTINGS, executor=Executor(jobs=1, cache=RunCache(enabled=False)))
+    start = time.perf_counter()
+    runner.matrix(ARCHS, WORKLOADS)
+    return time.perf_counter() - start
+
+
+def run_pass(repeats, tracer_kwargs=None):
+    best, events = None, 0
+    for _ in range(repeats):
+        if tracer_kwargs is None:
+            elapsed = run_grid()
+        else:
+            tracer = Tracer(**tracer_kwargs)
+            with activated(tracer):
+                elapsed = run_grid()
+            events = tracer.emitted
+        best = elapsed if best is None else min(best, elapsed)
+    return best, events
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_tracing.json"))
+    args = parser.parse_args(argv)
+
+    off_t, _ = run_pass(args.repeats)
+    on_t, on_events = run_pass(args.repeats, {})
+    sampled_t, sampled_events = run_pass(args.repeats, {"sample": 100})
+
+    off_overhead = off_t / PRE_INSTRUMENTATION_BASELINE_S - 1.0
+    payload = {
+        "benchmark": "event tracing overhead (repro.obs)",
+        "grid": {"architectures": ARCHS, "workloads": WORKLOADS,
+                 "seeds": SETTINGS.num_seeds,
+                 "refs_per_core": SETTINGS.refs_per_core,
+                 "warmup_refs_per_core": SETTINGS.warmup_refs_per_core,
+                 "capacity_factor": SETTINGS.capacity_factor,
+                 "executor": "serial, no persistent cache"},
+        "environment": {"cpu_count": os.cpu_count(),
+                        "python": sys.version.split()[0],
+                        "repeats": args.repeats,
+                        "timing": "minimum over repeats"},
+        "before": {
+            "label": "identical grid at the commit before the obs "
+                     "instrumentation (same machine, min of 3)",
+            "wall_clock_s": PRE_INSTRUMENTATION_BASELINE_S,
+        },
+        "off": {
+            "label": "null tracer (instrumented sites, tracing disabled)",
+            "wall_clock_s": round(off_t, 3),
+            "overhead_vs_pre_instrumentation": round(off_overhead, 4),
+        },
+        "on": {
+            "label": "full capture: default categories, sample=1",
+            "wall_clock_s": round(on_t, 3),
+            "events_emitted": on_events,
+            "overhead_vs_off": round(on_t / off_t - 1.0, 4),
+        },
+        "sampled": {
+            "label": "long-capture configuration: sample=100",
+            "wall_clock_s": round(sampled_t, 3),
+            "events_emitted": sampled_events,
+            "overhead_vs_off": round(sampled_t / off_t - 1.0, 4),
+        },
+        "acceptance": {
+            "tracing_off_overhead_bound": MAX_OFF_OVERHEAD,
+            "pass": off_overhead <= MAX_OFF_OVERHEAD,
+        },
+    }
+    out = os.path.abspath(args.out)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"off {off_t:.3f}s ({off_overhead:+.1%} vs pre-instrumentation "
+          f"{PRE_INSTRUMENTATION_BASELINE_S}s), "
+          f"on {on_t:.3f}s ({on_t / off_t - 1.0:+.1%}, "
+          f"{on_events} events), "
+          f"sampled {sampled_t:.3f}s ({sampled_t / off_t - 1.0:+.1%}, "
+          f"{sampled_events} events)")
+    print(f"wrote {out}")
+    return 0 if payload["acceptance"]["pass"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

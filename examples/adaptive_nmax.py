@@ -44,8 +44,8 @@ def run_scenario(title: str, traces) -> None:
     config = scaled_config(8)
     arch = EspNuca(config)
     system = CmpSystem(config, arch)
-    recorder = TimelineRecorder(arch, period=512).install()
-    result = SimulationEngine(system, traces).run()
+    with TimelineRecorder(arch, period=512) as recorder:
+        result = SimulationEngine(system, traces).run()
     print(f"--- {title} ---")
     print(f"  IPC {result.performance:.3f}, "
           f"off-chip {result.offchip_accesses_per_kilo_access:.1f}/1000")

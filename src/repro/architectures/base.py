@@ -38,6 +38,12 @@ class NucaArchitecture:
 
     name = "base"
 
+    #: Child-span context of the in-flight *sampled* demand access
+    #: (published by :meth:`CmpSystem._traced_access`); ``None`` means
+    #: tracing is off or this access is unsampled — the timing helpers
+    #: below pay exactly one ``is not None`` test for it.
+    _trace_ctx = None
+
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
         self.system: "CmpSystem" = None  # type: ignore[assignment]
@@ -69,6 +75,11 @@ class NucaArchitecture:
 
     def on_bound(self) -> None:
         """Hook for post-bind setup (e.g. ESP attaches its duel controller)."""
+
+    def on_tracer(self, tracer) -> None:
+        """Hook: the owning system swapped its tracer
+        (:meth:`CmpSystem.set_tracer`); push it to any components that
+        captured the old one (ESP forwards it to the duel controller)."""
 
     # -- interface ------------------------------------------------------------
 
@@ -116,14 +127,27 @@ class NucaArchitecture:
         """Request-message traversal (contended)."""
         if src_router == dst_router:
             return t
-        return self.network.arrival(MessageKind.REQUEST, src_router, dst_router, t)
+        t_arrive = self.network.arrival(MessageKind.REQUEST, src_router,
+                                        dst_router, t)
+        ctx = self._trace_ctx
+        if ctx is not None and ctx.tracer.wants("noc"):
+            ctx.tracer.complete(
+                "noc", "req", ts=t, dur=t_arrive - t, pid=ctx.pid,
+                tid="noc", args={"src": src_router, "dst": dst_router})
+        return t_arrive
 
     def data(self, src_router: int, dst_router: int, t: int) -> int:
         """Data-response traversal (contended)."""
         if src_router == dst_router:
             return t
-        return self.network.arrival(MessageKind.RESPONSE_DATA, src_router,
-                                    dst_router, t)
+        t_arrive = self.network.arrival(MessageKind.RESPONSE_DATA, src_router,
+                                        dst_router, t)
+        ctx = self._trace_ctx
+        if ctx is not None and ctx.tracer.wants("noc"):
+            ctx.tracer.complete(
+                "noc", "data", ts=t, dur=t_arrive - t, pid=ctx.pid,
+                tid="noc", args={"src": src_router, "dst": dst_router})
+        return t_arrive
 
     def bank_service(self, bank_id: int, t_arrive: int, hit: bool) -> int:
         """Sequential tag(+data) access with busy-until bank contention.
@@ -140,6 +164,12 @@ class NucaArchitecture:
         if ready > start:
             start += min(ready - start, 4 * occupancy)
         self._bank_busy[bank_id] = max(ready, start + occupancy)
+        ctx = self._trace_ctx
+        if ctx is not None and ctx.tracer.wants("l2"):
+            ctx.tracer.complete(
+                "l2", "bank hit" if hit else "bank miss", ts=start,
+                dur=occupancy, pid=ctx.pid, tid=f"bank{bank_id}",
+                args={"wait": start - t_arrive} if start > t_arrive else None)
         return start + occupancy
 
     def fetch_offchip(self, dispatch_router: int, t_dispatch: int,
@@ -151,7 +181,14 @@ class NucaArchitecture:
         controller = self.memory.controller(mc)
         t_data = controller.service(t_dispatch + hops_req * hop)
         hops_resp = self.topology.controller_distance(mc, dest_router)
-        return t_data + hops_resp * hop
+        t_done = t_data + hops_resp * hop
+        ctx = self._trace_ctx
+        if ctx is not None and ctx.tracer.wants("mem"):
+            ctx.tracer.complete(
+                "mem", "off-chip fetch", ts=t_dispatch,
+                dur=t_done - t_dispatch, pid=ctx.pid, tid=f"mc{mc}",
+                args=None)
+        return t_done
 
     def supply_from_l1(self, requester: int, holder: int, via_router: int,
                        t: int) -> int:
@@ -259,6 +296,13 @@ class NucaArchitecture:
         bank = self.banks[bank_id]
         admitted, evicted = bank.allocate(set_index, entry)
         if not admitted:
+            tr = self.system.tracer
+            if tr.enabled and tr.wants("l2"):
+                tr.instant(
+                    "l2", "allocation refused", ts=self.system.trace_now,
+                    pid=self.system.trace_pid(), tid=f"bank{bank_id}",
+                    args={"block": f"{entry.block:#x}",
+                          "class": entry.cls.name.lower()})
             return False
         if evicted is not None:
             tokens = self.ledger.take_from_l2(evicted.block, evicted)

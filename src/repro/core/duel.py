@@ -13,12 +13,13 @@ events the controller applies equation (3):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Callable, Dict, List
 
 from repro.cache.bank import CacheBank, SetRole
 from repro.common.config import EspConfig
 from repro.common.fixedpoint import EmaEstimator
 from repro.common.statsreg import Scope
+from repro.obs.trace import NULL_TRACER
 
 
 def sampled_set_indices(num_sets: int, config: EspConfig) -> Dict[int, SetRole]:
@@ -79,6 +80,20 @@ class DuelController:
         self._states: Dict[int, BankDuelState] = {}
         self.stats = Scope()
         self._bank_stats: Dict[int, Dict[str, object]] = {}
+        # Event tracing: pushed by the owning architecture
+        # (EspNuca.on_tracer). `now`/`pid` come from the system so duel
+        # events land on the run's sim-clock process at the in-flight
+        # access's timestamp.
+        self._tracer = NULL_TRACER
+        self._now: Callable[[], int] = lambda: 0
+        self._pid: Callable[[], int] = lambda: 0
+
+    def set_tracer(self, tracer, now: Callable[[], int],
+                   pid: Callable[[], int]) -> None:
+        """Wire the controller to an event stream (see EspNuca.on_tracer)."""
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._now = now
+        self._pid = pid
 
     def attach(self, bank: CacheBank) -> BankDuelState:
         """Configure a bank for dueling and return its state."""
@@ -128,6 +143,15 @@ class DuelController:
         if state.events >= self.config.update_period:
             state.events = 0
             self._evaluate(bank, state)
+        # Detail category (explicit opt-in only): one event per
+        # monitored lookup, emitted *after* a possible evaluation so a
+        # listener sampling every Nth event sees the updated nmax —
+        # this is the stream TimelineRecorder is a view over.
+        tr = self._tracer
+        if tr.enabled and tr.wants("duel-observe"):
+            tr.instant("duel-observe", "monitored lookup", ts=self._now(),
+                       pid=self._pid(), tid=f"bank{bank.bank_id}",
+                       args=None)
 
     # -- equation (3) -------------------------------------------------------
 
@@ -143,16 +167,31 @@ class DuelController:
         # including exact equality — argues one more helping block is
         # safe.
         stats = self._bank_stats[bank.bank_id]
+        changed = 0
         if hr_r - state.hr_conventional.value > tolerance and state.nmax > 0:
             state.nmax -= 1
             state.decreases += 1
             stats["decreases"].value += 1
+            changed = -1
         elif (hr_r - state.hr_explorer.value <= tolerance
               and state.nmax < self.nmax_cap):
             state.nmax += 1
             state.increases += 1
             stats["increases"].value += 1
+            changed = 1
         bank.nmax = state.nmax
+        if changed:
+            tr = self._tracer
+            if tr.enabled and tr.wants("duel"):
+                tr.instant(
+                    "duel", "nmax +1" if changed > 0 else "nmax -1",
+                    ts=self._now(), pid=self._pid(),
+                    tid=f"bank{bank.bank_id}",
+                    args={"nmax": state.nmax,
+                          "hr_reference": state.hr_reference.hit_rate(),
+                          "hr_explorer": state.hr_explorer.hit_rate(),
+                          "hr_conventional":
+                              state.hr_conventional.hit_rate()})
         stats["evaluations"].value += 1
         stats["nmax"].set(state.nmax)
         stats["hr_reference"].set(state.hr_reference.hit_rate())

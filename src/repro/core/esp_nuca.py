@@ -94,6 +94,13 @@ class EspNuca(SpNuca):
             for bank in self.banks:
                 self.duel.attach(bank)
             self.stats.mount("duel", self.duel.stats, replace=True)
+            self.on_tracer(self.system.tracer)
+
+    def on_tracer(self, tracer) -> None:
+        if self.duel is not None:
+            system = self.system
+            self.duel.set_tracer(tracer, now=lambda: system.trace_now,
+                                 pid=system.trace_pid)
 
     # -- hit handling refinements ---------------------------------------------------
 
@@ -140,6 +147,13 @@ class EspNuca(SpNuca):
             # sits at its shared-map location: demote it in place.
             self.banks[bank_id].reclassify(index, entry, BlockClass.SHARED)
             entry.owner = -1
+            tr = self.system.tracer
+            if tr.enabled and tr.wants("esp"):
+                tr.instant(
+                    "esp", "victim demoted in place",
+                    ts=self.system.trace_now, pid=self.system.trace_pid(),
+                    tid=f"bank{bank_id}",
+                    args={"block": f"{block:#x}", "accessor": core})
         return super()._serve_shared_hit(core, block, entry, bank_id, index,
                                          sb_router, is_write, t_hit)
 
@@ -200,6 +214,13 @@ class EspNuca(SpNuca):
                            dirty=dirty, tokens=tokens)
         if self.l2_allocate(bank_id, index, entry, cascade=True):
             self._replicas_created.value += 1
+            tr = self.system.tracer
+            if tr.enabled and tr.wants("esp"):
+                tr.instant(
+                    "esp", "replica placed", ts=self.system.trace_now,
+                    pid=self.system.trace_pid(), tid=f"bank{bank_id}",
+                    args={"block": f"{block:#x}", "owner": core,
+                          "tokens": tokens})
             return True
         return False
 
@@ -222,6 +243,13 @@ class EspNuca(SpNuca):
                                 tokens=tokens)
             if self.l2_allocate(sb, sidx, victim, cascade=True):
                 self._victims_created.value += 1
+                tr = self.system.tracer
+                if tr.enabled and tr.wants("esp"):
+                    tr.instant(
+                        "esp", "victim placed", ts=self.system.trace_now,
+                        pid=self.system.trace_pid(), tid=f"bank{sb}",
+                        args={"block": f"{entry.block:#x}",
+                              "owner": entry.owner, "tokens": tokens})
                 return
         self.system.send_to_memory(entry.block, tokens, entry.dirty,
                                    self.router_of_bank(bank_id))

@@ -130,10 +130,23 @@ class SpNuca(NucaArchitecture):
         self.system.l1_fill(core, block, tokens, dirty or is_write)
         return t_done, Supplier.L2_LOCAL
 
+    def _note_access(self, block: int, core: int) -> None:
+        """Classifier update with a demotion instant when the private
+        bit flips (the Section 2.3 private→shared transition)."""
+        demoted = self.classifier.note_access(block, core)
+        if demoted:
+            tr = self.system.tracer
+            if tr.enabled and tr.wants("classifier"):
+                tr.instant(
+                    "classifier", "demotion private->shared",
+                    ts=self.system.trace_now, pid=self.system.trace_pid(),
+                    tid=f"bank{self.amap.shared_bank(block)}",
+                    args={"block": f"{block:#x}", "accessor": core})
+
     def _serve_shared_hit(self, core: int, block: int, entry: CacheBlock,
                           bank_id: int, index: int, sb_router: int,
                           is_write: bool, t_hit: int) -> Tuple[int, Supplier]:
-        self.classifier.note_access(block, core)
+        self._note_access(block, core)
         core_router = self.router_of_core(core)
         if is_write:
             tokens, _, _ = self.take_from_l2_entry(block, bank_id, index,
@@ -158,7 +171,7 @@ class SpNuca(NucaArchitecture):
                       ) -> Tuple[int, Supplier]:
         """Block is on chip but in neither probed bank: remote private
         banks (migrate + demote) or remote L1s supply it."""
-        self.classifier.note_access(block, core)
+        self._note_access(block, core)
         core_router = self.router_of_core(core)
         state = self.ledger.state(block)
         holding = self._pick_remote_holding(state.l2.values(), sb_router)

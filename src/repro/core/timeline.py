@@ -3,9 +3,24 @@
 The paper's Figure 3 illustrates how the reference/explorer/
 conventional hit-rate monitors drive ``nmax`` in small-working-set vs
 high-utility phases. ``TimelineRecorder`` samples exactly those
-quantities during a live run (by interposing on the controller's
-observe hook), so the adaptation can be plotted — see
+quantities during a live run, so the adaptation can be plotted — see
 ``examples/adaptive_nmax.py`` and the phase-change tests.
+
+Since the unified tracing layer (:mod:`repro.obs`) the recorder is a
+**view over the duel controller's event stream**: the controller emits
+a ``duel-observe`` detail event per monitored lookup (emitted only when
+something opted in — this recorder, or a trace capture listing the
+category explicitly), and the recorder counts those events and
+snapshots the per-bank duel state every ``period`` of them. Use it as
+a context manager::
+
+    with TimelineRecorder(architecture, period=256) as recorder:
+        engine.run(...)
+    print(recorder.format())
+
+so an exception mid-run cannot leave the subscription installed.
+``install()``/``uninstall()`` remain for older callers but are
+deprecated in favour of the ``with`` form.
 """
 
 from __future__ import annotations
@@ -14,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.esp_nuca import EspNuca
+from repro.obs.trace import TraceEvent, TracerView
 
 SPARK = "▁▂▃▄▅▆▇█"
 
@@ -28,7 +44,7 @@ class TimelineSample:
     per_bank_nmax: List[int] = field(default_factory=list)
 
 
-class TimelineRecorder:
+class TimelineRecorder(TracerView):
     """Samples duel state every ``period`` monitored events."""
 
     def __init__(self, architecture: EspNuca, period: int = 256,
@@ -36,34 +52,43 @@ class TimelineRecorder:
         if architecture.duel is None:
             raise ValueError("timeline recording needs the protected "
                              "(dueling) ESP-NUCA variant")
+        if architecture.system is None:
+            raise ValueError("timeline recording needs a bound "
+                             "architecture (construct the CmpSystem first)")
+        TracerView.__init__(self, architecture.system,
+                            categories=(), detail=("duel-observe",))
         self.architecture = architecture
         self.period = period
         self.focus_bank = focus_bank
         self.samples: List[TimelineSample] = []
         self._events = 0
-        self._installed = False
-        self._inner_observe = None
 
-    # -- installation -----------------------------------------------------------
+    # -- lifecycle ---------------------------------------------------------------
+
+    def __enter__(self) -> "TimelineRecorder":
+        self._attach()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._detach()
 
     def install(self) -> "TimelineRecorder":
-        """Interpose on the duel controller's observe hook."""
-        if self._installed:
-            return self
-        duel = self.architecture.duel
-        self._inner_observe = duel.observe
+        """Deprecated — use the context-manager form, which uninstalls
+        even when the traced block raises."""
+        return self.__enter__()
 
-        def observing(bank, set_index, first_class_hit):
-            self._inner_observe(bank, set_index, first_class_hit)
-            self._events += 1
-            if self._events % self.period == 0:
-                self._snapshot()
+    def uninstall(self) -> None:
+        """Deprecated — use the context-manager form."""
+        self._detach()
 
-        for bank in self.architecture.banks:
-            if bank.monitor is not None:
-                bank.monitor = observing
-        self._installed = True
-        return self
+    # -- the view ----------------------------------------------------------------
+
+    def _view_event(self, event: TraceEvent) -> None:
+        if event.category != "duel-observe":
+            return
+        self._events += 1
+        if self._events % self.period == 0:
+            self._snapshot()
 
     def _snapshot(self) -> None:
         arch = self.architecture

@@ -13,6 +13,9 @@ Examples::
     esp-nuca repro-cache clear
     esp-nuca serve --bind 127.0.0.1:8642             # simulation daemon
     esp-nuca submit --arch esp-nuca,shared --workload apache --watch
+    esp-nuca submit --arch esp-nuca --workload apache --trace
+    esp-nuca trace fig6 --out trace.json             # capture an event trace
+    esp-nuca trace run --arch esp-nuca --sample 10 --categories access,l2
 """
 
 from __future__ import annotations
@@ -47,8 +50,13 @@ def _build_parser() -> argparse.ArgumentParser:
                              "'serve' (simulation daemon), 'submit' (send a "
                              "grid to a running daemon), or 'list'")
     parser.add_argument("action", nargs="?", default=None,
-                        choices=["stats", "clear"],
-                        help="for 'repro-cache': stats (default) or clear")
+                        choices=["stats", "clear"] + list(EXPERIMENTS)
+                        + ["run"],
+                        help="for 'repro-cache': stats (default) or clear; "
+                             "for 'trace': the experiment (or 'run') to "
+                             "capture an event trace of — without a target, "
+                             "'trace' records a raw workload trace file "
+                             "(legacy behaviour)")
     parser.add_argument("--seeds", type=int, default=None,
                         help="perturbed runs per data point (default 2)")
     parser.add_argument("--refs", type=int, default=None,
@@ -75,6 +83,20 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="append a bar chart of each report's last column")
     parser.add_argument("--out", metavar="FILE", default=None,
                         help="output file for 'trace'")
+    tracing = parser.add_argument_group("event tracing "
+                                        "('trace <target>' / 'submit')")
+    tracing.add_argument("--categories", default=None,
+                         help="comma-separated event categories to record "
+                              "(default: all standard categories; see "
+                              "docs/observability.md)")
+    tracing.add_argument("--sample", type=int, default=1, metavar="N",
+                         help="record every Nth demand-access span tree "
+                              "(instant events are unaffected; default 1 "
+                              "= every access)")
+    tracing.add_argument("--trace", action="store_true",
+                         help="submit: ask the server to capture an event "
+                              "trace of this job and report the artifact "
+                              "path")
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for independent run points "
                              "(default $REPRO_JOBS or the CPU count; "
@@ -154,6 +176,50 @@ def _run_stats(runner: ExperimentRunner, arch: str, workload: str,
         print(f"wrote {arch}/{workload} stats snapshot to {json_out}")
 
 
+def _event_trace(args: argparse.Namespace) -> int:
+    """``esp-nuca trace <experiment|run>`` — run the target with the
+    unified event tracer installed and export a Chrome-trace JSON
+    (loadable in chrome://tracing and ui.perfetto.dev)."""
+    from repro.harness.executor import Executor
+    from repro.harness.runcache import RunCache
+    from repro.obs import Tracer, activated
+    from repro.obs.export import write_chrome
+
+    if args.action not in list(EXPERIMENTS) + ["run"]:
+        print(f"error: 'trace' target must be an experiment or 'run', "
+              f"got {args.action!r}", file=sys.stderr)
+        return 2
+    categories = None
+    if args.categories is not None:
+        categories = [c.strip() for c in args.categories.split(",")
+                      if c.strip()]
+    if args.sample < 1:
+        print("error: --sample must be >= 1", file=sys.stderr)
+        return 2
+    tracer = Tracer(categories=categories, sample=args.sample)
+    # Serial and uncached on purpose: pool workers' sim-clock events
+    # would be lost in their processes, and a cache hit would skip the
+    # simulation (leaving nothing to trace).
+    executor = Executor(jobs=1, cache=RunCache(enabled=False))
+    runner = ExperimentRunner(_settings(args), executor=executor)
+    with activated(tracer):
+        if args.action == "run":
+            _single_run(runner, args.arch, args.workload)
+        else:
+            start = time.time()
+            report = run_experiment(args.action, runner)
+            print(report.format(precision=args.precision))
+            print(f"[{args.action} completed in {time.time() - start:.1f}s]")
+    out = args.out or f"{args.action}.trace.json"
+    payload = write_chrome(tracer, out)
+    note = (f", {tracer.dropped} oldest dropped by the ring buffer"
+            if tracer.dropped else "")
+    print(f"wrote {len(payload['traceEvents'])} trace event(s) to {out} "
+          f"({tracer.emitted} emitted{note}); open in chrome://tracing "
+          f"or https://ui.perfetto.dev")
+    return 0
+
+
 def _serve(args: argparse.Namespace) -> int:
     """``esp-nuca serve`` — run the simulation daemon until drained."""
     import asyncio
@@ -223,7 +289,8 @@ def _submit(args: argparse.Namespace) -> int:
             if args.watch:
                 reply = client.submit(archs, workloads,
                                       settings=settings or None,
-                                      priority=args.priority, wait=False)
+                                      priority=args.priority, wait=False,
+                                      trace=args.trace)
                 job = reply["job"]
                 final = reply
                 for event in client.watch(job):
@@ -240,7 +307,8 @@ def _submit(args: argparse.Namespace) -> int:
             else:
                 reply = client.submit(archs, workloads,
                                       settings=settings or None,
-                                      priority=args.priority, wait=wait)
+                                      priority=args.priority, wait=wait,
+                                      trace=args.trace)
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -250,6 +318,12 @@ def _submit(args: argparse.Namespace) -> int:
         return 1
     state = reply.get("state", "queued")
     job = reply.get("job", "?")
+    if reply.get("trace_path"):
+        print(f"trace written to {reply['trace_path']} "
+              f"(server filesystem; open in chrome://tracing)")
+    elif args.trace:
+        print(f"trace capture pending; 'status' on job {job} "
+              f"reports trace_path once the job completes")
     if "results" not in reply:
         print(f"job {job}: {state}"
               + ("" if wait or args.watch else " (use 'status'/'watch')"))
@@ -315,6 +389,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.harness.executor import Executor
     from repro.harness.runcache import RunCache
 
+    if args.experiment == "trace" and args.action is not None:
+        return _event_trace(args)
     cache = RunCache(enabled=False) if args.no_cache else RunCache.from_env()
     executor = Executor(jobs=args.jobs, cache=cache)
     runner = ExperimentRunner(_settings(args), executor=executor)

@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.architectures.registry import make_architecture
 from repro.common.config import SystemConfig
 from repro.harness.runcache import RunCache, cache_key
+from repro.obs import trace as obs
 from repro.sim.cpu import TraceItem
 from repro.sim.engine import SimulationEngine
 from repro.sim.results import SimResult
@@ -160,6 +161,11 @@ def simulate_point(point: RunPoint) -> SimResult:
     else:
         architecture = point.factory(point.config)
     system = CmpSystem(point.config, architecture)
+    if system.tracer.enabled:
+        # Label this run's sim-clock trace process before any event
+        # allocates it.
+        system.set_trace_label(
+            f"{point.name}/{point.workload} s{point.seed}")
     traces = [iter(t) if t is not None else None
               for t in _cached_traces(point)]
     engine = SimulationEngine(system, traces)
@@ -204,34 +210,56 @@ class Executor:
         self._executed_lock = threading.Lock()
 
     def run(self, points: Sequence[RunPoint]) -> List[SimResult]:
-        order: List[str] = []
-        unique: "OrderedDict[str, RunPoint]" = OrderedDict()
-        for point in points:
-            key = point.key
-            order.append(key)
-            unique.setdefault(key, point)
-        results: Dict[str, SimResult] = {}
-        misses: List[Tuple[str, RunPoint]] = []
-        for key, point in unique.items():
-            cached = self.cache.get(key)
-            if cached is not None:
-                results[key] = cached
-            else:
-                misses.append((key, point))
-        if misses:
-            for (key, point), result in zip(misses, self._execute(
-                    [point for _, point in misses])):
-                self.cache.put(key, result)
-                results[key] = result
-        return [results[key] for key in order]
+        tracer = obs.active()
+        with tracer.wall_span("executor", "batch", tid="executor") as span:
+            order: List[str] = []
+            unique: "OrderedDict[str, RunPoint]" = OrderedDict()
+            for point in points:
+                key = point.key
+                order.append(key)
+                unique.setdefault(key, point)
+            results: Dict[str, SimResult] = {}
+            misses: List[Tuple[str, RunPoint]] = []
+            for key, point in unique.items():
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[key] = cached
+                    if tracer.enabled and tracer.wants("executor"):
+                        tracer.instant(
+                            "executor", "cache hit", ts=tracer.wall_now(),
+                            pid=tracer.wall_pid, tid="executor",
+                            args={"point": f"{point.name}/{point.workload} "
+                                           f"s{point.seed}"})
+                else:
+                    misses.append((key, point))
+            if misses:
+                for (key, point), result in zip(misses, self._execute(
+                        [point for _, point in misses])):
+                    self.cache.put(key, result)
+                    results[key] = result
+            span["points"] = len(points)
+            span["unique"] = len(unique)
+            span["cached"] = len(unique) - len(misses)
+            span["executed"] = len(misses)
+            return [results[key] for key in order]
 
     # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _simulate_span(point: RunPoint) -> SimResult:
+        """One in-process simulation under a wall-clock run span; the
+        track is the executing thread (service workers get their own)."""
+        tracer = obs.active()
+        with tracer.wall_span(
+                "executor", f"run {point.name}/{point.workload} s{point.seed}",
+                tid=threading.current_thread().name):
+            return simulate_point(point)
 
     def _execute(self, points: List[RunPoint]) -> List[SimResult]:
         with self._executed_lock:
             self.executed += len(points)
         if self.jobs <= 1 or len(points) <= 1:
-            return [simulate_point(p) for p in points]
+            return [self._simulate_span(p) for p in points]
         out: List[Optional[SimResult]] = [None] * len(points)
         pool_idx = [i for i, p in enumerate(points) if _picklable(p)]
         local_idx = [i for i in range(len(points)) if i not in set(pool_idx)]
@@ -242,6 +270,15 @@ class Executor:
                                          points[i].name))
             jobs = min(self.jobs, len(pool_idx))
             chunk = -(-len(pool_idx) // jobs)
+            tracer = obs.active()
+            if tracer.enabled and tracer.wants("executor"):
+                # Worker processes have their own (empty) tracer slot:
+                # their sim-clock events are not captured. The trace CLI
+                # forces jobs=1 for this reason.
+                tracer.instant(
+                    "executor", "pool dispatch (sim events not captured)",
+                    ts=tracer.wall_now(), pid=tracer.wall_pid,
+                    tid="executor", args={"points": len(pool_idx)})
             ctx = self._context()
             with ctx.Pool(processes=jobs) as pool:
                 computed = pool.map(simulate_point,
@@ -252,7 +289,7 @@ class Executor:
         else:
             local_idx = sorted(local_idx + pool_idx)
         for i in local_idx:
-            out[i] = simulate_point(points[i])
+            out[i] = self._simulate_span(points[i])
         return out  # type: ignore[return-value]
 
     @staticmethod

@@ -1,0 +1,23 @@
+"""Unified event-tracing and profiling layer.
+
+Two clock domains share one event stream:
+
+* **simulated cycles** — what the modelled machine did and when: demand
+  access spans, per-bank service spans, NoC traversals, off-chip
+  fetches, helping-block placements, duel ``nmax`` flips;
+* **wall clock** — what the harness did around the simulations:
+  executor batches, per-run-point spans, cache hits, service job
+  lifecycles, queue-depth counters.
+
+:mod:`repro.obs.trace` holds the recorder (:class:`Tracer`) and the
+module-level active-tracer slot that instrumented call sites consult;
+:mod:`repro.obs.export` turns a captured buffer into Chrome
+trace-event / Perfetto JSON or JSONL. See docs/observability.md
+("Tracing").
+"""
+
+from repro.obs.trace import (NULL_TRACER, NullTracer, SpanContext, TraceEvent,
+                             Tracer, TracerView, activated, active, install)
+
+__all__ = ["NULL_TRACER", "NullTracer", "SpanContext", "TraceEvent",
+           "Tracer", "TracerView", "activated", "active", "install"]

@@ -1,0 +1,189 @@
+"""Exporters for captured trace buffers.
+
+Two formats:
+
+* :func:`chrome_payload` / :func:`write_chrome` — the Chrome
+  trace-event JSON (object form with a ``traceEvents`` array) that both
+  ``chrome://tracing`` and https://ui.perfetto.dev load directly.
+  Span events use ``ph: "X"`` with ``ts``/``dur``, instants ``ph: "i"``
+  (thread scope), counter samples ``ph: "C"``; ``M`` metadata events
+  name each pid (one per clock domain instance) and tid (one per
+  core/bank/worker track). Sim-cycle timestamps are rendered 1 cycle =
+  1 us so the two domains can coexist in one file without a time base;
+* :func:`write_jsonl` — one JSON object per line, for ad-hoc ``jq``
+  processing and diffing.
+
+:func:`validate_chrome` is the schema check CI runs against the traced
+smoke run: well-formed phases, non-negative ``ts``/``dur``, and
+per-track (``pid``/``tid``) timestamp monotonicity — which
+:func:`chrome_payload` guarantees by sorting events globally by
+timestamp before numbering tids.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List, Tuple, Union
+
+from repro.obs.trace import (PH_COUNTER, PH_INSTANT, PH_META, PH_SPAN,
+                             TraceEvent, Tracer)
+
+_VALID_PHASES = (PH_SPAN, PH_INSTANT, PH_COUNTER, PH_META)
+
+
+def chrome_payload(tracer: Tracer) -> Dict[str, Any]:
+    """Render a tracer's buffer as a Chrome trace-event object."""
+    events: List[Dict[str, Any]] = []
+    known_pids = {pid for pid, _, _ in tracer.processes()}
+    for pid, label, clock in tracer.processes():
+        events.append({"ph": PH_META, "name": "process_name", "pid": pid,
+                       "tid": 0, "ts": 0,
+                       "args": {"name": f"{label} [{clock}]"}})
+    # Stable sort by timestamp: events of one track were emitted in
+    # heap-pop order (globally time-sorted per clock), but spans of
+    # *different* banks interleave; a global sort restores per-track
+    # monotonicity, which validate_chrome (and trace viewers building
+    # track timelines) rely on.
+    ordered = sorted(tracer.events, key=lambda e: e.ts)
+    tids: Dict[Tuple[int, str], int] = {}
+    for event in ordered:
+        track = (event.pid, event.tid)
+        tid = tids.get(track)
+        if tid is None:
+            tid = len([t for t in tids if t[0] == event.pid]) + 1
+            tids[track] = tid
+            events.append({"ph": PH_META, "name": "thread_name",
+                           "pid": event.pid, "tid": tid, "ts": 0,
+                           "args": {"name": event.tid}})
+        record: Dict[str, Any] = {
+            "ph": event.phase, "cat": event.category, "name": event.name,
+            "pid": event.pid, "tid": tid, "ts": round(event.ts, 3),
+        }
+        if event.phase == PH_SPAN:
+            record["dur"] = round(event.dur or 0.0, 3)
+        elif event.phase == PH_INSTANT:
+            record["s"] = "t"  # thread-scoped instant
+        if event.args:
+            record["args"] = event.args
+        if event.pid not in known_pids:
+            # An event emitted against an unregistered pid (should not
+            # happen; keep the file loadable regardless).
+            known_pids.add(event.pid)
+            events.append({"ph": PH_META, "name": "process_name",
+                           "pid": event.pid, "tid": 0, "ts": 0,
+                           "args": {"name": f"process {event.pid}"}})
+        events.append(record)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "recorder": "repro.obs",
+            "emitted": tracer.emitted,
+            "dropped": tracer.dropped,
+            "sample": tracer.sample,
+            "clock_note": "sim-domain timestamps are cycles rendered "
+                          "as microseconds (1 cycle = 1 us)",
+        },
+    }
+
+
+def write_chrome(tracer: Tracer, out: Union[str, IO[str]]) -> Dict[str, Any]:
+    """Write the Chrome trace-event JSON; returns the payload."""
+    payload = chrome_payload(tracer)
+    if isinstance(out, str):
+        with open(out, "w") as handle:
+            json.dump(payload, handle)
+    else:
+        json.dump(payload, out)
+    return payload
+
+
+def write_jsonl(tracer: Tracer, out: Union[str, IO[str]]) -> int:
+    """One JSON object per event, buffer order; returns the count."""
+
+    def dump(handle: IO[str]) -> int:
+        count = 0
+        for event in tracer.events:
+            record: Dict[str, Any] = {
+                "ph": event.phase, "cat": event.category,
+                "name": event.name, "pid": event.pid, "tid": event.tid,
+                "ts": event.ts,
+            }
+            if event.dur is not None:
+                record["dur"] = event.dur
+            if event.args:
+                record["args"] = event.args
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+        return count
+
+    if isinstance(out, str):
+        with open(out, "w") as handle:
+            return dump(handle)
+    return dump(out)
+
+
+def validate_chrome(payload: Dict[str, Any]) -> List[str]:
+    """Schema-check a Chrome trace-event payload.
+
+    Returns a list of problems (empty = valid): unknown phases, missing
+    or negative ``ts``, spans without a non-negative ``dur``,
+    non-integer pids/tids, and per-(pid, tid) track timestamp
+    regressions.
+    """
+    problems: List[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    last_ts: Dict[Tuple[int, int], float] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _VALID_PHASES:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        pid, tid = event.get("pid"), event.get("tid")
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            problems.append(f"event {i}: non-integer pid/tid "
+                            f"({pid!r}, {tid!r})")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i}: bad ts {ts!r}")
+            continue
+        if ph == PH_META:
+            continue
+        if ph == PH_SPAN:
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: span without valid dur "
+                                f"({dur!r})")
+        track = (pid, tid)
+        if ts < last_ts.get(track, 0.0):
+            problems.append(
+                f"event {i}: track pid={pid} tid={tid} timestamp "
+                f"regressed ({ts} < {last_ts[track]})")
+        else:
+            last_ts[track] = ts
+    return problems
+
+
+def span_names(payload: Dict[str, Any]) -> List[str]:
+    """Names of every complete span in a payload (test/CI helper)."""
+    return [e["name"] for e in payload.get("traceEvents", ())
+            if isinstance(e, dict) and e.get("ph") == PH_SPAN]
+
+
+def events_of_category(payload: Dict[str, Any], category: str
+                       ) -> List[Dict[str, Any]]:
+    """All non-metadata events of one category (test/CI helper)."""
+    return [e for e in payload.get("traceEvents", ())
+            if isinstance(e, dict) and e.get("cat") == category]
+
+
+def iter_instants(payload: Dict[str, Any]) -> Iterable[Dict[str, Any]]:
+    """All instant events in a payload (test/CI helper)."""
+    return (e for e in payload.get("traceEvents", ())
+            if isinstance(e, dict) and e.get("ph") == PH_INSTANT)

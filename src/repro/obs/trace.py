@@ -1,0 +1,402 @@
+"""Structured event/span recorder with two clock domains.
+
+Design constraints (the tentpole contract):
+
+* **zero-cost disabled fast path** — the module-level default is
+  :data:`NULL_TRACER`, a singleton whose ``enabled`` is ``False``.
+  Instrumented call sites hold a reference to their tracer and guard
+  every emission with ``if tracer.enabled:`` — one attribute load and a
+  branch when tracing is off, no function call;
+* **bounded memory** — events land in a ring buffer: once ``capacity``
+  is reached the oldest event is dropped (and counted), so a tracer can
+  stay attached to an arbitrarily long run;
+* **category filters** — a tracer records only the categories it was
+  asked for (``None`` means all *standard* categories). High-frequency
+  diagnostic categories (e.g. ``duel-observe``, one event per monitored
+  duel lookup) are **detail** categories: emitted only when named
+  explicitly in ``detail``, never implied by "all";
+* **sampling** — span-heavy categories (the per-access span tree) are
+  thinned deterministically: ``sample=N`` keeps every Nth demand
+  access. Deterministic (a counter, not a PRNG) so a re-run of the same
+  trace captures the same accesses;
+* **two clock domains** — simulated-cycle events carry a *sim* pid
+  (one per traced run, see :meth:`Tracer.process`), wall-clock events
+  carry the shared :attr:`Tracer.wall_pid`. Timestamps are
+  microseconds for wall events (``time.perf_counter``) and raw cycles
+  for sim events (rendered 1 cycle = 1 us by Perfetto).
+
+Listeners make the stream observable live: ``subscribe(fn)`` registers
+a callable invoked with every recorded :class:`TraceEvent`. The legacy
+``AccessTracer`` and ``TimelineRecorder`` are thin listener views over
+this stream (see :mod:`repro.sim.tracing`, :mod:`repro.core.timeline`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import (Any, Callable, Dict, FrozenSet, Iterable, Iterator, List,
+                    Optional, Tuple)
+
+#: Chrome trace-event phases used here: complete span, instant,
+#: counter, metadata (exporter only).
+PH_SPAN = "X"
+PH_INSTANT = "i"
+PH_COUNTER = "C"
+PH_META = "M"
+
+#: Standard categories the simulator and harness emit. ``categories=None``
+#: means exactly this set; detail categories are opt-in on top.
+CATEGORIES = ("access", "l2", "noc", "mem", "esp", "classifier", "duel",
+              "engine", "executor", "service")
+
+#: High-frequency diagnostic categories, only emitted when explicitly
+#: named (in ``detail`` or in a ``--categories`` list).
+DETAIL_CATEGORIES = ("duel-observe",)
+
+#: Default ring-buffer bound: enough for ~10^5 sampled access trees
+#: while staying tens of MB at worst.
+DEFAULT_CAPACITY = 500_000
+
+
+class TraceEvent:
+    """One recorded event. ``tid`` is a human-readable track label
+    (``core0``, ``bank3``, a worker thread name); exporters intern the
+    labels to the integer tids the trace-event format wants."""
+
+    __slots__ = ("phase", "category", "name", "ts", "dur", "pid", "tid",
+                 "args")
+
+    def __init__(self, phase: str, category: str, name: str, ts: float,
+                 dur: Optional[float], pid: int, tid: str,
+                 args: Optional[Dict[str, Any]]) -> None:
+        self.phase = phase
+        self.category = category
+        self.name = name
+        self.ts = ts
+        self.dur = dur
+        self.pid = pid
+        self.tid = tid
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceEvent({self.phase!r}, {self.category!r}, "
+                f"{self.name!r}, ts={self.ts}, dur={self.dur}, "
+                f"pid={self.pid}, tid={self.tid!r})")
+
+
+class Tracer:
+    """Bounded in-memory recorder of :class:`TraceEvent`.
+
+    Thread-compatibility: appends go through a :class:`deque`, which is
+    safe under the GIL; the service records wall events from the event
+    loop and executor threads concurrently. Sim events of one run are
+    emitted by that run's single thread.
+    """
+
+    enabled = True
+
+    def __init__(self, categories: Optional[Iterable[str]] = None,
+                 sample: int = 1, capacity: int = DEFAULT_CAPACITY,
+                 detail: Optional[Iterable[str]] = None) -> None:
+        if sample < 1:
+            raise ValueError(f"sample must be >= 1, got {sample}")
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        requested = None if categories is None else frozenset(categories)
+        # Detail categories named in `categories` are honoured as an
+        # explicit opt-in (the CLI's --categories path).
+        implied_detail = (frozenset() if requested is None
+                          else requested & frozenset(DETAIL_CATEGORIES))
+        self.categories: Optional[FrozenSet[str]] = requested
+        self.detail: FrozenSet[str] = (frozenset(detail or ())
+                                       | implied_detail)
+        self.sample = sample
+        self.capacity = capacity
+        #: capacity == 0 => listener-only tracer (views), nothing stored.
+        self.events: "deque[TraceEvent]" = deque(
+            maxlen=capacity if capacity else 1)
+        self.dropped = 0
+        self.emitted = 0
+        self._sample_counter = 0
+        self._listeners: List[Callable[[TraceEvent], None]] = []
+        self._processes: List[Tuple[int, str, str]] = []  # (pid, label, clock)
+        self._labels: Dict[str, int] = {}
+        self._wall_pid: Optional[int] = None
+
+    # -- filters ---------------------------------------------------------------
+
+    def wants(self, category: str) -> bool:
+        """Should events of ``category`` be recorded? Detail categories
+        require an explicit opt-in; ``categories=None`` covers the
+        standard set only."""
+        if not self.enabled:
+            return False
+        if category in self.detail:
+            return True
+        if category in DETAIL_CATEGORIES:
+            return False
+        return self.categories is None or category in self.categories
+
+    def sample_step(self) -> bool:
+        """Advance the deterministic 1-in-``sample`` selector; True when
+        the current unit of work (one demand access) should be traced."""
+        if self.sample == 1:
+            return True
+        self._sample_counter += 1
+        if self._sample_counter >= self.sample:
+            self._sample_counter = 0
+            return True
+        return False
+
+    # -- clock domains ---------------------------------------------------------
+
+    @property
+    def wall_pid(self) -> int:
+        """The shared wall-clock process id (allocated on first use)."""
+        if self._wall_pid is None:
+            self._wall_pid = self.process("wall-clock", clock="wall")
+        return self._wall_pid
+
+    def process(self, label: str, clock: str = "sim") -> int:
+        """Allocate a trace process (Perfetto pid) for one clock domain
+        instance. Each traced simulation run gets its own sim pid (its
+        cycle counter starts at zero independently); duplicate labels
+        are suffixed ``#2``, ``#3``, ..."""
+        if label in self._labels:
+            n = 2
+            while f"{label}#{n}" in self._labels:
+                n += 1
+            label = f"{label}#{n}"
+        pid = len(self._processes) + 1
+        self._labels[label] = pid
+        self._processes.append((pid, label, clock))
+        return pid
+
+    def processes(self) -> List[Tuple[int, str, str]]:
+        """(pid, label, clock) of every allocated trace process."""
+        return list(self._processes)
+
+    @staticmethod
+    def wall_now() -> float:
+        """Wall-clock timestamp in microseconds (process-relative)."""
+        return time.perf_counter() * 1e6
+
+    # -- emission --------------------------------------------------------------
+
+    def _emit(self, event: TraceEvent) -> None:
+        self.emitted += 1
+        if self.capacity:
+            if len(self.events) == self.events.maxlen:
+                self.dropped += 1
+            self.events.append(event)
+        for listener in self._listeners:
+            listener(event)
+
+    def instant(self, category: str, name: str, *, ts: float, pid: int,
+                tid: str, args: Optional[Dict[str, Any]] = None) -> None:
+        self._emit(TraceEvent(PH_INSTANT, category, name, ts, None, pid,
+                              tid, args))
+
+    def complete(self, category: str, name: str, *, ts: float, dur: float,
+                 pid: int, tid: str,
+                 args: Optional[Dict[str, Any]] = None) -> None:
+        self._emit(TraceEvent(PH_SPAN, category, name, ts, dur, pid, tid,
+                              args))
+
+    def counter(self, category: str, name: str, *, ts: float, pid: int,
+                tid: str, values: Dict[str, float]) -> None:
+        """A counter track sample (``ph: C``); ``values`` become the
+        stacked series."""
+        self._emit(TraceEvent(PH_COUNTER, category, name, ts, None, pid,
+                              tid, dict(values)))
+
+    @contextmanager
+    def wall_span(self, category: str, name: str, *, tid: str,
+                  args: Optional[Dict[str, Any]] = None
+                  ) -> Iterator[Dict[str, Any]]:
+        """Record a wall-clock span around a ``with`` block. The yielded
+        dict (the span's ``args``) may be filled in by the body."""
+        out = {} if args is None else args
+        if not self.wants(category):
+            yield out
+            return
+        start = self.wall_now()
+        try:
+            yield out
+        finally:
+            self.complete(category, name, ts=start,
+                          dur=self.wall_now() - start,
+                          pid=self.wall_pid, tid=tid, args=out or None)
+
+    # -- live views ------------------------------------------------------------
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+
+class NullTracer:
+    """The disabled singleton: every guard reads ``enabled`` (False) and
+    skips; the methods exist so unguarded cold-path calls stay safe."""
+
+    enabled = False
+    categories: Optional[FrozenSet[str]] = frozenset()
+    detail: FrozenSet[str] = frozenset()
+    sample = 1
+    dropped = 0
+    emitted = 0
+    events: "deque[TraceEvent]" = deque(maxlen=1)
+    wall_pid = 0
+
+    def wants(self, category: str) -> bool:
+        return False
+
+    def sample_step(self) -> bool:
+        return False
+
+    def process(self, label: str, clock: str = "sim") -> int:
+        return 0
+
+    def processes(self) -> List[Tuple[int, str, str]]:
+        return []
+
+    wall_now = staticmethod(Tracer.wall_now)
+
+    def instant(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def complete(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def counter(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    @contextmanager
+    def wall_span(self, *args: Any, **kwargs: Any
+                  ) -> Iterator[Dict[str, Any]]:
+        yield {}
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        raise RuntimeError("cannot subscribe to the null tracer; "
+                           "install a Tracer first")
+
+    def unsubscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        pass
+
+
+#: The module-wide disabled singleton.
+NULL_TRACER = NullTracer()
+
+
+class SpanContext:
+    """Per-demand-access child-span context.
+
+    :class:`~repro.sim.system.CmpSystem` publishes one of these on the
+    bound architecture (``architecture._trace_ctx``) for the duration of
+    a *sampled* access; the timing helpers in
+    :class:`~repro.architectures.base.NucaArchitecture` check it with a
+    single ``is not None`` test — the only cost the bank/NoC/memory hot
+    paths pay when tracing is off or the access was not sampled.
+    """
+
+    __slots__ = ("tracer", "pid")
+
+    def __init__(self, tracer: Tracer, pid: int) -> None:
+        self.tracer = tracer
+        self.pid = pid
+
+
+class TracerView:
+    """Base for live views over a system's event stream.
+
+    A view (``AccessTracer``, ``TimelineRecorder``) needs events
+    flowing whether or not the user is tracing: when the system's
+    tracer is enabled the view subscribes to it (sharing its sampling
+    and filters, and widening its ``detail`` set if the view needs a
+    detail category); when tracing is off the view installs a private
+    **listener-only** tracer (``capacity=0`` — nothing is stored, the
+    view sees each event once) and restores the previous tracer on
+    detach. Views nest; detach in LIFO order (context managers do).
+    """
+
+    def __init__(self, system: Any, categories: Iterable[str] = (),
+                 detail: Iterable[str] = ()) -> None:
+        self._view_system = system
+        self._view_categories = tuple(categories)
+        self._view_detail = frozenset(detail)
+        self._view_tracer: Optional[Tracer] = None
+        self._view_own = False
+        self._view_prev: Any = None
+        self._view_saved_detail: Optional[FrozenSet[str]] = None
+
+    @property
+    def installed(self) -> bool:
+        return self._view_tracer is not None
+
+    def _view_event(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def _attach(self) -> None:
+        if self._view_tracer is not None:
+            return
+        tracer = self._view_system.tracer
+        if tracer.enabled:
+            missing = self._view_detail - tracer.detail
+            if missing:
+                self._view_saved_detail = tracer.detail
+                tracer.detail = tracer.detail | missing
+        else:
+            tracer = Tracer(categories=self._view_categories, capacity=0,
+                            detail=self._view_detail)
+            self._view_prev = self._view_system.set_tracer(tracer)
+            self._view_own = True
+        tracer.subscribe(self._view_event)
+        self._view_tracer = tracer
+
+    def _detach(self) -> None:
+        tracer = self._view_tracer
+        if tracer is None:
+            return
+        tracer.unsubscribe(self._view_event)
+        if self._view_own:
+            self._view_system.set_tracer(self._view_prev)
+            self._view_own = False
+            self._view_prev = None
+        elif self._view_saved_detail is not None:
+            tracer.detail = self._view_saved_detail
+            self._view_saved_detail = None
+        self._view_tracer = None
+
+#: The active tracer new components capture at construction time
+#: (:class:`~repro.sim.system.CmpSystem` reads it in ``__init__``; the
+#: executor and service read it per call).
+_active: Any = NULL_TRACER
+
+
+def active() -> Any:
+    """The currently installed tracer (:data:`NULL_TRACER` when off)."""
+    return _active
+
+
+def install(tracer: Any) -> Any:
+    """Make ``tracer`` the active tracer; returns the previous one."""
+    global _active
+    previous = _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def activated(tracer: Tracer) -> Iterator[Tracer]:
+    """Scope-bound installation: restores the previous tracer even when
+    the traced block raises."""
+    previous = install(tracer)
+    try:
+        yield tracer
+    finally:
+        install(previous)

@@ -116,9 +116,15 @@ class ServiceClient:
     def submit(self, architectures: List[str], workloads: List[str],
                seeds: Optional[List[int]] = None,
                settings: Optional[Dict[str, int]] = None,
-               priority: int = 0, wait: bool = False) -> Dict[str, Any]:
+               priority: int = 0, wait: bool = False,
+               trace: bool = False) -> Dict[str, Any]:
         """Submit a grid; returns the job snapshot reply (with
-        ``results`` when ``wait=True`` or the grid was fully cached)."""
+        ``results`` when ``wait=True`` or the grid was fully cached).
+
+        ``trace=True`` asks the server to capture an event trace of the
+        job (one traced job at a time); the terminal snapshot carries
+        ``trace_path`` — the Chrome-trace JSON on the *server's*
+        filesystem (``REPRO_TRACE_DIR``)."""
         message: Dict[str, Any] = {
             "cmd": "submit",
             "architectures": architectures,
@@ -126,6 +132,8 @@ class ServiceClient:
             "priority": priority,
             "wait": wait,
         }
+        if trace:
+            message["trace"] = True
         if seeds is not None:
             message["seeds"] = seeds
         if settings is not None:

@@ -18,7 +18,8 @@ Everything here runs on the server's event loop thread.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, List, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.harness.reporting import run_stats_payload
 from repro.service import queue as q
@@ -61,6 +62,21 @@ class Job:
         self._tasks: Dict[str, "q.PointTask"] = {}
         self._watchers: List[asyncio.Queue] = []
         self.cancelled = False
+        #: Live server gauges (queue depth, busy workers) injected by the
+        #: service so status/watch snapshots carry them.
+        self.gauges: Optional[Callable[[], Dict[str, Any]]] = None
+        #: Event-trace capture requested / exported (set by the service).
+        self.trace = False
+        self.trace_path: Optional[str] = None
+        self.trace_error: Optional[str] = None
+        #: (state, wall-clock us) at every state transition — the
+        #: service renders these as ``service``-category lifecycle spans.
+        self.timeline: List[Tuple[str, float]] = []
+
+    def _note_state(self) -> None:
+        state = self.state
+        if not self.timeline or self.timeline[-1][0] != state:
+            self.timeline.append((state, time.perf_counter() * 1e6))
 
     # -- wiring --------------------------------------------------------------
 
@@ -80,6 +96,7 @@ class Job:
     def seal(self) -> None:
         """Wiring is complete — a grid served entirely from the
         persistent cache completes here, without ever touching a task."""
+        self._note_state()
         if self.state in TERMINAL and not self.done.done():
             self.done.set_result(self.state)
 
@@ -90,6 +107,7 @@ class Job:
                 self.states[key] = q.RUNNING
                 changed = True
         if changed:
+            self._note_state()
             self._emit()
 
     def _point_settled(self, key: str, fut: asyncio.Future) -> None:
@@ -115,6 +133,7 @@ class Job:
                 self.states[key] = q.CANCELLED
         # The job stops waiting now even if points are still running
         # (they complete for the cache's benefit, not the job's).
+        self._note_state()
         if not self.done.done():
             self.done.set_result(J_CANCELLED)
         self._emit(final=True)
@@ -122,6 +141,7 @@ class Job:
     def _refresh(self) -> None:
         """Emit one progress event; on reaching a terminal state also
         resolve ``done`` and close the watch streams."""
+        self._note_state()
         state = self.state
         if state in TERMINAL:
             if not self.done.done():
@@ -175,6 +195,14 @@ class Job:
             "coalesced": self.coalesced,
             "counts": self.counts(),
         }
+        if self.gauges is not None:
+            out["gauges"] = self.gauges()
+        if self.trace:
+            out["trace"] = True
+            if self.trace_path is not None:
+                out["trace_path"] = self.trace_path
+            if self.trace_error is not None:
+                out["trace_error"] = self.trace_error
         if self.errors:
             out["errors"] = dict(self.errors)
         if points:

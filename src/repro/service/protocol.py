@@ -9,6 +9,9 @@ Requests carry a ``cmd`` field::
     {"cmd": "ping"}
     {"cmd": "submit", "architectures": ["esp-nuca"], "workloads": ["apache"],
      "settings": {"refs_per_core": 400}, "priority": 0, "wait": true}
+    {"cmd": "submit", ..., "trace": true}   # capture an event trace of
+                                            # the job; the terminal
+                                            # snapshot carries trace_path
     {"cmd": "status"}                  # server-level
     {"cmd": "status", "job": "j3"}     # one job
     {"cmd": "watch", "job": "j3"}      # streams progress events

@@ -47,6 +47,7 @@ from repro.common.rng import perturbed_seeds
 from repro.harness.executor import Executor
 from repro.harness.reporting import run_stats_payload
 from repro.harness.runner import RunSettings, grid_points
+from repro.obs import trace as obs
 from repro.service import protocol as proto
 from repro.service import queue as q
 from repro.service.progress import TERMINAL, Job
@@ -98,6 +99,12 @@ class SimulationService:
         self.points_cached = 0
         self.points_coalesced = 0
         self.points_enqueued = 0
+        # live gauges + event-trace capture state (one traced job at a
+        # time; the tracer is process-global while it is active)
+        self._busy = 0
+        self._trace_job: Optional[str] = None
+        self._tracer: Optional[obs.Tracer] = None
+        self._trace_prev: Any = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -183,6 +190,8 @@ class SimulationService:
                 for job in self._followers.get(task.key, ()):
                     job.mark_running([task.key])
             points = [task.point for task in batch]
+            self._busy += 1
+            self._emit_gauges()
             try:
                 results = await loop.run_in_executor(
                     self._pool, self.executor.run, points)
@@ -193,8 +202,103 @@ class SimulationService:
                 for task, result in zip(batch, results):
                     self.scheduler.finish(task, result=result)
             finally:
+                self._busy -= 1
+                self._emit_gauges()
                 for task in batch:
                     self._followers.pop(task.key, None)
+
+    # -- gauges + event tracing ----------------------------------------------
+
+    def _gauges(self) -> Dict[str, Any]:
+        """Live load figures attached to every job snapshot (status and
+        watch streams): queue depth and worker utilization."""
+        return {
+            "queue_backlog": self.scheduler.backlog,
+            "queue_inflight": self.scheduler.inflight,
+            "queue_limit": self.config.queue_limit,
+            "workers_busy": self._busy,
+            "workers": self.config.workers,
+        }
+
+    def _emit_gauges(self) -> None:
+        """Counter-track samples on the active tracer (no-ops when
+        tracing is off)."""
+        tracer = obs.active()
+        if tracer.enabled and tracer.wants("service"):
+            ts = tracer.wall_now()
+            tracer.counter(
+                "service", "queue depth", ts=ts, pid=tracer.wall_pid,
+                tid="service",
+                values={"backlog": float(self.scheduler.backlog),
+                        "inflight": float(self.scheduler.inflight)})
+            tracer.counter(
+                "service", "busy workers", ts=ts, pid=tracer.wall_pid,
+                tid="service",
+                values={"busy": float(self._busy)})
+
+    def _begin_trace(self, job: Job) -> obs.Tracer:
+        """Install a process-global tracer for one job's lifetime.
+
+        The capture is process-wide: it records every simulation the
+        executor runs while the job is active. For a clean single-job
+        trace run the service serially (``REPRO_JOBS=1``, one worker) —
+        the CI smoke test does exactly that. Sim-clock events of points
+        dispatched to a multiprocessing pool are not captured (the
+        executor emits a ``pool dispatch`` marker instead).
+        """
+        tracer = obs.Tracer()
+        self._trace_job = job.id
+        self._tracer = tracer
+        self._trace_prev = obs.install(tracer)
+        job.trace = True
+        return tracer
+
+    def _abort_trace(self) -> None:
+        """Undo :meth:`_begin_trace` when admission fails."""
+        if self._tracer is None:
+            return
+        obs.install(self._trace_prev)
+        self._trace_job = None
+        self._tracer = None
+        self._trace_prev = None
+
+    def _trace_dir(self) -> str:
+        import os
+        import tempfile
+
+        return (os.environ.get("REPRO_TRACE_DIR")
+                or os.path.join(tempfile.gettempdir(), "esp-nuca-traces"))
+
+    def _finish_trace(self, job: Job) -> None:
+        """Job reached a terminal state: render its lifecycle spans,
+        export the capture, and restore the previous tracer."""
+        import os
+
+        from repro.obs.export import write_chrome
+
+        tracer = self._tracer
+        self._abort_trace()
+        if tracer is None:  # already finished (defensive)
+            return
+        if tracer.wants("service") and job.timeline:
+            tid = f"job {job.id}"
+            for (state, ts), (_, ts_next) in zip(job.timeline,
+                                                 job.timeline[1:]):
+                tracer.complete("service", state, ts=ts, dur=ts_next - ts,
+                                pid=tracer.wall_pid, tid=tid)
+            last_state, last_ts = job.timeline[-1]
+            tracer.instant("service", last_state, ts=last_ts,
+                           pid=tracer.wall_pid, tid=tid,
+                           args={"job": job.id})
+        directory = self._trace_dir()
+        path = os.path.join(directory, f"{job.id}.trace.json")
+        try:
+            os.makedirs(directory, exist_ok=True)
+            write_chrome(tracer, path)
+        except OSError as exc:
+            job.trace_error = f"trace export failed: {exc}"
+        else:
+            job.trace_path = path
 
     # -- protocol endpoint ---------------------------------------------------
 
@@ -341,6 +445,13 @@ class SimulationService:
         seeds = self._request_seeds(message, settings)
         priority = proto.check_int(message, "priority", 0, -1_000_000)
         wait = bool(message.get("wait", False))
+        trace = bool(message.get("trace", False))
+        if trace and self._trace_job is not None:
+            await self._send(writer, proto.error(
+                proto.ERR_BAD_REQUEST,
+                f"job {self._trace_job} is already being traced "
+                f"(one traced job at a time)"))
+            return
         config = self._configs.setdefault(
             settings.capacity_factor, scaled_config(settings.capacity_factor))
         points = grid_points(config, settings, archs, workloads, seeds)
@@ -355,6 +466,8 @@ class SimulationService:
             unique.setdefault(key, point)
             meta[key] = (point.name, point.workload, point.seed)
         job = Job(f"j{next(self._job_seq)}", order, meta, priority, client)
+        job.gauges = self._gauges
+        tracer = self._begin_trace(job) if trace else None
 
         missing: List[Tuple[str, Any]] = []
         for key, point in unique.items():
@@ -367,6 +480,7 @@ class SimulationService:
         try:
             tasks, coalesced = self.scheduler.admit(missing, priority)
         except q.QueueFullError as exc:
+            self._abort_trace()
             await self._send(writer, proto.error(
                 proto.ERR_QUEUE_FULL, str(exc)))
             return
@@ -378,6 +492,16 @@ class SimulationService:
             self._followers.setdefault(key, []).append(job)
         self.jobs[job.id] = job
         owned.append(job.id)
+        if tracer is not None:
+            if tracer.wants("service"):
+                tracer.instant(
+                    "service", "job admitted", ts=tracer.wall_now(),
+                    pid=tracer.wall_pid, tid=f"job {job.id}",
+                    args={"points": len(order), "cached": job.cached,
+                          "coalesced": coalesced})
+            self._emit_gauges()
+            job.done.add_done_callback(
+                lambda fut, job=job: self._finish_trace(job))
         job.seal()
 
         if wait:
@@ -409,6 +533,7 @@ class SimulationService:
                       "inflight": self.scheduler.inflight,
                       "limit": self.config.queue_limit},
             "workers": self.config.workers,
+            "workers_busy": self._busy,
             "jobs": by_state,
             "points": {"requested": self.points_requested,
                        "cached": self.points_cached,
@@ -440,6 +565,8 @@ class SimulationService:
                     results = job.results()
                     if include_results and results is not None:
                         end["results"] = results
+                    if job.trace_path is not None:
+                        end["trace_path"] = job.trace_path
                     if job.errors:
                         end["errors"] = dict(job.errors)
                     await self._send(writer, end)

@@ -48,14 +48,25 @@ class SimulationEngine:
         self._check_every = invariant_check_every
         base_cycles = [0] * len(self.cores)
         base_instr = [0] * len(self.cores)
+        tracer = self.system.tracer
         if warmup_refs_per_core:
-            self._run_phase(warmup_refs_per_core)
+            before = self._processed
+            with tracer.wall_span("engine", "warmup phase", tid="engine",
+                                  args={"arch": self.system.architecture.name}
+                                  ) as span:
+                self._run_phase(warmup_refs_per_core)
+                span["refs"] = self._processed - before
             self.system.reset_stats()
             base_cycles = [c.clock for c in self.cores]
             base_instr = [c.instructions for c in self.cores]
         cap = (None if max_refs_per_core is None
                else warmup_refs_per_core + max_refs_per_core)
-        self._run_phase(cap)
+        before = self._processed
+        with tracer.wall_span("engine", "measure phase", tid="engine",
+                              args={"arch": self.system.architecture.name}
+                              ) as span:
+            self._run_phase(cap)
+            span["refs"] = self._processed - before
         for core in self.cores:
             core.drain()
         return self.system.finalize(

@@ -26,6 +26,7 @@ from repro.mem.controller import MemorySystem
 from repro.noc.network import Network
 from repro.noc.topology import MeshTopology
 from repro.coherence.tokens import TokenLedger
+from repro.obs import trace as obs
 from repro.sim.request import AccessOutcome, Supplier
 from repro.sim.results import SimResult
 
@@ -65,12 +66,47 @@ class CmpSystem:
             self._access_count[supplier] = sub.counter("count")
             self._access_cycles[supplier] = sub.counter("cycles")
             self._access_hist[supplier] = sub.histogram("latency")
+        # Event tracing (docs/observability.md, "Tracing"): the tracer
+        # active at construction time is captured so the hot path pays
+        # exactly one attribute check when tracing is off. Set before
+        # bind() so on_bound hooks (the duel controller) see it.
+        self.tracer = obs.active()
+        self.trace_now = 0          # t_issue of the in-flight access
+        self._trace_pid: int = 0    # this run's sim-clock pid (lazy)
+        self._trace_label: str = ""
         self.architecture = architecture
         architecture.bind(self)
         l2_scope = self.stats.scope("l2")
         for bank in architecture.banks:
             l2_scope.mount(f"bank{bank.bank_id}", bank.stats)
         self.stats.mount("arch", architecture.stats)
+
+    # -- event tracing -----------------------------------------------------------
+
+    def set_tracer(self, tracer) -> object:
+        """Swap this system's tracer (the supported rebinding seam —
+        components capture the tracer by reference at construction, so
+        installing one later must go through here). Returns the
+        previous tracer; ``None`` means :data:`~repro.obs.trace.NULL_TRACER`.
+        """
+        previous = self.tracer
+        self.tracer = tracer if tracer is not None else obs.NULL_TRACER
+        self._trace_pid = 0
+        self.architecture.on_tracer(self.tracer)
+        return previous
+
+    def set_trace_label(self, label: str) -> None:
+        """Name this run's sim-clock trace process (e.g.
+        ``"esp-nuca/apache s42"``); must be set before the first event."""
+        self._trace_label = label
+
+    def trace_pid(self) -> int:
+        """This run's sim-clock trace process id (allocated lazily:
+        untraced systems never register a process)."""
+        if not self._trace_pid:
+            label = self._trace_label or f"sim {self.architecture.name}"
+            self._trace_pid = self.tracer.process(label, clock="sim")
+        return self._trace_pid
 
     # -- demand access entry point -----------------------------------------------
 
@@ -82,6 +118,13 @@ class CmpSystem:
         logically now); the returned completion time is when the data
         becomes usable by the core.
         """
+        tracer = self.tracer
+        if tracer.enabled:
+            return self._traced_access(core, block, is_write, t_issue)
+        return self._serve_access(core, block, is_write, t_issue)
+
+    def _serve_access(self, core: int, block: int, is_write: bool,
+                      t_issue: int) -> AccessOutcome:
         l1 = self.l1s[core]
         line = l1.access(block)
         if line is not None:
@@ -98,6 +141,31 @@ class CmpSystem:
                                                          is_write, t_miss)
         self._record_access(supplier, t_done - t_issue)
         return AccessOutcome(t_done, supplier)
+
+    def _traced_access(self, core: int, block: int, is_write: bool,
+                       t_issue: int) -> AccessOutcome:
+        """The access path with tracing live: publish the in-flight
+        timestamp (functional-path instants use it), open a child-span
+        context on the architecture when this access is sampled, and
+        record the demand span once the outcome is known."""
+        tracer = self.tracer
+        self.trace_now = t_issue
+        sampled = tracer.wants("access") and tracer.sample_step()
+        if sampled:
+            self.architecture._trace_ctx = obs.SpanContext(
+                tracer, self.trace_pid())
+            try:
+                outcome = self._serve_access(core, block, is_write, t_issue)
+            finally:
+                self.architecture._trace_ctx = None
+            tracer.complete(
+                "access", "write" if is_write else "read",
+                ts=t_issue, dur=outcome.complete - t_issue,
+                pid=self.trace_pid(), tid=f"core{core}",
+                args={"block": f"{block:#x}",
+                      "supplier": outcome.supplier.value})
+            return outcome
+        return self._serve_access(core, block, is_write, t_issue)
 
     def _record_access(self, supplier: Supplier, latency: int) -> None:
         self._access_count[supplier].value += 1

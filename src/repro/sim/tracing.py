@@ -1,18 +1,35 @@
 """Per-access event tracing for protocol debugging.
 
-``AccessTracer`` wraps a system's ``access`` entry point and records,
-for every demand reference, what the protocol did: supplier, latency,
-the block's classification before/after, and which L2 banks were
-touched. The directed protocol tests assert on aggregate behaviour;
-the tracer is for *watching* a handful of accesses when something
-looks wrong — the simulator's printf.
+``AccessTracer`` records, for every demand reference, what the protocol
+did: supplier, latency, the block's classification afterwards. The
+directed protocol tests assert on aggregate behaviour; the tracer is
+for *watching* a handful of accesses when something looks wrong — the
+simulator's printf.
+
+Since the unified tracing layer (:mod:`repro.obs`) this is a **view
+over the system's event stream**, not a monkey-patcher: it subscribes
+to the system's tracer (installing a private listener-only tracer via
+the supported :meth:`CmpSystem.set_tracer` seam when tracing is off)
+and rebuilds :class:`AccessEvent` records from the ``access`` span
+events the system emits. Use it as a context manager::
+
+    with AccessTracer(system) as tracer:
+        engine.run(...)
+    print(tracer.format(last=20))
+
+so an exception mid-run cannot leave the subscription installed.
+``install()``/``uninstall()`` remain for older callers but are
+deprecated in favour of the ``with`` form. When a user tracer is
+already active the view shares its sampling and category filters (a
+``--sample 100`` trace shows the view 1 in 100 accesses).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.obs.trace import PH_SPAN, TraceEvent, TracerView
 from repro.sim.request import Supplier
 from repro.sim.system import CmpSystem
 
@@ -41,12 +58,13 @@ class AccessEvent:
                 f"{self.latency:5d} cyc{cls}{self.note}")
 
 
-class AccessTracer:
+class AccessTracer(TracerView):
     """Record (optionally filtered) access events of a live system."""
 
     def __init__(self, system: CmpSystem, limit: int = 10_000,
                  block_filter: Optional[Callable[[int], bool]] = None,
                  core_filter: Optional[Callable[[int], bool]] = None) -> None:
+        TracerView.__init__(self, system, categories=("access",))
         self.system = system
         self.limit = limit
         self.block_filter = block_filter
@@ -54,39 +72,46 @@ class AccessTracer:
         self.events: List[AccessEvent] = []
         self.dropped = 0
         self._sequence = 0
-        self._inner = None
 
-    def install(self) -> "AccessTracer":
-        if self._inner is not None:
-            return self
-        self._inner = self.system.access
+    # -- lifecycle ---------------------------------------------------------------
 
-        def traced(core, block, is_write, t_issue):
-            outcome = self._inner(core, block, is_write, t_issue)
-            self._sequence += 1
-            if self.block_filter and not self.block_filter(block):
-                return outcome
-            if self.core_filter and not self.core_filter(core):
-                return outcome
-            if len(self.events) >= self.limit:
-                self.dropped += 1
-                return outcome
-            event = AccessEvent(
-                sequence=self._sequence, core=core, block=block,
-                is_write=is_write, issue=t_issue,
-                complete=outcome.complete, supplier=outcome.supplier,
-                classification=self._classification(block))
-            self.events.append(event)
-            return outcome
-
-        self.system.access = traced
+    def __enter__(self) -> "AccessTracer":
+        self._attach()
         return self
 
+    def __exit__(self, *exc_info) -> None:
+        self._detach()
+
+    def install(self) -> "AccessTracer":
+        """Deprecated — use the context-manager form, which uninstalls
+        even when the traced block raises."""
+        return self.__enter__()
+
     def uninstall(self) -> None:
-        if self._inner is not None:
-            # Drop the instance attribute so the class method resolves.
-            self.system.__dict__.pop("access", None)
-            self._inner = None
+        """Deprecated — use the context-manager form."""
+        self._detach()
+
+    # -- the view ----------------------------------------------------------------
+
+    def _view_event(self, event: TraceEvent) -> None:
+        if event.phase != PH_SPAN or event.category != "access":
+            return
+        self._sequence += 1
+        block = int(event.args["block"], 16)
+        core = int(event.tid[len("core"):])
+        if self.block_filter and not self.block_filter(block):
+            return
+        if self.core_filter and not self.core_filter(core):
+            return
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(AccessEvent(
+            sequence=self._sequence, core=core, block=block,
+            is_write=event.name == "write",
+            issue=int(event.ts), complete=int(event.ts + event.dur),
+            supplier=Supplier(event.args["supplier"]),
+            classification=self._classification(block)))
 
     def _classification(self, block: int) -> str:
         classifier = getattr(self.system.architecture, "classifier", None)

@@ -499,3 +499,91 @@ class TestLifecycle:
                     assert drain_reply.get("drained") is True
         finally:
             gate.set()
+
+
+# -- event tracing + live gauges ----------------------------------------------
+
+class TestTracingAndGauges:
+    def test_snapshots_carry_queue_and_worker_gauges(self, sock_dir):
+        with service(sock_dir, None, workers=1, batch=1) as handle:
+            with connect(handle) as client:
+                reply = client.submit(["shared"], ["apache"], seeds=[3],
+                                      wait=True, settings=SETTINGS_WIRE)
+                gauges = reply["gauges"]
+                assert set(gauges) >= {"queue_backlog", "queue_inflight",
+                                       "queue_limit", "workers_busy",
+                                       "workers"}
+                assert gauges["queue_backlog"] == 0  # job is done
+                assert gauges["workers"] == 1
+                status = client.status()
+                assert status["workers_busy"] == 0
+
+    def test_watch_stream_includes_gauges(self, sock_dir):
+        with service(sock_dir, None, workers=1, batch=1) as handle:
+            with connect(handle) as client:
+                job = client.submit(["shared"], ["apache"], seeds=[4],
+                                    wait=False,
+                                    settings=SETTINGS_WIRE)["job"]
+                progress = [e for e in client.watch(job)
+                            if e.get("event") == "progress"]
+                assert progress
+                assert all("gauges" in e for e in progress)
+
+    def test_traced_submit_exports_valid_chrome_trace(self, sock_dir,
+                                                      tmp_path, monkeypatch):
+        from repro.obs import trace as obs
+        from repro.obs.export import (events_of_category, span_names,
+                                      validate_chrome)
+
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+        with service(sock_dir, None, workers=1, batch=1) as handle:
+            with connect(handle) as client:
+                reply = client.submit(["esp-nuca"], ["apache"], seeds=[5],
+                                      wait=True, trace=True,
+                                      settings=SETTINGS_WIRE)
+                assert reply["state"] == "done"
+                assert reply["trace"] is True
+                assert reply.get("trace_error") is None
+                path = reply["trace_path"]
+        # The tracer was uninstalled when the job finished.
+        assert obs.active() is obs.NULL_TRACER
+        payload = json.loads(open(path).read())
+        assert validate_chrome(payload) == []
+        # Lifecycle spans + gauges counters on the service track.
+        service_events = events_of_category(payload, "service")
+        assert {e["name"] for e in service_events} >= \
+            {"job admitted", "queue depth", "busy workers"}
+        lifecycle = [e["name"] for e in service_events if e["ph"] == "X"]
+        assert "running" in lifecycle
+        # Sim-clock events from the worker's simulation made it in.
+        assert events_of_category(payload, "l2")
+        assert any(name.startswith("run esp-nuca/")
+                   for name in span_names(payload))
+
+    def test_one_traced_job_at_a_time(self, sock_dir, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+        gate = threading.Event()
+        executor = CountingExecutor(jobs=1, cache=RunCache(enabled=False),
+                                    gate=gate)
+        try:
+            with service(sock_dir, executor, workers=1, batch=1) as handle:
+                with connect(handle) as client:
+                    first = client.submit(["shared"], ["apache"], seeds=[6],
+                                          wait=False, trace=True,
+                                          settings=SETTINGS_WIRE)
+                    with pytest.raises(ServiceError) as exc:
+                        client.submit(["shared"], ["apache"], seeds=[8],
+                                      wait=False, trace=True,
+                                      settings=SETTINGS_WIRE)
+                    assert exc.value.code == "bad-request"
+                    gate.set()
+                    end = list(client.watch(first["job"]))[-1]
+                    assert end["event"] == "end"
+                    assert end["trace_path"]
+                    # The slot is free again for a new traced job.
+                    again = client.submit(["shared"], ["apache"], seeds=[9],
+                                          wait=True, trace=True,
+                                          settings=SETTINGS_WIRE)
+                    assert again["trace_path"]
+        finally:
+            gate.set()

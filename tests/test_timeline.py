@@ -34,15 +34,50 @@ class TestRecording:
             assert 0 <= sample.average_nmax <= 15
             assert len(sample.per_bank_nmax) == 32
 
+    def test_snapshot_every_period(self):
+        blocks = list(range(0x100, 0x140)) * 30
+        recorder = run_with_recorder(blocks, period=16)
+        assert [s.events for s in recorder.samples] == \
+            [16 * (i + 1) for i in range(len(recorder.samples))]
+
     def test_requires_dueling_variant(self):
         system = build("esp-nuca-flat")
         with pytest.raises(ValueError):
             TimelineRecorder(system.architecture)
 
+    def test_requires_bound_architecture(self):
+        from repro.core.esp_nuca import EspNuca
+
+        with pytest.raises(ValueError):
+            TimelineRecorder(EspNuca(tiny_config()))
+
     def test_double_install_is_idempotent(self):
         system = build("esp-nuca")
         recorder = TimelineRecorder(system.architecture, period=8)
         assert recorder.install() is recorder.install()
+        assert recorder.installed
+
+    def test_uninstall_is_idempotent_and_stops_recording(self):
+        system = build("esp-nuca", check_tokens=False)
+        recorder = TimelineRecorder(system.architecture, period=1)
+        recorder.install()
+        system.access(0, 0x100, False, 0)
+        seen = len(recorder.samples)
+        recorder.uninstall()
+        recorder.uninstall()  # second uninstall is a no-op
+        assert not recorder.installed
+        system.access(0, 0x200, False, 1000)
+        assert len(recorder.samples) == seen
+
+    def test_context_manager_detaches_on_exception(self):
+        system = build("esp-nuca", check_tokens=False)
+        recorder = TimelineRecorder(system.architecture, period=1)
+        with pytest.raises(RuntimeError):
+            with recorder:
+                system.access(0, 0x100, False, 0)
+                raise RuntimeError("mid-run failure")
+        assert not recorder.installed
+        assert not system.tracer.enabled  # private tracer restored
 
 
 class TestRendering:
@@ -69,3 +104,15 @@ class TestRendering:
         recorder = TimelineRecorder(system.architecture)
         assert recorder.format() == "no samples"
         assert recorder.sparkline() == ""
+
+    def test_sparkline_flat_series_is_well_defined(self):
+        system = build("esp-nuca")
+        recorder = TimelineRecorder(system.architecture)
+        from repro.core.timeline import TimelineSample
+
+        recorder.samples = [TimelineSample(events=i, average_nmax=2.0,
+                                           hr_reference=0.5,
+                                           hr_conventional=0.5,
+                                           hr_explorer=0.5)
+                            for i in range(4)]
+        assert recorder.sparkline("average_nmax") == "▁▁▁▁"

@@ -1,5 +1,7 @@
 """Access tracer (protocol debugging aid)."""
 
+import pytest
+
 from repro.sim.request import Supplier
 from repro.sim.tracing import AccessTracer
 
@@ -43,11 +45,23 @@ class TestTracer:
     def test_uninstall_restores(self):
         system = build("shared", check_tokens=False)
         tracer = AccessTracer(system).install()
-        assert "access" in system.__dict__  # wrapper in place
+        assert system.tracer.enabled  # listener-only tracer in place
         tracer.uninstall()
-        assert "access" not in system.__dict__  # class method again
+        assert not system.tracer.enabled  # back to the null tracer
         system.access(0, 0x1, False, 0)
         assert tracer.events == []
+
+    def test_context_manager_detaches_on_exception(self):
+        system = build("shared", check_tokens=False)
+        tracer = AccessTracer(system)
+        with pytest.raises(RuntimeError):
+            with tracer:
+                system.access(0, 0x1, False, 0)
+                raise RuntimeError("mid-trace failure")
+        assert not system.tracer.enabled
+        assert len(tracer.events) == 1
+        system.access(0, 0x2, False, 100)
+        assert len(tracer.events) == 1  # detached: no longer recording
 
     def test_queries_and_format(self):
         system = build("shared", check_tokens=False)

@@ -3,8 +3,11 @@ would run it: boot the real ``esp-nuca serve`` daemon in a subprocess,
 submit one uncached grid and then the identical grid again, and prove
 from the server's own counters that the second submission was answered
 entirely from the persistent run cache — ``points.executed`` unchanged,
-``points.cached`` incremented, results byte-identical — then drain and
-require a clean exit with zero orphaned workers.
+``points.cached`` incremented, results byte-identical — then submit a
+third (uncached) grid with ``trace: true`` and require a well-formed
+Chrome-trace export containing spans from both clock domains, then
+drain and require a clean exit with zero orphaned workers. The CI job
+uploads the captured trace as a workflow artifact.
 
 Run locally with ``PYTHONPATH=src python tools/service_smoke.py``; the
 in-process equivalent lives in ``tests/test_service.py`` (this script
@@ -22,12 +25,18 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src"))
 
+from repro.obs.export import (events_of_category, span_names,  # noqa: E402
+                              validate_chrome)
 from repro.service.client import ServiceClient  # noqa: E402
 
 ARCHS = ["shared", "esp-nuca"]
 WORKLOADS = ["apache"]
 SETTINGS = {"refs_per_core": 400, "warmup_refs_per_core": 100,
             "capacity_factor": 8, "num_seeds": 1}
+#: The traced run gets a little more work so the capture reliably
+#: contains helping-block events (replica/victim placements).
+TRACE_SETTINGS = {"refs_per_core": 800, "warmup_refs_per_core": 200,
+                  "capacity_factor": 8, "num_seeds": 1}
 POINTS = len(ARCHS) * len(WORKLOADS) * SETTINGS["num_seeds"]
 BOOT_TIMEOUT = 60
 DRAIN_TIMEOUT = 120
@@ -53,13 +62,43 @@ def canonical(payloads):
     return json.dumps(payloads, sort_keys=True, separators=(",", ":"))
 
 
+def check_trace(path):
+    """The traced submission's export must be a valid Chrome trace with
+    spans from both clock domains and a helping-block instant."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    problems = validate_chrome(payload)
+    if problems:
+        fail(f"trace {path} is not valid Chrome trace JSON: {problems[:5]}")
+    if not [e for e in events_of_category(payload, "l2")
+            if e.get("ph") == "X"]:
+        fail("trace has no sim-clock L2 bank spans")
+    if not any(name.startswith("run ") for name in span_names(payload)):
+        fail("trace has no wall-clock executor run span")
+    helping = [e["name"] for e in payload["traceEvents"]
+               if e.get("ph") == "i" and e.get("name") in
+               ("replica placed", "victim placed", "allocation refused")]
+    if not helping:
+        fail("trace has no helping-block instant (replica/victim/refusal)")
+    service_names = {e["name"]
+                     for e in events_of_category(payload, "service")}
+    if "queue depth" not in service_names:
+        fail(f"trace has no service queue-depth counter: {service_names}")
+    return len(payload["traceEvents"])
+
+
 def main():
     workdir = tempfile.mkdtemp(prefix="esp-smoke-")
     sock = os.path.join(workdir, "svc.sock")
+    # CI points REPRO_TRACE_DIR into the workspace so the captured
+    # trace can be uploaded as a workflow artifact.
+    trace_dir = os.environ.get("REPRO_TRACE_DIR") \
+        or os.path.join(workdir, "traces")
     env = dict(os.environ,
                PYTHONPATH=os.path.join(os.path.dirname(os.path.dirname(
                    os.path.abspath(__file__))), "src"),
                REPRO_CACHE_DIR=os.path.join(workdir, "cache"),
+               REPRO_TRACE_DIR=trace_dir,
                REPRO_JOBS="1")
     server = subprocess.Popen(
         [sys.executable, "-m", "repro.harness.cli", "serve",
@@ -87,6 +126,17 @@ def main():
             if canonical(first["results"]) != canonical(second["results"]):
                 fail("cached results differ from computed results")
 
+            traced = client.submit(["esp-nuca"], WORKLOADS, seeds=[99],
+                                   settings=TRACE_SETTINGS, wait=True,
+                                   trace=True)
+            if traced["state"] != "done":
+                fail(f"traced submit did not complete: {traced}")
+            if traced.get("trace_error") or not traced.get("trace_path"):
+                fail(f"traced submit produced no trace: {traced}")
+            if "gauges" not in traced:
+                fail(f"job snapshot is missing live gauges: {traced}")
+            trace_events = check_trace(traced["trace_path"])
+
             summary = client.drain()
             if not summary.get("drained") or summary["workers_alive"] != 0:
                 fail(f"drain left workers running: {summary}")
@@ -98,7 +148,8 @@ def main():
             fail(f"missing drain summary in server output:\n{output}")
         print("service smoke OK: "
               f"{POINTS} point(s) simulated once, resubmission fully "
-              "cached, clean drain")
+              f"cached, traced run exported {trace_events} event(s) to "
+              f"{traced['trace_path']}, clean drain")
     finally:
         if server.poll() is None:
             server.kill()
