@@ -38,6 +38,13 @@ class NucaArchitecture:
 
     name = "base"
 
+    #: Classifier contract strength, read by the invariant checker: a
+    #: True value declares that a SHARED-classified block may keep
+    #: stale PRIVATE/VICTIM entries (a documented approximation, e.g.
+    #: R-NUCA's lazy page demotion) instead of the strict SP-NUCA
+    #: guarantee that demotion scrubs owned copies on touch.
+    classifier_stale_owned_ok = False
+
     #: Child-span context of the in-flight *sampled* demand access
     #: (published by :meth:`CmpSystem._traced_access`); ``None`` means
     #: tracing is off or this access is unsampled — the timing helpers

@@ -63,6 +63,15 @@ class PageBitDirectory(PrivateBitDirectory):
         self._resident[page] = self._resident.get(page, 0) + 1
         if super().classify(page) is Classification.ABSENT:
             super().on_arrival(page, core)
+        else:
+            # A block of a live page arriving for another core is an
+            # access by that core: it must demote a private page, just
+            # as a demand hit would. (SP-NUCA never needs this — a
+            # per-block arrival is by definition unclassified — so the
+            # off-chip path only calls on_arrival, and skipping the
+            # demotion here left private pages with second-core L1
+            # copies; found by the invariant fuzzer.)
+            super().note_access(page, core)
 
     def on_left_chip(self, block: int) -> None:
         page = self._page(block)
@@ -76,6 +85,10 @@ class PageBitDirectory(PrivateBitDirectory):
 
 class RNucaLite(SpNuca):
     name = "r-nuca"
+
+    # The lazy-demotion approximation above: a SHARED page may keep
+    # stale PRIVATE entries in the old owner's banks until touched.
+    classifier_stale_owned_ok = True
 
     def __init__(self, config: SystemConfig, page_blocks: int = 64) -> None:
         super().__init__(config, partitioning="lru")

@@ -58,7 +58,22 @@ class CacheSet:
     # -- mutation ------------------------------------------------------------
 
     def install(self, way: int, entry: CacheBlock) -> None:
+        if not 0 <= way < self.ways:
+            raise IndexError(f"way {way} outside [0, {self.ways})")
         old = self.blocks[way]
+        # A second resident copy with the same (block, class, owner)
+        # would be unfindable through find() and would double-count in
+        # helping_count when removed — always a caller bug (distinct
+        # classes of one block, e.g. SHARED + REPLICA, are legitimate).
+        block = entry.block
+        for resident in self.blocks:
+            if (resident is not None and resident.block == block
+                    and resident is not old
+                    and resident.cls is entry.cls
+                    and resident.owner == entry.owner):
+                raise ValueError(
+                    f"duplicate resident copy of block {block:#x} "
+                    f"({entry.cls.value}, owner {entry.owner})")
         if old is not None and old.is_helping:
             self.helping_count -= 1
         self.blocks[way] = entry
@@ -72,7 +87,12 @@ class CacheSet:
             self.helping_count -= 1
 
     def reclassify(self, entry: CacheBlock, new_cls: BlockClass) -> None:
-        """Change a resident block's class, keeping the helping counter."""
+        """Change a resident block's class, keeping the helping counter.
+
+        Raises if ``entry`` is not resident here: adjusting the counter
+        for a foreign entry silently corrupts ``helping_count``.
+        """
+        self.find_way(entry)  # raises ValueError when non-resident
         if entry.is_helping:
             self.helping_count -= 1
         entry.cls = new_cls

@@ -63,23 +63,36 @@ class ProtectedLru(ReplacementPolicy):
         if incoming.is_helping:
             if limit == 0:
                 return None
-            free = cache_set.free_way()
             if n >= limit:
+                # At (or over) the budget a helping incoming replaces
+                # the LRU *helping* block even while free ways remain:
+                # Section 3.2 bounds how many ways helping blocks may
+                # occupy, not how full the set is, so a free way must
+                # stay available to first-class blocks.
                 victim = cache_set.lru_block(lambda b: b.is_helping)
                 if victim is None:  # cannot happen when n >= limit > 0
                     return None
                 return cache_set.find_way(victim)
+            free = cache_set.free_way()
             if free is not None:
                 return free
             victim = cache_set.lru_block()
             assert victim is not None
             return cache_set.find_way(victim)
-        # First-class incoming: never refused. While the set is at (or
-        # over, after an nmax decrease) its helping budget, helping
-        # blocks are evicted first; otherwise plain LRU.
+        # First-class incoming: never refused. A set strictly over its
+        # budget (possible after an nmax decrease) sheds the LRU helping
+        # block *before* considering free ways, so every first-class
+        # install converges it back toward the bound — otherwise a set
+        # with free ways kept its excess helping blocks indefinitely.
+        if n > limit:
+            victim = cache_set.lru_block(lambda b: b.is_helping)
+            if victim is not None:
+                return cache_set.find_way(victim)
         free = cache_set.free_way()
         if free is not None:
             return free
+        # Full set at the budget: helping blocks are evicted first;
+        # under the budget, plain LRU over the whole set.
         if n > 0 and n >= limit:
             victim = cache_set.lru_block(lambda b: b.is_helping)
             if victim is not None:

@@ -1,0 +1,18 @@
+"""Runtime invariant checking and differential oracles (docs/checking.md).
+
+Two layers, both off by default:
+
+* :mod:`repro.check.invariants` — an :class:`InvariantChecker` swept
+  after demand accesses, asserting machine-checkable state invariants
+  (token conservation, helping-block budgets, LRU monotonicity,
+  classifier/ledger agreement, ...). Enabled per run via
+  ``SystemConfig.checks`` / ``--check`` / ``REPRO_CHECKS``.
+* :mod:`repro.check.oracles` — metamorphic end-to-end equivalences
+  between architectures with pinned parameters, plus a seed-randomized
+  fuzzer that drives every architecture under full checking
+  (``tools/check_sweep.py`` is the CLI runner).
+"""
+
+from repro.check.invariants import InvariantChecker, InvariantViolation
+
+__all__ = ["InvariantChecker", "InvariantViolation"]

@@ -1,0 +1,243 @@
+"""Differential oracles: metamorphic equivalences between architectures.
+
+A policy bug that keeps every invariant intact can still ship a wrong
+curve, so on top of the state checker this module runs end-to-end
+*equivalences* on small grids — properties that hold by construction
+and need no golden numbers:
+
+* **pinned-zero** — ESP-NUCA with ``nmax`` pinned to 0 admits no
+  helping blocks, so its first-class behaviour (timing, hits, traffic)
+  must match SP-NUCA's exactly, access for access.
+* **flat-unbounded** — the ``esp-nuca-flat`` variant (plain LRU) must
+  match protected mode with an unbounded helping budget: with no bound
+  to enforce, protected LRU degenerates to flat LRU.
+* **single-core** — SP-NUCA driven from one core must never demote a
+  block to shared: sharing requires a second accessor.
+* **fuzz** — seed-randomized workloads drive a grid of architectures
+  under full invariant checking; the oracle is that no sweep raises.
+
+Results are compared on the *first-class* fields of
+:class:`~repro.sim.results.SimResult` (cycles, hit/miss counts, traffic,
+supplier decomposition). The ``stats`` snapshot is excluded on purpose:
+refusal/allocation counters legitimately differ between an architecture
+that tries-and-refuses helping blocks and one that never tries.
+
+``tools/check_sweep.py`` runs :func:`run_all` from the command line;
+``tests/test_oracles.py`` pins each oracle in tier 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.architectures.registry import make_architecture
+from repro.common.config import (CheckConfig, L1Config, L2Config,
+                                 SystemConfig)
+from repro.common.rng import substream
+from repro.core.esp_nuca import UNBOUNDED, EspNuca
+from repro.sim.cpu import TraceItem, TraceKind
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import SimResult
+from repro.sim.system import CmpSystem
+
+#: SimResult fields compared by the differential oracles (plus the
+#: supplier decomposition, handled separately). ``architecture``,
+#: ``workload``, ``seed`` and ``stats`` are excluded: identity labels
+#: and per-component counters, not first-class behaviour.
+FIRST_CLASS_FIELDS = (
+    "cycles", "instructions", "memory_accesses", "per_core_cycles",
+    "per_core_instructions", "l1_hits", "l1_misses", "l2_demand_lookups",
+    "l2_hits", "offchip_demand", "offchip_writebacks", "noc_messages",
+    "noc_queueing",
+)
+
+#: Default fuzz grid: every distinct policy family in the registry (the
+#: ccNN family is represented by its endpoints).
+FUZZ_ARCHITECTURES = (
+    "shared", "private", "d-nuca", "asr", "cc00", "cc100",
+    "sp-nuca", "sp-nuca-static", "sp-nuca-shadow",
+    "esp-nuca", "esp-nuca-flat", "esp-nuca-qos",
+    "r-nuca", "victim-replication",
+)
+
+
+def small_config(checks: bool = True, sample: int = 1) -> SystemConfig:
+    """A full 8-core/32-bank system with tiny caches, so short fuzz
+    traces reach capacity effects (evictions, victims, replicas) in a
+    few hundred references per core."""
+    base = SystemConfig()
+    return replace(
+        base,
+        l1=L1Config(size=64 * 4 * 4, assoc=4, block_size=64,
+                    access_latency=3, tag_latency=1),
+        l2=L2Config(size=64 * 4 * 8 * 32, num_banks=32, assoc=4,
+                    block_size=64, access_latency=5, tag_latency=2),
+        checks=CheckConfig(enabled=checks, sample=sample),
+    )
+
+
+def fuzz_traces(config: SystemConfig, seed: int, refs_per_core: int,
+                shared_fraction: float = 0.4, write_fraction: float = 0.25,
+                ) -> List[List[TraceItem]]:
+    """Deterministic random workload: every core mixes a private pool
+    with one chip-wide shared pool, sized a small multiple of the L2 so
+    the traces stress eviction, victim and replica paths."""
+    l2_blocks = config.l2.size // config.l2.block_size
+    shared_pool = max(2 * l2_blocks // 3, 16)
+    private_pool = max(l2_blocks // config.num_cores, 16)
+    traces: List[List[TraceItem]] = []
+    for core in range(config.num_cores):
+        rng = substream(seed, f"fuzz-core{core}")
+        items: List[TraceItem] = []
+        for _ in range(refs_per_core):
+            if rng.random() < shared_fraction:
+                block = 0x100000 + rng.randrange(shared_pool)
+            else:
+                block = 0x200000 + core * 0x10000 + rng.randrange(private_pool)
+            kind = (TraceKind.STORE if rng.random() < write_fraction
+                    else TraceKind.LOAD)
+            items.append(TraceItem(gap=rng.randrange(6), block=block,
+                                   kind=kind))
+        traces.append(items)
+    return traces
+
+
+def run_system(system: CmpSystem,
+               traces: Sequence[Optional[List[TraceItem]]]) -> SimResult:
+    """Simulate one system over materialized traces (lists are reusable
+    across runs; each run gets fresh iterators)."""
+    engine = SimulationEngine(system, [iter(t) if t is not None else None
+                                       for t in traces])
+    return engine.run()
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one oracle: ``ok`` plus human-readable mismatches."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+    mismatches: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        lines = [f"{status}  {self.name}" + (f" — {self.detail}"
+                                             if self.detail else "")]
+        lines += [f"    {m}" for m in self.mismatches]
+        return "\n".join(lines)
+
+
+def compare_first_class(name: str, a: SimResult, b: SimResult,
+                        label_a: str, label_b: str) -> OracleReport:
+    """Field-for-field comparison of the first-class result surface."""
+    mismatches: List[str] = []
+    for fname in FIRST_CLASS_FIELDS:
+        va, vb = getattr(a, fname), getattr(b, fname)
+        if va != vb:
+            mismatches.append(f"{fname}: {label_a}={va!r} {label_b}={vb!r}")
+    for sup in a.supplier_count:
+        ca, cb = a.supplier_count[sup], b.supplier_count[sup]
+        if ca != cb:
+            mismatches.append(f"supplier_count[{sup.name}]: "
+                              f"{label_a}={ca} {label_b}={cb}")
+        ya, yb = a.supplier_cycles[sup], b.supplier_cycles[sup]
+        if ya != yb:
+            mismatches.append(f"supplier_cycles[{sup.name}]: "
+                              f"{label_a}={ya} {label_b}={yb}")
+    return OracleReport(name=name, ok=not mismatches,
+                        detail=f"{label_a} vs {label_b}",
+                        mismatches=mismatches)
+
+
+# -- the oracles -------------------------------------------------------------
+
+
+def oracle_pinned_zero(seed: int = 1, refs_per_core: int = 400
+                       ) -> OracleReport:
+    """ESP-NUCA with a zero helping budget must equal SP-NUCA."""
+    # Equivalence oracles compare end states; sparse sampling keeps the
+    # invariant net without per-access sweep cost (the fuzz oracle is
+    # the one that checks every access).
+    config = small_config(sample=64)
+    traces = fuzz_traces(config, seed, refs_per_core)
+    esp = run_system(CmpSystem(config, EspNuca(config, nmax_pinned=0)),
+                     traces)
+    sp = run_system(CmpSystem(config, make_architecture("sp-nuca", config)),
+                    traces)
+    report = compare_first_class(
+        f"pinned-zero (seed {seed}, {refs_per_core} refs/core)",
+        esp, sp, "esp-nmax0", "sp-nuca")
+    return report
+
+
+def oracle_flat_unbounded(seed: int = 2, refs_per_core: int = 400
+                          ) -> OracleReport:
+    """``esp-nuca-flat`` must equal protected mode with no budget."""
+    config = small_config(sample=64)
+    traces = fuzz_traces(config, seed, refs_per_core)
+    flat = run_system(
+        CmpSystem(config, make_architecture("esp-nuca-flat", config)),
+        traces)
+    unbounded = run_system(
+        CmpSystem(config, EspNuca(config, nmax_pinned=UNBOUNDED)), traces)
+    return compare_first_class(
+        f"flat-unbounded (seed {seed}, {refs_per_core} refs/core)",
+        flat, unbounded, "esp-flat", "esp-unbounded")
+
+
+def oracle_single_core(seed: int = 3, refs_per_core: int = 400
+                       ) -> OracleReport:
+    """SP-NUCA with a single active core must never demote a block."""
+    config = small_config(sample=64)
+    traces: List[Optional[List[TraceItem]]] = [None] * config.num_cores
+    traces[0] = fuzz_traces(config, seed, refs_per_core)[0]
+    system = CmpSystem(config, make_architecture("sp-nuca", config))
+    run_system(system, traces)
+    demotions = system.architecture.classifier.demotions
+    return OracleReport(
+        name=f"single-core (seed {seed}, {refs_per_core} refs)",
+        ok=demotions == 0,
+        detail="sp-nuca, core 0 only",
+        mismatches=([] if demotions == 0
+                    else [f"classifier recorded {demotions} demotions"]))
+
+
+def oracle_fuzz(seeds: Sequence[int] = (11, 12),
+                architectures: Sequence[str] = FUZZ_ARCHITECTURES,
+                refs_per_core: int = 150, sample: int = 1) -> OracleReport:
+    """Drive every architecture with random workloads under full
+    invariant checking; the property is that no sweep raises."""
+    config = small_config(checks=True, sample=sample)
+    failures: List[str] = []
+    runs = 0
+    for seed in seeds:
+        traces = fuzz_traces(config, seed, refs_per_core)
+        for arch in architectures:
+            runs += 1
+            try:
+                run_system(CmpSystem(config, make_architecture(arch, config)),
+                           traces)
+            except AssertionError as exc:
+                failures.append(f"{arch} seed {seed}: {exc}")
+    return OracleReport(
+        name=f"fuzz ({runs} runs, {refs_per_core} refs/core, "
+             f"sample {sample})",
+        ok=not failures, mismatches=failures)
+
+
+def run_all(seeds: Sequence[int] = (1, 2, 3),
+            fuzz_seeds: Sequence[int] = (11, 12),
+            refs_per_core: int = 400,
+            fuzz_refs_per_core: int = 150,
+            fuzz_sample: int = 1) -> List[OracleReport]:
+    """The default oracle grid (what CI and tier 1 run)."""
+    reports: List[OracleReport] = []
+    for seed in seeds:
+        reports.append(oracle_pinned_zero(seed, refs_per_core))
+        reports.append(oracle_flat_unbounded(seed, refs_per_core))
+        reports.append(oracle_single_core(seed, refs_per_core))
+    reports.append(oracle_fuzz(fuzz_seeds, refs_per_core=fuzz_refs_per_core,
+                               sample=fuzz_sample))
+    return reports

@@ -131,6 +131,28 @@ class EspConfig:
 
 
 @dataclass(frozen=True)
+class CheckConfig:
+    """Runtime invariant checking (docs/checking.md).
+
+    Off by default: the simulator pays one ``is None`` test per access.
+    When ``enabled``, an :class:`~repro.check.invariants.InvariantChecker`
+    sweeps the whole machine state every ``sample`` demand accesses
+    (``sample=1`` = after every access) and the token ledger runs its
+    relaxed mid-operation bounds checks. ``raise_on_violation=False``
+    downgrades violations to counters/trace events so a sweep can report
+    every broken invariant instead of stopping at the first.
+    """
+
+    enabled: bool = False
+    sample: int = 1
+    raise_on_violation: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sample < 1:
+            raise ValueError("check sample period must be >= 1")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Complete CMP configuration with derived address geometry.
 
@@ -147,6 +169,7 @@ class SystemConfig:
     noc: NocConfig = field(default_factory=NocConfig)
     mem: MemConfig = field(default_factory=MemConfig)
     esp: EspConfig = field(default_factory=EspConfig)
+    checks: CheckConfig = field(default_factory=CheckConfig)
 
     def __post_init__(self) -> None:
         if self.l1.block_size != self.l2.block_size:

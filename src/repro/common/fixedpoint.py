@@ -75,11 +75,20 @@ class EmaEstimator:
 
     # The nmax controller compares estimators through a tolerated
     # degradation of 2**-d (equation 3); expose the shifted comparison
-    # so callers stay shift-only like the hardware.
+    # so callers stay shift-only like the hardware. The inequality is
+    # deliberately *strict*: the paper's ">=" degenerates when reference
+    # and candidate agree exactly — most visibly when every estimator
+    # reads 0 (an idle bank hosting only helping blocks), where a
+    # non-strict comparison would shrink the budget although helping
+    # blocks demonstrably cost nothing. ``DuelController._evaluate`` is
+    # the (only) consumer and documents both directions of equation 3
+    # in terms of this helper.
 
-    def degraded_below(self, reference: "EmaEstimator", shift: int) -> bool:
-        """True iff ``reference - self >= reference >> shift``."""
-        return reference.value - self._value >= (reference.value >> shift)
+    def degraded_beyond(self, reference: "EmaEstimator", shift: int) -> bool:
+        """True iff ``reference - self > reference >> shift`` — this
+        estimator trails ``reference`` by strictly more than the
+        tolerated ``2**-shift`` fraction of it."""
+        return reference.value - self._value > (reference.value >> shift)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"EmaEstimator(bits={self.bits}, shift={self.shift}, value={self._value})"

@@ -6,8 +6,11 @@ budget) and *monitored conventional* sets. Shift-only EMAs estimate the
 first-class hit rate of each group; every ``update_period`` monitored
 events the controller applies equation (3):
 
-    nmax -= 1   if HR_R - (HR_R >> d) >= HR_C   (helping blocks hurt)
-    nmax += 1   if HR_R - (HR_R >> d) <  HR_E   (one more would be safe)
+    nmax -= 1   if HR_R - HR_C > (HR_R >> d)    (helping blocks hurt)
+    nmax += 1   if HR_R - HR_E <= (HR_R >> d)   (one more would be safe)
+
+(strict ">" on the decrement — see EmaEstimator.degraded_beyond for why
+the paper's ">=" degenerates at exact equality).
 """
 
 from __future__ import annotations
@@ -22,26 +25,39 @@ from repro.common.statsreg import Scope
 from repro.obs.trace import NULL_TRACER
 
 
-def sampled_set_indices(num_sets: int, config: EspConfig) -> Dict[int, SetRole]:
+# Knuth's multiplicative-hash constant (2**32 / phi, odd): cheap
+# deterministic mixing of the bank id into a placement offset.
+_PLACEMENT_MIX = 2654435761
+
+
+def sampled_set_indices(num_sets: int, config: EspConfig,
+                        bank_id: int = 0) -> Dict[int, SetRole]:
     """Deterministic placement of the special sets within a bank.
 
     Sets are spread across the index space so that a strided workload
-    cannot systematically miss (or hammer) the monitors.
+    cannot systematically miss (or hammer) the monitors, and the whole
+    pattern is rotated by a per-bank offset so the *same* index never
+    plays the same role in every bank. Without the rotation every bank
+    put REFERENCE at set 0 and the other roles at identical strided
+    indices, so a workload touching congruent sets across banks biased
+    every monitor of the chip at once — exactly what the spreading
+    claims to prevent (see ``tests/test_duel.py``).
     """
     total = config.reference_sets + config.explorer_sets + config.conventional_sample_sets
     if total > num_sets:
         raise ValueError("more monitor sets than sets in the bank")
     roles: Dict[int, SetRole] = {}
     stride = num_sets // total
+    offset = (bank_id * _PLACEMENT_MIX) % num_sets
     slot = 0
     for _ in range(config.reference_sets):
-        roles[slot * stride] = SetRole.REFERENCE
+        roles[(slot * stride + offset) % num_sets] = SetRole.REFERENCE
         slot += 1
     for _ in range(config.explorer_sets):
-        roles[slot * stride] = SetRole.EXPLORER
+        roles[(slot * stride + offset) % num_sets] = SetRole.EXPLORER
         slot += 1
     for _ in range(config.conventional_sample_sets):
-        roles[slot * stride] = SetRole.CONVENTIONAL_SAMPLE
+        roles[(slot * stride + offset) % num_sets] = SetRole.CONVENTIONAL_SAMPLE
         slot += 1
     return roles
 
@@ -116,7 +132,8 @@ class DuelController:
             "hr_conventional": scope.gauge("hr_conventional"),
         }
         self._bank_stats[bank.bank_id]["nmax"].set(state.nmax)
-        for set_index, role in sampled_set_indices(bank.num_sets, self.config).items():
+        for set_index, role in sampled_set_indices(
+                bank.num_sets, self.config, bank.bank_id).items():
             bank.assign_role(set_index, role)
         bank.nmax = state.nmax
         bank.monitor = self.observe
@@ -157,23 +174,22 @@ class DuelController:
 
     def _evaluate(self, bank: CacheBank, state: BankDuelState) -> None:
         d = self.config.degradation_shift
-        hr_r = state.hr_reference.value
-        tolerance = hr_r >> d
-        # Decrement only on *strict* degradation beyond the tolerance;
-        # the paper's ">=" degenerates when all three estimators agree
-        # (e.g. an idle bank hosting only victims: every first-class
-        # rate is 0 and helping blocks are free), which must not shrink
-        # the budget. Symmetrically, an explorer within tolerance —
-        # including exact equality — argues one more helping block is
-        # safe.
+        # Both directions of equation (3) go through the one shift-only
+        # comparison, EmaEstimator.degraded_beyond, whose strictness is
+        # documented there: decrement only when the conventional sets
+        # trail the reference by strictly more than the tolerance
+        # (helping blocks demonstrably hurt); increment when the
+        # explorer stays within it — including exact equality — so one
+        # more helping block is argued safe.
         stats = self._bank_stats[bank.bank_id]
         changed = 0
-        if hr_r - state.hr_conventional.value > tolerance and state.nmax > 0:
+        if (state.hr_conventional.degraded_beyond(state.hr_reference, d)
+                and state.nmax > 0):
             state.nmax -= 1
             state.decreases += 1
             stats["decreases"].value += 1
             changed = -1
-        elif (hr_r - state.hr_explorer.value <= tolerance
+        elif (not state.hr_explorer.degraded_beyond(state.hr_reference, d)
               and state.nmax < self.nmax_cap):
             state.nmax += 1
             state.increases += 1

@@ -36,6 +36,10 @@ from repro.sim.request import Supplier
 
 VARIANTS = ("protected", "flat")
 
+#: ``nmax_pinned`` sentinel: helping blocks unbounded (``bank.nmax =
+#: None``), i.e. protected LRU with an infinite budget.
+UNBOUNDED = "unbounded"
+
 
 class EspNuca(SpNuca):
     name = "esp-nuca"
@@ -44,10 +48,27 @@ class EspNuca(SpNuca):
     shared_probe_classes = (BlockClass.SHARED, BlockClass.VICTIM)
 
     def __init__(self, config: SystemConfig, variant: str = "protected",
-                 record_nmax_history: bool = False) -> None:
+                 record_nmax_history: bool = False,
+                 nmax_pinned: "int | str | None" = None) -> None:
         super().__init__(config, partitioning="lru")
         if variant not in VARIANTS:
             raise ValueError(f"unknown ESP-NUCA variant {variant!r}")
+        # ``nmax_pinned`` freezes the helping budget instead of dueling:
+        # an int in [0, ways-1], or UNBOUNDED for an infinite budget.
+        # No duel controller, no set roles, no monitors — the oracle
+        # harness (repro.check.oracles) uses it to reduce ESP-NUCA to
+        # behaviourally comparable fixed points.
+        if nmax_pinned is not None:
+            if variant != "protected":
+                raise ValueError("nmax_pinned requires the protected variant")
+            if nmax_pinned != UNBOUNDED and not (
+                    isinstance(nmax_pinned, int)
+                    and 0 <= nmax_pinned <= config.l2.assoc - 1):
+                raise ValueError(
+                    f"nmax_pinned must be in [0, {config.l2.assoc - 1}] "
+                    f"or UNBOUNDED, got {nmax_pinned!r}")
+            self.name = f"esp-nuca-pin-{nmax_pinned}"
+        self.nmax_pinned = nmax_pinned
         self.variant = variant
         if variant == "flat":
             self.name = "esp-nuca-flat"
@@ -88,13 +109,20 @@ class EspNuca(SpNuca):
                 for b in range(cfg.num_banks)]
 
     def on_bound(self) -> None:
-        if self.variant == "protected":
-            self.duel = DuelController(self.config.esp, self.config.l2.assoc,
-                                       record_history=self._record_nmax_history)
+        if self.variant != "protected":
+            return
+        if self.nmax_pinned is not None:
+            pinned = (None if self.nmax_pinned == UNBOUNDED
+                      else self.nmax_pinned)
             for bank in self.banks:
-                self.duel.attach(bank)
-            self.stats.mount("duel", self.duel.stats, replace=True)
-            self.on_tracer(self.system.tracer)
+                bank.nmax = pinned
+            return
+        self.duel = DuelController(self.config.esp, self.config.l2.assoc,
+                                   record_history=self._record_nmax_history)
+        for bank in self.banks:
+            self.duel.attach(bank)
+        self.stats.mount("duel", self.duel.stats, replace=True)
+        self.on_tracer(self.system.tracer)
 
     def on_tracer(self, tracer) -> None:
         if self.duel is not None:

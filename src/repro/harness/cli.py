@@ -104,6 +104,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="skip the persistent run cache for this "
                              "invocation (equivalent to REPRO_CACHE=0)")
+    parser.add_argument("--check", type=int, nargs="?", const=1, default=0,
+                        metavar="N",
+                        help="run with the invariant checker enabled, "
+                             "sweeping machine state every Nth demand "
+                             "access (bare --check = every access; see "
+                             "docs/checking.md). For 'submit' the check "
+                             "runs on the server")
     service = parser.add_argument_group("simulation service "
                                         "('serve' / 'submit')")
     service.add_argument("--bind", default="127.0.0.1:8642",
@@ -138,6 +145,19 @@ def _settings(args: argparse.Namespace) -> RunSettings:
                               else base.warmup_refs_per_core),
         num_seeds=args.seeds or base.num_seeds,
     )
+
+
+def _config(args: argparse.Namespace):
+    """The invocation's SystemConfig override: None (runner default)
+    unless ``--check`` asks for an invariant-checked configuration."""
+    if not args.check:
+        return None
+    from dataclasses import replace
+
+    from repro.common.config import CheckConfig, scaled_config
+
+    return replace(scaled_config(_settings(args).capacity_factor),
+                   checks=CheckConfig(enabled=True, sample=args.check))
 
 
 def _single_run(runner: ExperimentRunner, arch: str, workload: str) -> None:
@@ -201,7 +221,8 @@ def _event_trace(args: argparse.Namespace) -> int:
     # would be lost in their processes, and a cache hit would skip the
     # simulation (leaving nothing to trace).
     executor = Executor(jobs=1, cache=RunCache(enabled=False))
-    runner = ExperimentRunner(_settings(args), executor=executor)
+    runner = ExperimentRunner(_settings(args), config=_config(args),
+                              executor=executor)
     with activated(tracer):
         if args.action == "run":
             _single_run(runner, args.arch, args.workload)
@@ -290,7 +311,7 @@ def _submit(args: argparse.Namespace) -> int:
                 reply = client.submit(archs, workloads,
                                       settings=settings or None,
                                       priority=args.priority, wait=False,
-                                      trace=args.trace)
+                                      trace=args.trace, check=args.check)
                 job = reply["job"]
                 final = reply
                 for event in client.watch(job):
@@ -308,7 +329,7 @@ def _submit(args: argparse.Namespace) -> int:
                 reply = client.submit(archs, workloads,
                                       settings=settings or None,
                                       priority=args.priority, wait=wait,
-                                      trace=args.trace)
+                                      trace=args.trace, check=args.check)
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -378,6 +399,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs is not None and args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.check < 0:
+        print("error: --check period must be >= 1", file=sys.stderr)
+        return 2
     if args.experiment == "repro-cache":
         from repro.harness.runcache import main as cache_main
 
@@ -393,7 +417,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _event_trace(args)
     cache = RunCache(enabled=False) if args.no_cache else RunCache.from_env()
     executor = Executor(jobs=args.jobs, cache=cache)
-    runner = ExperimentRunner(_settings(args), executor=executor)
+    runner = ExperimentRunner(_settings(args), config=_config(args),
+                              executor=executor)
     if args.experiment == "trace":
         from repro.workloads.tracefile import save_traces
 

@@ -117,14 +117,16 @@ class ServiceClient:
                seeds: Optional[List[int]] = None,
                settings: Optional[Dict[str, int]] = None,
                priority: int = 0, wait: bool = False,
-               trace: bool = False) -> Dict[str, Any]:
+               trace: bool = False, check: int = 0) -> Dict[str, Any]:
         """Submit a grid; returns the job snapshot reply (with
         ``results`` when ``wait=True`` or the grid was fully cached).
 
         ``trace=True`` asks the server to capture an event trace of the
         job (one traced job at a time); the terminal snapshot carries
         ``trace_path`` — the Chrome-trace JSON on the *server's*
-        filesystem (``REPRO_TRACE_DIR``)."""
+        filesystem (``REPRO_TRACE_DIR``). ``check=N`` runs the job's
+        points with the invariant checker sweeping every Nth access
+        (0 = unchecked; see docs/checking.md)."""
         message: Dict[str, Any] = {
             "cmd": "submit",
             "architectures": architectures,
@@ -134,6 +136,8 @@ class ServiceClient:
         }
         if trace:
             message["trace"] = True
+        if check:
+            message["check"] = check
         if seeds is not None:
             message["seeds"] = seeds
         if settings is not None:

@@ -38,11 +38,11 @@ import asyncio
 import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.architectures.registry import architecture_names
-from repro.common.config import scaled_config
+from repro.common.config import CheckConfig, scaled_config
 from repro.common.rng import perturbed_seeds
 from repro.harness.executor import Executor
 from repro.harness.reporting import run_stats_payload
@@ -91,7 +91,8 @@ class SimulationService:
         self._workers: List[asyncio.Task] = []
         self._pool: Optional[ThreadPoolExecutor] = None
         self._followers: Dict[str, List[Job]] = {}
-        self._configs: Dict[int, Any] = {}
+        # SystemConfig per (capacity_factor, check-period) pair.
+        self._configs: Dict[Tuple[int, int], Any] = {}
         self._stopped: Optional[asyncio.Event] = None
         # lifetime counters (the `status` command's server section)
         self.requests = 0
@@ -387,6 +388,17 @@ class SimulationService:
 
     # -- submit --------------------------------------------------------------
 
+    @staticmethod
+    def _build_config(capacity_factor: int, check: int):
+        """The (cached) SystemConfig for a submission: scaled to the
+        requested capacity, with the invariant checker enabled when the
+        client asked for a checked run."""
+        config = scaled_config(capacity_factor)
+        if check:
+            config = replace(config,
+                             checks=CheckConfig(enabled=True, sample=check))
+        return config
+
     def _request_settings(self, message: Dict[str, Any]) -> RunSettings:
         raw = message.get("settings", {})
         if not isinstance(raw, dict):
@@ -446,6 +458,8 @@ class SimulationService:
         priority = proto.check_int(message, "priority", 0, -1_000_000)
         wait = bool(message.get("wait", False))
         trace = bool(message.get("trace", False))
+        # ``check`` = invariant sweep period (0 = off, 1 = every access).
+        check = proto.check_int(message, "check", 0, 0)
         if trace and self._trace_job is not None:
             await self._send(writer, proto.error(
                 proto.ERR_BAD_REQUEST,
@@ -453,7 +467,8 @@ class SimulationService:
                 f"(one traced job at a time)"))
             return
         config = self._configs.setdefault(
-            settings.capacity_factor, scaled_config(settings.capacity_factor))
+            (settings.capacity_factor, check),
+            self._build_config(settings.capacity_factor, check))
         points = grid_points(config, settings, archs, workloads, seeds)
         self.points_requested += len(points)
 

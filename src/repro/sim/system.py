@@ -16,11 +16,12 @@ docs/observability.md.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Dict, List
 
 from repro.cache.l1 import L1Cache, L1Line
 from repro.common.addresses import AddressMap
-from repro.common.config import SystemConfig
+from repro.common.config import CheckConfig, SystemConfig
 from repro.common.statsreg import Counter, Histogram, StatsRegistry
 from repro.mem.controller import MemorySystem
 from repro.noc.network import Network
@@ -34,15 +35,41 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.architectures.base import NucaArchitecture
 
 
+def _effective_checks(configured: CheckConfig) -> CheckConfig:
+    """The check policy after the ``REPRO_CHECKS`` override.
+
+    ``REPRO_CHECKS=<N>`` forces invariant checking on with sample
+    period N (``REPRO_CHECKS=1`` checks every access) regardless of the
+    run's config — the hook CI uses to run existing suites fully
+    checked. ``REPRO_CHECKS=0`` forces it off. Unset/blank defers to
+    ``SystemConfig.checks``.
+    """
+    raw = os.environ.get("REPRO_CHECKS")
+    if raw is None or raw.strip() == "":
+        return configured
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"REPRO_CHECKS must be an integer sample period (0 disables), "
+            f"got {raw!r}") from None
+    if value <= 0:
+        return CheckConfig(enabled=False)
+    return CheckConfig(enabled=True, sample=value,
+                       raise_on_violation=configured.raise_on_violation)
+
+
 class CmpSystem:
     def __init__(self, config: SystemConfig, architecture: "NucaArchitecture",
                  check_tokens: bool = False) -> None:
         self.config = config
+        checks = _effective_checks(config.checks)
         self.amap = AddressMap(config)
         self.topology = MeshTopology(config)
         self.network = Network(config, self.topology)
         self.memory = MemorySystem(config)
-        self.ledger = TokenLedger(config.num_cores, checking=check_tokens)
+        self.ledger = TokenLedger(config.num_cores,
+                                  checking=check_tokens or checks.enabled)
         self.l1s: List[L1Cache] = [
             L1Cache(core, config.l1.num_sets, config.l1.assoc)
             for core in range(config.num_cores)
@@ -80,6 +107,17 @@ class CmpSystem:
         for bank in architecture.banks:
             l2_scope.mount(f"bank{bank.bank_id}", bank.stats)
         self.stats.mount("arch", architecture.stats)
+        # Invariant checking (docs/checking.md): one ``is None`` test
+        # per access when off; a full machine sweep every ``sample``
+        # accesses when on.
+        self.checker = None
+        if checks.enabled:
+            from repro.check.invariants import InvariantChecker
+
+            self.checker = InvariantChecker(
+                self, sample=checks.sample,
+                raise_on_violation=checks.raise_on_violation)
+            self.stats.mount("check", self.checker.stats)
 
     # -- event tracing -----------------------------------------------------------
 
@@ -120,8 +158,12 @@ class CmpSystem:
         """
         tracer = self.tracer
         if tracer.enabled:
-            return self._traced_access(core, block, is_write, t_issue)
-        return self._serve_access(core, block, is_write, t_issue)
+            outcome = self._traced_access(core, block, is_write, t_issue)
+        else:
+            outcome = self._serve_access(core, block, is_write, t_issue)
+        if self.checker is not None:
+            self.checker.after_access()
+        return outcome
 
     def _serve_access(self, core: int, block: int, is_write: bool,
                       t_issue: int) -> AccessOutcome:

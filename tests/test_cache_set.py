@@ -67,6 +67,62 @@ class TestHelpingCounter:
         assert s.helping_count == 0
         assert victim.cls is BlockClass.SHARED
 
+    def test_counter_round_trips(self):
+        """install / reclassify-away / reclassify-back / remove leave
+        the counter exactly where a recount would."""
+        s = CacheSet(4)
+        replica = block(0x1, BlockClass.REPLICA, owner=0)
+        s.install(0, replica)
+        s.install(1, block(0x2, BlockClass.SHARED))
+        assert s.helping_count == 1
+        s.reclassify(replica, BlockClass.PRIVATE)
+        assert s.helping_count == 0
+        s.reclassify(replica, BlockClass.VICTIM)
+        assert s.helping_count == 1
+        s.remove(replica)
+        assert s.helping_count == 0
+        assert s.helping_count == s.count(lambda b: b.is_helping)
+
+
+class TestInstallGuards:
+    def test_way_out_of_range(self):
+        s = CacheSet(4)
+        with pytest.raises(IndexError):
+            s.install(4, block(0x1))
+        with pytest.raises(IndexError):
+            s.install(-1, block(0x1))
+
+    def test_duplicate_resident_copy_rejected(self):
+        s = CacheSet(4)
+        s.install(0, block(0x10, BlockClass.REPLICA, owner=1))
+        with pytest.raises(ValueError, match="duplicate"):
+            s.install(1, block(0x10, BlockClass.REPLICA, owner=1))
+        # The failed install must not have touched the counter.
+        assert s.helping_count == 1
+
+    def test_overwrite_same_key_in_place_allowed(self):
+        # Replacing a copy with a fresh entry of the same
+        # (block, class, owner) in the same way is legitimate.
+        s = CacheSet(4)
+        s.install(0, block(0x10, BlockClass.VICTIM, owner=2))
+        s.install(0, block(0x10, BlockClass.VICTIM, owner=2))
+        assert s.helping_count == 1
+
+    def test_distinct_class_or_owner_not_duplicates(self):
+        s = CacheSet(4)
+        s.install(0, block(0x10, BlockClass.SHARED))
+        s.install(1, block(0x10, BlockClass.REPLICA, owner=0))
+        s.install(2, block(0x10, BlockClass.REPLICA, owner=1))
+        assert s.helping_count == 2
+
+    def test_reclassify_foreign_entry_rejected(self):
+        s = CacheSet(4)
+        s.install(0, block(0x10, BlockClass.VICTIM, owner=0))
+        foreign = block(0x10, BlockClass.VICTIM, owner=0)
+        with pytest.raises(ValueError):
+            s.reclassify(foreign, BlockClass.SHARED)
+        assert s.helping_count == 1
+
 
 class TestLruQueries:
     def test_lru_block_overall(self):

@@ -32,6 +32,33 @@ class TestSampledSets:
         with pytest.raises(ValueError):
             sampled_set_indices(2, EspConfig())
 
+    def test_placement_varies_across_banks(self):
+        # Regression: every bank used to monitor the same set indices,
+        # so any workload striding over set index biased every monitor
+        # the same way. Placement must rotate per bank.
+        config = EspConfig()
+        placements = {frozenset(sampled_set_indices(64, config, bank_id=b))
+                      for b in range(32)}
+        assert len(placements) > 1
+        # Reference sets alone must not be globally aligned either.
+        refs = {next(s for s, r in
+                     sampled_set_indices(64, config, bank_id=b).items()
+                     if r is SetRole.REFERENCE)
+                for b in range(32)}
+        assert len(refs) > 1
+
+    def test_placement_deterministic_per_bank(self):
+        config = EspConfig()
+        assert sampled_set_indices(64, config, bank_id=7) \
+            == sampled_set_indices(64, config, bank_id=7)
+
+    def test_attach_uses_bank_id(self):
+        controller = DuelController(EspConfig(), ways=16)
+        banks = [CacheBank(b, 64, 16) for b in (0, 1)]
+        for bank in banks:
+            controller.attach(bank)
+        assert set(banks[0].roles) != set(banks[1].roles)
+
 
 class TestAttachment:
     def test_bank_wired(self):

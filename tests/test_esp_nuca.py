@@ -7,9 +7,21 @@ from repro.cache.block import BlockClass
 from repro.core.private_bit import Classification
 from repro.sim.request import Supplier
 
-from tests.util import access, build
+from tests.util import (access, build, private_overflow_blocks,
+                        remote_helping_block)
 
 from tests.test_arch_private import evict_from_l1
+
+
+def freeze_budget(system, nmax):
+    """Pin every bank's helping budget and stop the duel from moving
+    it (duel state included, so the invariant checker stays happy)."""
+    arch = system.architecture
+    for bank in arch.banks:
+        bank.nmax = nmax
+        bank.monitor = None
+        if arch.duel is not None:
+            arch.duel.state_of(bank.bank_id).nmax = nmax
 
 
 def make_shared(system, block, cores=(3, 6)):
@@ -20,16 +32,10 @@ def make_shared(system, block, cores=(3, 6)):
 
 def pick_remote_shared_block(system, core, start=0x900):
     """A block whose shared-map bank is NOT at ``core``'s router and
-    whose private-map set is unmonitored (odd index under the tiny
-    config's stride-2 role placement), so protected LRU admits helping
-    blocks there with the default budget."""
-    amap = system.amap
-    block = start
-    while (system.architecture.is_local_bank(core, amap.shared_bank(block))
-           or amap.private_index(block) % 2 == 0
-           or amap.shared_index(block) % 2 == 0):
-        block += 1
-    return block
+    whose private- and shared-map sets are unmonitored (queried from
+    the actual per-bank role placement), so protected LRU admits
+    helping blocks there with the default budget."""
+    return remote_helping_block(system, core, start)
 
 
 class TestReplicas:
@@ -92,24 +98,12 @@ class TestVictims:
     def _overflow_private(self, system, core=0):
         """Over-fill one private-map set of ``core``; returns blocks.
 
-        Blocks are chosen with unmonitored private AND shared set
-        indices (odd, given the stride-2 role placement of the tiny
-        config) so neither the eviction set nor the victim target is a
-        reference set.
+        Blocks are chosen with unmonitored private AND shared sets
+        (queried from the per-bank role placement) so neither the
+        eviction set nor the victim target is a reference set.
         """
-        amap = system.amap
         assoc = system.config.l2.assoc
-        blocks, tag = [], 1
-        while len(blocks) < assoc + 3:
-            candidate = (tag << 5) | 0b00100  # private set 1, bank 0
-            if (amap.private_index(candidate) == 1
-                    and amap.private_bank(candidate, core)
-                    == amap.private_banks(core)[0]
-                    and amap.shared_index(candidate) % 2 == 1
-                    and amap.shared_bank(candidate)
-                    not in amap.private_banks(core)):
-                blocks.append(candidate)
-            tag += 1
+        blocks = private_overflow_blocks(system, core, assoc + 3)
         for b in blocks:
             access(system, core, b)
             evict_from_l1(system, core, b)
@@ -147,6 +141,23 @@ class TestVictims:
         assert all(h.entry.cls is not BlockClass.VICTIM
                    for h in system.ledger.l2_holdings(block))
 
+    def test_owner_reclaims_victim_on_write(self):
+        system = build("esp-nuca")
+        blocks = self._overflow_private(system)
+        victims = [b for b in blocks
+                   for h in system.ledger.l2_holdings(b)
+                   if h.entry.cls is BlockClass.VICTIM]
+        block = victims[0]
+        out = access(system, 0, block, write=True)
+        assert out.supplier in (Supplier.L2_SHARED, Supplier.L2_LOCAL)
+        assert system.architecture.victim_hits >= 1
+        assert all(h.entry.cls is not BlockClass.VICTIM
+                   for h in system.ledger.l2_holdings(block))
+        # A write reclaim must leave the owner exclusive and dirty.
+        line = system.l1s[0].lookup(block)
+        assert line is not None and line.dirty
+        assert line.tokens == system.ledger.total_tokens
+
     def test_second_core_demotes_victim_in_place(self):
         system = build("esp-nuca")
         blocks = self._overflow_private(system)
@@ -162,13 +173,81 @@ class TestVictims:
             assert holding.entry.cls is BlockClass.SHARED
 
 
+class TestReplicaTokenSplit:
+    """The endowment split in route_l1_eviction: a reused shared
+    eviction holding t >= 2 tokens grants the replica min(t - 1, 4)
+    and sends the remainder (with the dirty responsibility) to the
+    shared bank; on refusal everything falls back there."""
+
+    def _reused_dirty_line(self, system, core=6):
+        block = pick_remote_shared_block(system, core)
+        make_shared(system, block, cores=(core, 3))
+        access(system, core, block, write=True)  # gathers every token
+        access(system, core, block)              # reuse bit
+        line = system.l1s[core].lookup(block)
+        assert line.dirty and line.tokens == system.ledger.total_tokens
+        return block
+
+    def test_grant_split_caps_replica_endowment(self):
+        system = build("esp-nuca")
+        total = system.ledger.total_tokens
+        block = self._reused_dirty_line(system)
+        evict_from_l1(system, 6, block)
+        replica = system.architecture.banks[
+            system.amap.private_bank(block, 6)].peek(
+            system.amap.private_index(block), block,
+            classes=(BlockClass.REPLICA,))
+        assert replica is not None
+        assert replica.tokens == min(total - 1, 4)
+        assert not replica.dirty  # dirty rides with the shared entry
+        shared = system.architecture.banks[
+            system.amap.shared_bank(block)].peek(
+            system.amap.shared_index(block), block,
+            classes=(BlockClass.SHARED,))
+        assert shared is not None and shared.dirty
+        assert shared.tokens + replica.tokens == total
+
+    def test_refused_split_falls_back_entirely_to_shared(self):
+        system = build("esp-nuca")
+        total = system.ledger.total_tokens
+        block = self._reused_dirty_line(system)
+        freeze_budget(system, 0)
+        evict_from_l1(system, 6, block)
+        assert system.architecture.banks[
+            system.amap.private_bank(block, 6)].peek(
+            system.amap.private_index(block), block,
+            classes=(BlockClass.REPLICA,)) is None
+        shared = system.architecture.banks[
+            system.amap.shared_bank(block)].peek(
+            system.amap.shared_index(block), block,
+            classes=(BlockClass.SHARED,))
+        assert shared is not None and shared.dirty
+        assert shared.tokens == total  # no token stranded by the refusal
+
+    def test_single_token_line_becomes_whole_replica(self):
+        # The second reader of a shared block holds exactly one token;
+        # on a reused eviction the whole writeback becomes the replica
+        # (no split possible below two tokens).
+        system = build("esp-nuca")
+        core = 6
+        block = pick_remote_shared_block(system, core)
+        make_shared(system, block, cores=(3, core))  # core reads second
+        line = system.l1s[core].lookup(block)
+        assert line.tokens == 1
+        access(system, core, block)  # reuse bit
+        evict_from_l1(system, core, block)
+        replica = system.architecture.banks[
+            system.amap.private_bank(block, core)].peek(
+            system.amap.private_index(block), block,
+            classes=(BlockClass.REPLICA,))
+        assert replica is not None and replica.tokens == 1
+
+
 class TestProtection:
     def test_zero_budget_refuses_helping_blocks(self):
         system = build("esp-nuca")
         arch = system.architecture
-        for bank in arch.banks:
-            bank.nmax = 0
-            bank.monitor = None  # freeze the duel
+        freeze_budget(system, 0)
         core = 6
         block = pick_remote_shared_block(system, core)
         make_shared(system, block, cores=(3, core))

@@ -67,19 +67,32 @@ class TestAgainstFloatReference:
             assert 0 <= e.value <= 255
 
 
-class TestDegradedBelow:
+class TestDegradedBeyond:
     def test_matching_rates_not_degraded(self):
         a, b = EmaEstimator(initial=200), EmaEstimator(initial=200)
-        assert not a.degraded_below(b, shift=3)
+        assert not a.degraded_beyond(b, shift=3)
 
     def test_large_gap_detected(self):
         low, ref = EmaEstimator(initial=100), EmaEstimator(initial=200)
-        assert low.degraded_below(ref, shift=3)
+        assert low.degraded_beyond(ref, shift=3)
 
-    def test_threshold_shift_semantics(self):
-        # degradation >= ref >> shift triggers
+    def test_strict_threshold_semantics(self):
+        # Only degradation *strictly beyond* ref >> shift triggers:
+        # exactly at the tolerance is still acceptable (the controller
+        # must not shrink the budget when helping blocks cost exactly
+        # the tolerated fraction — or, degenerately, when every
+        # estimator reads 0).
         ref = EmaEstimator(initial=128)
-        just_below = EmaEstimator(initial=128 - (128 >> 3))
-        assert just_below.degraded_below(ref, shift=3)
+        at_tolerance = EmaEstimator(initial=128 - (128 >> 3))
+        assert not at_tolerance.degraded_beyond(ref, shift=3)
+        beyond = EmaEstimator(initial=128 - (128 >> 3) - 1)
+        assert beyond.degraded_beyond(ref, shift=3)
         within = EmaEstimator(initial=128 - (128 >> 3) + 1)
-        assert not within.degraded_below(ref, shift=3)
+        assert not within.degraded_beyond(ref, shift=3)
+
+    def test_all_zero_rates_not_degraded(self):
+        # The degenerate case that motivates the strictness: an idle
+        # bank where reference and conventional rates are both 0 must
+        # not register as degraded (pre-fix ">=" said 0 - 0 >= 0).
+        zero_a, zero_b = EmaEstimator(initial=0), EmaEstimator(initial=0)
+        assert not zero_a.degraded_beyond(zero_b, shift=5)

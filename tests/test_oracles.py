@@ -1,0 +1,61 @@
+"""Tier-1 pins for the differential oracles (docs/checking.md).
+
+Reduced grids of what ``tools/check_sweep.py`` runs in CI: the three
+metamorphic equivalences plus a short fully-checked fuzz. The fuzz
+deliberately includes r-nuca — its page-arrival demotion bug was found
+by exactly this oracle and stays pinned here.
+"""
+
+import pytest
+
+from repro.check import oracles
+from repro.core.esp_nuca import UNBOUNDED, EspNuca
+
+
+def test_pinned_zero_matches_sp_nuca():
+    report = oracles.oracle_pinned_zero(seed=1, refs_per_core=250)
+    assert report.ok, str(report)
+
+
+def test_flat_matches_unbounded_protection():
+    report = oracles.oracle_flat_unbounded(seed=2, refs_per_core=250)
+    assert report.ok, str(report)
+
+
+def test_single_core_never_demotes():
+    report = oracles.oracle_single_core(seed=3, refs_per_core=250)
+    assert report.ok, str(report)
+
+
+def test_fuzz_fully_checked():
+    report = oracles.oracle_fuzz(
+        seeds=(11,), refs_per_core=100,
+        architectures=("esp-nuca", "sp-nuca", "r-nuca"))
+    assert report.ok, str(report)
+
+
+def test_pinned_nmax_validation():
+    config = oracles.small_config(checks=False)
+    with pytest.raises(ValueError):
+        EspNuca(config, nmax_pinned=config.l2.assoc)  # > ways - 1
+    with pytest.raises(ValueError):
+        EspNuca(config, variant="flat", nmax_pinned=0)
+    assert EspNuca(config, nmax_pinned=1).name == "esp-nuca-pin-1"
+    assert EspNuca(config, nmax_pinned=UNBOUNDED).name \
+        == f"esp-nuca-pin-{UNBOUNDED}"
+
+
+def test_first_class_comparison_reports_mismatches():
+    """compare_first_class must actually see differences (guards the
+    oracle against comparing nothing)."""
+    config = oracles.small_config(checks=False)
+    traces = oracles.fuzz_traces(config, seed=5, refs_per_core=120)
+    from repro.architectures.registry import make_architecture
+    from repro.sim.system import CmpSystem
+
+    a = oracles.run_system(
+        CmpSystem(config, make_architecture("shared", config)), traces)
+    b = oracles.run_system(
+        CmpSystem(config, make_architecture("private", config)), traces)
+    report = oracles.compare_first_class("sanity", a, b, "shared", "private")
+    assert not report.ok and report.mismatches

@@ -109,6 +109,44 @@ class TestProtectedLru:
         for i in range(4):
             assert bank.allocate(0, entry(i, BlockClass.REPLICA))[0]
 
+    def test_helping_at_budget_ignores_free_ways(self):
+        # Section 3.2 bounds the ways helping blocks may occupy, not
+        # how full the set is: at the budget, a helping incoming must
+        # displace the LRU helping block even with free ways left.
+        bank = filled_bank(ProtectedLru(), nmax=1)
+        first = entry(1, BlockClass.REPLICA)
+        bank.allocate(0, first)
+        admitted, evicted = bank.allocate(0, entry(2, BlockClass.VICTIM,
+                                                   owner=3))
+        assert admitted and evicted is first
+        assert bank.sets[0].helping_count == 1
+        assert bank.sets[0].free_way() is not None
+
+    def test_over_budget_first_class_converges_with_free_ways(self):
+        # Regression: a set left over budget by an nmax decrease used
+        # to keep its excess helping blocks for as long as free ways
+        # lasted — first-class installs must shed helping LRU first.
+        bank = filled_bank(ProtectedLru(), nmax=3)
+        helpers = [entry(i, BlockClass.REPLICA) for i in (1, 2, 3)]
+        for h in helpers:
+            bank.allocate(0, h)
+        bank.nmax = 1  # duel lowers the budget; set now holds 3 > 1
+        bank.touch(helpers[1])
+        bank.touch(helpers[2])
+        admitted, evicted = bank.allocate(0, entry(9, BlockClass.PRIVATE))
+        assert admitted and evicted is helpers[0]
+        assert bank.sets[0].helping_count == 2
+        assert bank.sets[0].free_way() is not None  # way not burned
+
+    def test_over_budget_helping_never_raises_count(self):
+        bank = filled_bank(ProtectedLru(), nmax=3)
+        for i in (1, 2, 3):
+            bank.allocate(0, entry(i, BlockClass.REPLICA))
+        bank.nmax = 1
+        admitted, evicted = bank.allocate(0, entry(9, BlockClass.REPLICA))
+        assert admitted and evicted is not None and evicted.is_helping
+        assert bank.sets[0].helping_count == 3  # unchanged, not 4
+
 
 class TestStaticPartition:
     def test_respects_private_quota(self):

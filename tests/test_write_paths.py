@@ -4,7 +4,8 @@ misses on every supplier kind, dirty propagation."""
 from repro.cache.block import BlockClass
 from repro.sim.request import Supplier
 
-from tests.util import access, build
+from tests.util import (access, build, private_overflow_blocks,
+                        remote_helping_block)
 
 from tests.test_arch_private import evict_from_l1
 
@@ -31,13 +32,8 @@ class TestUpgrades:
 
     def test_esp_upgrade_invalidates_replica(self):
         system = build("esp-nuca")
-        amap = system.amap
         core = 6
-        block = 0x900
-        while (system.architecture.is_local_bank(core, amap.shared_bank(block))
-               or amap.private_index(block) % 2 == 0
-               or amap.shared_index(block) % 2 == 0):
-            block += 1
+        block = remote_helping_block(system, core)
         access(system, core, block)
         access(system, 3, block)          # demote to shared
         access(system, core, block)       # reuse bit
@@ -102,19 +98,8 @@ class TestDirtyPropagation:
 
     def test_dirty_victim_roundtrip_in_esp(self):
         system = build("esp-nuca")
-        amap = system.amap
-        blocks, tag = [], 1
         assoc = system.config.l2.assoc
-        while len(blocks) < assoc + 3:
-            candidate = (tag << 5) | 0b00100
-            if (amap.private_index(candidate) == 1
-                    and amap.private_bank(candidate, 0)
-                    == amap.private_banks(0)[0]
-                    and amap.shared_index(candidate) % 2 == 1
-                    and amap.shared_bank(candidate)
-                    not in amap.private_banks(0)):
-                blocks.append(candidate)
-            tag += 1
+        blocks = private_overflow_blocks(system, 0, assoc + 3)
         for b in blocks:
             access(system, 0, b, write=True)
             evict_from_l1(system, 0, b)

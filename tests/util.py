@@ -6,6 +6,7 @@ from dataclasses import replace
 from typing import Iterable, List, Optional, Tuple
 
 from repro.architectures.registry import make_architecture
+from repro.cache.bank import SetRole
 from repro.common.addresses import AddressMap
 from repro.common.config import L1Config, L2Config, SystemConfig
 from repro.sim.cpu import TraceItem, TraceKind
@@ -63,6 +64,57 @@ def blocks_mapping_to_private(amap: AddressMap, core: int, bank_local: int,
         found.append(block)
         tag += 1
     return found
+
+
+def unmonitored(system: CmpSystem, bank_id: int, index: int) -> bool:
+    """True when (bank, set) plays no duel role — helping blocks are
+    admitted there under the bank's plain ``nmax`` budget. Monitor-set
+    placement is per-bank (see ``sampled_set_indices``), so tests must
+    query the actual roles instead of assuming index parity."""
+    return system.architecture.banks[bank_id].role(index) is SetRole.NORMAL
+
+
+def remote_helping_block(system: CmpSystem, core: int, start: int = 0x900
+                         ) -> int:
+    """A block whose shared-map bank is NOT at ``core``'s router and
+    whose private- and shared-map sets are both unmonitored, so helping
+    blocks for it are admitted with the default budget."""
+    amap = system.amap
+    block = start
+    while True:
+        if (not system.architecture.is_local_bank(core,
+                                                  amap.shared_bank(block))
+                and unmonitored(system, amap.private_bank(block, core),
+                                amap.private_index(block))
+                and unmonitored(system, amap.shared_bank(block),
+                                amap.shared_index(block))):
+            return block
+        block += 1
+
+
+def private_overflow_blocks(system: CmpSystem, core: int, count: int
+                            ) -> List[int]:
+    """``count`` blocks sharing one unmonitored private-map set of
+    ``core``, each with an unmonitored shared-map set outside the
+    core's private banks — over-filling the set forces victim creation
+    with neither the eviction set nor the victim target a monitor."""
+    amap = system.amap
+    private_banks = amap.private_banks(core)
+    for bank_local, pbank in enumerate(private_banks):
+        for index in range(system.config.l2.sets_per_bank):
+            if not unmonitored(system, pbank, index):
+                continue
+            found: List[int] = []
+            for tag in range(1, 1 << 12):
+                block = (tag << (amap.private_bank_bits + amap.index_bits)) \
+                    | (index << amap.private_bank_bits) | bank_local
+                if (amap.shared_bank(block) not in private_banks
+                        and unmonitored(system, amap.shared_bank(block),
+                                        amap.shared_index(block))):
+                    found.append(block)
+                if len(found) == count:
+                    return found
+    raise AssertionError("no unmonitored private set with enough blocks")
 
 
 def run_trace(system: CmpSystem, per_core: List[Optional[Iterable[TraceItem]]],

@@ -1,0 +1,53 @@
+"""CI runner for the differential-oracle grid (docs/checking.md).
+
+Runs every oracle in :mod:`repro.check.oracles` — the metamorphic
+equivalences (pinned-zero, flat-unbounded, single-core) plus the
+seed-randomized fuzzer that drives every registered architecture under
+full invariant checking — prints one PASS/FAIL report per oracle, and
+exits nonzero if any failed.
+
+Run locally with ``PYTHONPATH=src python tools/check_sweep.py``; use
+``--quick`` for a reduced grid (one seed per oracle, shorter traces)
+when iterating.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.check import oracles  # noqa: E402
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="run the differential-oracle grid")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced grid: one seed per oracle, "
+                             "shorter traces")
+    parser.add_argument("--fuzz-sample", type=int, default=1,
+                        help="invariant sweep period for the fuzzer "
+                             "(1 = every access)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        reports = oracles.run_all(seeds=(1,), fuzz_seeds=(11,),
+                                  refs_per_core=200,
+                                  fuzz_refs_per_core=100,
+                                  fuzz_sample=args.fuzz_sample)
+    else:
+        reports = oracles.run_all(fuzz_sample=args.fuzz_sample)
+    failed = [r for r in reports if not r.ok]
+    for report in reports:
+        print(report)
+    print(f"{len(reports) - len(failed)}/{len(reports)} oracles passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    start = time.time()
+    code = main()
+    print(f"({time.time() - start:.1f}s)")
+    sys.exit(code)
