@@ -35,6 +35,11 @@ class L1Cache:
         self.assoc = assoc
         self._sets: List[Dict[int, L1Line]] = [dict() for _ in range(num_sets)]
         self._stamp = 0
+        # Membership journal (docs/engine.md): the vectorized engine
+        # installs a MirrorJournal here to observe install/evict/
+        # invalidate transitions; None (the default) costs one attribute
+        # test on the fill/invalidate paths only.
+        self.journal = None
         # Statistics scope, mounted at ``l1.core<i>`` by the system.
         self.stats = Scope()
         self._hits = self.stats.counter("hits")
@@ -71,6 +76,8 @@ class L1Cache:
             existing.dirty = existing.dirty or dirty
             self._stamp += 1
             existing.lru = self._stamp
+            if self.journal is not None:
+                self.journal.on_merge(self.core_id, block, existing.tokens)
             return existing, None
         evicted: Optional[L1Line] = None
         if len(cache_set) >= self.assoc:
@@ -80,10 +87,17 @@ class L1Cache:
         self._stamp += 1
         line.lru = self._stamp
         cache_set[block] = line
+        if self.journal is not None:
+            self.journal.on_install(
+                self.core_id, block, tokens,
+                evicted.block if evicted is not None else None)
         return line, evicted
 
     def invalidate(self, block: int) -> Optional[L1Line]:
-        return self._sets[self._index(block)].pop(block, None)
+        line = self._sets[self._index(block)].pop(block, None)
+        if line is not None and self.journal is not None:
+            self.journal.on_invalidate(self.core_id, block)
+        return line
 
     def resident_blocks(self) -> List[int]:
         return [b for s in self._sets for b in s]

@@ -37,7 +37,7 @@ from repro.common.config import (CheckConfig, L1Config, L2Config,
 from repro.common.rng import substream
 from repro.core.esp_nuca import UNBOUNDED, EspNuca
 from repro.sim.cpu import TraceItem, TraceKind
-from repro.sim.engine import SimulationEngine
+from repro.sim.engines import build_engine
 from repro.sim.results import SimResult
 from repro.sim.system import CmpSystem
 
@@ -104,12 +104,18 @@ def fuzz_traces(config: SystemConfig, seed: int, refs_per_core: int,
 
 
 def run_system(system: CmpSystem,
-               traces: Sequence[Optional[List[TraceItem]]]) -> SimResult:
+               traces: Sequence[Optional[List[TraceItem]]],
+               engine: Optional[str] = None) -> SimResult:
     """Simulate one system over materialized traces (lists are reusable
-    across runs; each run gets fresh iterators)."""
-    engine = SimulationEngine(system, [iter(t) if t is not None else None
-                                       for t in traces])
-    return engine.run()
+    across runs; each run gets fresh iterators).
+
+    ``engine`` selects the simulation engine (default: ``REPRO_ENGINE``
+    or the registry default) — both engines are result-equivalent, so
+    the oracles hold under either; running the sweep under each engine
+    *is* the cross-engine equivalence check (docs/engine.md).
+    """
+    built = build_engine(system, traces, engine)
+    return built.run()
 
 
 @dataclass

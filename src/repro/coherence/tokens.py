@@ -57,6 +57,12 @@ class TokenLedger:
         self.num_cores = num_cores
         self.total_tokens = 2 * num_cores
         self.checking = checking
+        # Observation hook (docs/engine.md): this method is the single
+        # chokepoint through which L1 token counts ever decrease, so
+        # the vectorized engine's mirror subscribes here to learn when
+        # a line's full-token status (write locality) may have lapsed.
+        # Called as ``on_l1_tokens_taken(block, core, remaining)``.
+        self.on_l1_tokens_taken = None
         self._states: Dict[int, BlockState] = {}
         # Statistics scope, mounted at ``coherence`` by the system.
         self.stats = Scope()
@@ -127,6 +133,8 @@ class TokenLedger:
         line.tokens -= taken
         if line.tokens == 0:
             del state.l1[core]
+        if taken and self.on_l1_tokens_taken is not None:
+            self.on_l1_tokens_taken(block, core, line.tokens)
         self._check(block)
         return taken
 

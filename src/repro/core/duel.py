@@ -11,6 +11,12 @@ events the controller applies equation (3):
 
 (strict ">" on the decrement — see EmaEstimator.degraded_beyond for why
 the paper's ">=" degenerates at exact equality).
+
+Engine note (docs/engine.md): duel observations and controller
+evaluations fire only from L2 lookups, i.e. inside the contention path
+that both simulation engines serialize in identical reference order —
+so the controller needs no engine-specific code, and every ``nmax``
+trajectory is byte-identical across engines.
 """
 
 from __future__ import annotations

@@ -18,6 +18,11 @@ by protected LRU, whose per-set helping budget ``nmax`` is tuned
 on-line by the set-dueling controller (:mod:`repro.core.duel`) so
 helping blocks exist only while they do not hurt first-class hit rates.
 ``variant="flat"`` disables the protection (the Figure 5 baseline).
+
+Engine note (docs/engine.md): replica/victim creation rides L1 and L2
+evictions, which only happen during misses and fills — contention
+events both simulation engines serialize identically — so ESP-NUCA
+needs no engine-specific code; the cross-engine fuzz grid pins it.
 """
 
 from __future__ import annotations

@@ -12,6 +12,11 @@ broadcast step is paid only once per demoted block.
 Way partitioning between private and shared content is dynamic and
 emergent from the replacement policy; flat LRU is the paper's choice,
 with shadow-tag and static-12/4 partitioning as the Figure 4 baselines.
+
+Engine note (docs/engine.md): the whole probe flow, including
+private-bit demotion, runs from ``handle_miss`` — the contention path
+serialized identically by both simulation engines. L1 hits never reach
+the architecture, which is exactly what makes them batchable.
 """
 
 from __future__ import annotations

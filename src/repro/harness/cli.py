@@ -28,6 +28,7 @@ from typing import List, Optional
 
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.runner import ExperimentRunner, RunSettings
+from repro.sim.engines import DEFAULT_ENGINE, ENGINES
 from repro.workloads.registry import workload_names
 
 
@@ -97,6 +98,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="submit: ask the server to capture an event "
                               "trace of this job and report the artifact "
                               "path")
+    parser.add_argument("--engine", choices=list(ENGINES), default=None,
+                        help="simulation engine (default $REPRO_ENGINE or "
+                             f"{DEFAULT_ENGINE!r}; both produce identical "
+                             "results — see docs/engine.md)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for independent run points "
                              "(default $REPRO_JOBS or the CPU count; "
@@ -144,6 +149,7 @@ def _settings(args: argparse.Namespace) -> RunSettings:
         warmup_refs_per_core=(args.warmup if args.warmup is not None
                               else base.warmup_refs_per_core),
         num_seeds=args.seeds or base.num_seeds,
+        engine=args.engine if args.engine is not None else base.engine,
     )
 
 
@@ -303,6 +309,7 @@ def _submit(args: argparse.Namespace) -> int:
         ("warmup_refs_per_core", args.warmup),
         ("capacity_factor", args.scale),
         ("num_seeds", args.seeds),
+        ("engine", args.engine),
     ) if value is not None}
     wait = not args.no_wait
     try:

@@ -40,7 +40,7 @@ from repro.common.config import SystemConfig
 from repro.harness.runcache import RunCache, cache_key
 from repro.obs import trace as obs
 from repro.sim.cpu import TraceItem
-from repro.sim.engine import SimulationEngine
+from repro.sim.engines import build_engine
 from repro.sim.results import SimResult
 from repro.sim.system import CmpSystem
 from repro.workloads.base import TraceGenerator, WorkloadSpec
@@ -166,9 +166,12 @@ def simulate_point(point: RunPoint) -> SimResult:
         # allocates it.
         system.set_trace_label(
             f"{point.name}/{point.workload} s{point.seed}")
-    traces = [iter(t) if t is not None else None
-              for t in _cached_traces(point)]
-    engine = SimulationEngine(system, traces)
+    # build_engine adopts materialized lists directly (the vectorized
+    # engine indexes them in place; the reference engine wraps fresh
+    # iterators) — one seam, so serial, pooled and service execution all
+    # honor the point's engine selection identically (docs/engine.md).
+    engine = build_engine(system, _cached_traces(point),
+                          point.settings.engine)
     result = engine.run(
         max_refs_per_core=point.settings.refs_per_core,
         warmup_refs_per_core=point.settings.warmup_refs_per_core)

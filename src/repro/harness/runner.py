@@ -31,6 +31,7 @@ from repro.harness.executor import (Executor, RunPoint, env_int,
                                     materialize_traces)
 from repro.metrics.performance import AggregateResult
 from repro.sim.cpu import TraceItem
+from repro.sim.engines import ENGINES
 from repro.sim.results import SimResult
 
 
@@ -50,6 +51,16 @@ class RunSettings:
     warmup_refs_per_core: int = 12_000
     num_seeds: int = 2
     base_seed: int = 42
+    #: Simulation engine (docs/engine.md): ``None`` defers to the
+    #: ``REPRO_ENGINE`` environment variable at build time, falling back
+    #: to the registry default. Both engines are result-equivalent, so
+    #: this knob never changes numbers — only wall-clock.
+    engine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; "
+                             f"choices: {', '.join(ENGINES)}")
 
     @classmethod
     def from_env(cls) -> "RunSettings":
@@ -64,7 +75,8 @@ class RunSettings:
         """Reduced-fidelity settings for smoke tests."""
         return RunSettings(capacity_factor=self.capacity_factor,
                            refs_per_core=6_000, warmup_refs_per_core=3_000,
-                           num_seeds=1, base_seed=self.base_seed)
+                           num_seeds=1, base_seed=self.base_seed,
+                           engine=self.engine)
 
 
 def grid_points(config: SystemConfig, settings: RunSettings,

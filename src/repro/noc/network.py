@@ -36,7 +36,6 @@ class Network:
         self.topology = topology or MeshTopology(config)
         self.hop_latency = config.noc.hop_latency
         self.model_contention = model_contention
-        self._link_busy: Dict[Tuple[int, int], int] = {}
         # Per (src, dst) pair: the tuple of directed links of the DOR
         # route — precomputed, the timing layer walks one per message.
         n = self.topology.num_routers
@@ -61,6 +60,17 @@ class Network:
                         ls = link_scope.scope(f"r{link[0]}-r{link[1]}")
                         self._link_stats[link] = (ls.counter("messages"),
                                                   ls.counter("queueing"))
+        # Per-route latency tables (docs/performance.md): each directed
+        # link gets a dense integer id into a busy-until list, and each
+        # (src, dst) route becomes a tuple of (link id, message counter,
+        # queueing counter) triplets — ``arrival`` then walks plain
+        # tuples and list slots instead of hashing link keys per hop.
+        link_ids = {link: i for i, link in enumerate(self._link_stats)}
+        self._link_busy = [0] * len(link_ids)
+        self._route_stats = [
+            [tuple((link_ids[link],) + self._link_stats[link]
+                   for link in self._links[s][d]) for d in range(n)]
+            for s in range(n)]
 
     def _route_links(self, src: int, dst: int) -> Tuple[Tuple[int, int], ...]:
         route = self.topology.dor_route(src, dst)
@@ -107,8 +117,8 @@ class Network:
     def arrival(self, kind: MessageKind, src_router: int, dst_router: int,
                 depart: int) -> int:
         """Arrival time of a message (the timing layer's fast path)."""
-        links = self._links[src_router][dst_router]
-        hops = len(links)
+        route = self._route_stats[src_router][dst_router]
+        hops = len(route)
         flits = FLITS[kind]
         now = depart
         if self.model_contention and hops:
@@ -119,13 +129,12 @@ class Network:
             # traffic. The cap (a few messages' worth of flits) keeps
             # genuine burst serialization while bounding the skew error.
             busy = self._link_busy
-            link_stats = self._link_stats
+            hop_latency = self.hop_latency
             queue = 0
             cap = 4 * flits
-            for link in links:
-                msg_c, queue_c = link_stats[link]
+            for link_id, msg_c, queue_c in route:
                 msg_c.value += 1
-                ready = busy.get(link, 0)
+                ready = busy[link_id]
                 if ready > now:
                     wait = ready - now
                     if wait > cap:
@@ -134,16 +143,16 @@ class Network:
                     queue_c.value += wait
                     now += wait
                 if ready > now + flits:
-                    busy[link] = ready  # keep the later reservation
+                    busy[link_id] = ready  # keep the later reservation
                 else:
-                    busy[link] = now + flits
-                now += self.hop_latency
+                    busy[link_id] = now + flits
+                now += hop_latency
             self._queueing.value += queue
         else:
             now += self.hop_latency * hops
             if hops:
-                for link in links:
-                    self._link_stats[link][0].value += 1
+                for _, msg_c, _ in route:
+                    msg_c.value += 1
         self._messages.value += 1
         self._flits.value += flits * max(hops, 1)
         self._hops.value += hops

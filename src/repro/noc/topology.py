@@ -38,6 +38,14 @@ class MeshTopology:
         self._routes = [[tuple(self._compute_route(s, d))
                          for d in range(self.num_routers)]
                         for s in range(self.num_routers)]
+        self._controller_dist = [
+            [self._compute_controller_distance(c, r)
+             for r in range(self.num_routers)]
+            for c in range(self.num_controllers)]
+        self._controller_hops = [
+            min(((self._controller_dist[c][r], c)
+                 for c in range(self.num_controllers)))[::-1]
+            for r in range(self.num_routers)]
 
     # -- placement ---------------------------------------------------------
 
@@ -91,21 +99,19 @@ class MeshTopology:
 
         Controller 0 hangs off the left edge (column 0), controller 1
         off the right edge (last column); reaching one costs the hops to
-        its edge column plus one for the controller link itself.
+        its edge column plus one for the controller link itself. Ties
+        prefer controller 0. Precomputed: the off-chip path queries this
+        on every memory request.
         """
-        coord = self.router_coord(router)
-        left = coord.col + 1
-        if self.num_controllers == 1:
-            return 0, left
-        right = (self.columns - 1 - coord.col) + 1
-        if left <= right:
-            return 0, left
-        return 1, right
+        return self._controller_hops[router]
 
     def controller_distance(self, controller: int, router: int) -> int:
         """Hops between a specific controller and a router."""
         if not 0 <= controller < self.num_controllers:
             raise ValueError(f"controller {controller} out of range")
+        return self._controller_dist[controller][router]
+
+    def _compute_controller_distance(self, controller: int, router: int) -> int:
         coord = self.router_coord(router)
         if controller == 0:
             return coord.col + 1

@@ -51,6 +51,7 @@ from repro.obs import trace as obs
 from repro.service import protocol as proto
 from repro.service import queue as q
 from repro.service.progress import TERMINAL, Job
+from repro.sim.engines import ENGINES
 from repro.workloads.registry import workload_names
 
 
@@ -404,12 +405,16 @@ class SimulationService:
         if not isinstance(raw, dict):
             raise proto.ProtocolError("field 'settings' must be an object")
         known = ("refs_per_core", "warmup_refs_per_core", "capacity_factor",
-                 "num_seeds", "base_seed")
+                 "num_seeds", "base_seed", "engine")
         unknown = sorted(set(raw) - set(known))
         if unknown:
             raise proto.ProtocolError(
                 f"unknown settings field(s): {', '.join(unknown)} "
                 f"(known: {', '.join(known)})")
+        engine = raw.get("engine", self.defaults.engine)
+        if engine is not None and engine not in ENGINES:
+            raise proto.ProtocolError(
+                f"unknown engine {engine!r}; choices: {', '.join(ENGINES)}")
         d = self.defaults
         return RunSettings(
             capacity_factor=proto.check_int(
@@ -420,6 +425,7 @@ class SimulationService:
                 raw, "warmup_refs_per_core", d.warmup_refs_per_core, 0),
             num_seeds=proto.check_int(raw, "num_seeds", d.num_seeds, 1),
             base_seed=proto.check_int(raw, "base_seed", d.base_seed, 0),
+            engine=engine,
         )
 
     def _request_seeds(self, message: Dict[str, Any],

@@ -1,4 +1,5 @@
-"""Simulation kernel: reference-granularity global event ordering.
+"""The *reference* simulation engine: one reference at a time, in
+global ``(core clock, core id)`` order.
 
 A heap keyed by per-core clocks interleaves the cores' trace streams so
 cross-core interactions (sharing, bank and controller contention,
@@ -6,6 +7,14 @@ private-bit demotions) happen in a globally consistent time order. Each
 pop processes exactly one memory reference of the earliest core to
 completion — the standard trace-driven approximation for memory-system
 studies (DESIGN.md §6.1).
+
+This engine is the repository's differential oracle (docs/engine.md):
+the default :class:`~repro.sim.vector.engine.VectorizedEngine` batches
+contention-free runs but must reproduce this engine's results byte for
+byte (``tests/test_engine_equivalence.py``). Keep this loop boring —
+its auditability is what the equivalence claims bottom out in; speed
+work belongs in the vectorized engine or on the shared
+``CmpSystem.access`` path.
 
 Runs may start with a warm-up phase: cache and coherence state carries
 over but statistics are reset, so reported numbers reflect steady-state

@@ -1,0 +1,578 @@
+"""Epoch-batched simulation engine (docs/engine.md).
+
+Identical simulated machine, different schedule. The reference engine
+interleaves every memory reference of every core through one heap; this
+engine observes that most references are *local* — L1 read hits, and
+write hits holding all coherence tokens — which touch nothing outside
+their own core (own L1 LRU/dirty bits, own timing state, commutative
+counters). Between two *contention points* (L1 misses and token
+upgrades, which traverse shared banks, the NoC, the ledger and the
+policy machinery), local runs from different cores commute, so they can
+be committed in uninterrupted batches instead of round-tripping through
+the heap per reference.
+
+The schedule per epoch:
+
+1. **classify + scout** — for each core whose classification was
+   invalidated, walk its upcoming references against current L1 state
+   to find the maximal local run, simulating core timing on scratch
+   state (an exact port of :class:`~repro.sim.cpu.CoreModel`); the
+   clock after the run is the core's *park key* — the heap key at which
+   its next contention point would fire.
+2. **owner** — the minimum (park clock, core id) over active cores,
+   K*, is globally the next contention in reference order.
+3. **bounded commits** — every other core commits the prefix of its
+   local run whose keys order strictly before K* (a write hit's dirty
+   bit must be visible to a later contention, and must not be visible
+   to an earlier one).
+4. **full commit + serve** — the owner commits its entire run (its own
+   references are FIFO, so its locals precede its contention at any
+   key), then its contention reference is served through the untouched
+   reference path (``CmpSystem.access``).
+5. **journal drain** — the contention may have changed L1 membership or
+   taken L1 tokens; the :class:`~repro.sim.vector.mirror.MirrorJournal`
+   names the affected cores, whose classifications are invalidated.
+
+Runs with live tracing, an invariant checker, or a check period fall
+back to the reference schedule (``super()._run_phase``): those
+observers sample machine state *between individual references*, which
+batching would skip past. Statistics for batched hits are applied in
+bulk but land in the same counters at the same quiesce points, so
+snapshots stay byte-identical (tests/test_engine_equivalence.py).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import Iterator, List, Optional, Sequence
+
+from repro.common.statsreg import _HIST_BUCKETS
+from repro.sim.cpu import TraceItem
+from repro.sim.engine import SimulationEngine
+from repro.sim.request import Supplier
+from repro.sim.system import CmpSystem
+from repro.sim.vector import soa
+from repro.sim.vector.mirror import MirrorJournal
+from repro.sim.vector.soa import SoATrace
+
+
+class VectorizedEngine(SimulationEngine):
+    """Drop-in engine producing byte-identical results to the reference.
+
+    Traces are materialized up front (the engine needs random access
+    for classification); the struct-of-arrays views live in
+    :class:`~repro.sim.vector.soa.SoATrace`.
+    """
+
+    def __init__(self, system: CmpSystem,
+                 traces: Sequence[Optional[Iterator[TraceItem]]]) -> None:
+        items = [t if isinstance(t, list) else (list(t) if t is not None
+                                                else None) for t in traces]
+        super().__init__(system, items)
+        n = len(items)
+        self._pos = [0] * n
+        self._soa: List[Optional[SoATrace]] = [
+            SoATrace(t) if t is not None else None for t in items]
+        self._journal: Optional[MirrorJournal] = None
+        self._run_len = [0] * n
+        self._park_clock = [0] * n
+        self._scout: List[Optional[tuple]] = [None] * n
+        # Reusable per-core scratch (cleared at each classification):
+        # the blocks of the classified run, and the L1 line object per
+        # run reference (None where the bulk path skipped the probe).
+        self._run_blocks: List[set] = [set() for _ in range(n)]
+        self._run_lines: List[list] = [[] for _ in range(n)]
+        self._limit = [0] * n
+        self._l1_lat = system.config.l1.access_latency
+        core_cfg = system.config.core
+        self._iw = core_cfg.issue_width
+        self._win = core_cfg.window_size
+        self._mo = core_cfg.max_outstanding
+        self._l1_bucket = min(self._l1_lat.bit_length(), _HIST_BUCKETS - 1)
+        self._local_count = system._access_count[Supplier.L1_LOCAL]
+        self._local_cycles = system._access_cycles[Supplier.L1_LOCAL]
+        self._local_hist = system._access_hist[Supplier.L1_LOCAL]
+
+    # -- reference-path integration ------------------------------------------
+
+    def _next_item(self, core_id: int) -> Optional[TraceItem]:
+        # The fallback heap loop consumes via this hook; positions are
+        # shared with the fast path so phases can never double-process.
+        items = self.traces[core_id]
+        if items is None:
+            return None
+        pos = self._pos[core_id]
+        if pos >= len(items):
+            self.traces[core_id] = None
+            return None
+        self._pos[core_id] = pos + 1
+        return items[pos]
+
+    def _run_phase(self, cap: Optional[int]) -> None:
+        if (self.system.tracer.enabled or self.system.checker is not None
+                or self._check_every > 0):
+            # Observers need reference granularity (docs/engine.md,
+            # "Fallback"); results are identical either way.
+            super()._run_phase(cap)
+            return
+        self._run_phase_fast(cap)
+
+    # -- the epoch loop ------------------------------------------------------
+
+    def _run_phase_fast(self, cap: Optional[int]) -> None:
+        system = self.system
+        cores = self.cores
+        ncores = len(cores)
+        journal = self._journal
+        if journal is None:
+            journal = MirrorJournal(ncores, system.ledger.total_tokens)
+            self._journal = journal
+        journal.install(system.l1s, system.ledger)
+        try:
+            limits = self._limit
+            pos = self._pos
+            run_len = self._run_len
+            need: List[int] = []
+            for cid in range(ncores):
+                trace = self.traces[cid]
+                if trace is None:
+                    limits[cid] = pos[cid]
+                    continue
+                limits[cid] = (len(trace) if cap is None
+                               else min(cap, len(trace)))
+                if pos[cid] < limits[cid]:
+                    need.append(cid)
+            vers = [0] * ncores
+            park_heap: List[tuple] = []
+            commit_heap: List[tuple] = []
+            while True:
+                for cid in need:
+                    self._classify_and_scout(cid)
+                    v = vers[cid]
+                    heappush(park_heap, (self._park_clock[cid], cid, v))
+                    if run_len[cid]:
+                        heappush(commit_heap, (cores[cid].clock, cid, v))
+                need = []
+                owner = -1
+                while park_heap:
+                    kc, cid, v = heappop(park_heap)
+                    if v == vers[cid]:
+                        owner = cid
+                        break
+                if owner < 0:
+                    break
+                while commit_heap:
+                    ck, cid, v = commit_heap[0]
+                    if v != vers[cid]:
+                        heappop(commit_heap)
+                        continue
+                    if not (ck < kc or (ck == kc and cid < owner)):
+                        break
+                    heappop(commit_heap)
+                    if cid == owner:
+                        continue
+                    self._commit_bounded(cid, kc, owner)
+                    if run_len[cid]:
+                        heappush(commit_heap,
+                                 (cores[cid].clock, cid, vers[cid]))
+                if run_len[owner]:
+                    self._commit_full(owner)
+                vers[owner] += 1
+                if pos[owner] >= limits[owner]:
+                    continue
+                self._serve(owner)
+                # Serve burst: misses cluster, so the owner usually
+                # remains the global minimum with another contention
+                # reference up next (~70% of serves on the cold grid).
+                # Keep serving it without heap churn while (a) nothing
+                # got dirtied — re-classification only ever moves park
+                # keys earlier, so it must precede owner selection —
+                # (b) the next reference probes contention (a parked
+                # core's locality cannot flip to local: membership and
+                # token increases happen only on its own serves), and
+                # (c) no valid parked core orders before the owner.
+                # Bounded commits still drain before every serve.
+                if pos[owner] < limits[owner] and not journal.dirty:
+                    trace = self._soa[owner]
+                    blocks = trace.blocks
+                    writes = trace.writes
+                    l1 = system.l1s[owner]
+                    l1_sets = l1._sets
+                    nsets = l1.num_sets
+                    total = journal.total_tokens
+                    core = cores[owner]
+                    while True:
+                        p = pos[owner]
+                        block = blocks[p]
+                        line = l1_sets[block % nsets].get(block)
+                        if line is not None and (not writes[p]
+                                                 or line.tokens == total):
+                            break  # local next: classify a run normally
+                        kc = core.clock
+                        # Owner must be confirmed the global minimum
+                        # BEFORE committing under the (kc, owner) bound:
+                        # an earlier-keyed parked core's serve may still
+                        # invalidate state these commits would bake in.
+                        while (park_heap
+                               and park_heap[0][2] != vers[park_heap[0][1]]):
+                            heappop(park_heap)
+                        if park_heap:
+                            pk = park_heap[0]
+                            if pk[0] < kc or (pk[0] == kc and pk[1] < owner):
+                                break  # another core orders first: park
+                        while commit_heap:
+                            ck, ccid, cv = commit_heap[0]
+                            if cv != vers[ccid]:
+                                heappop(commit_heap)
+                                continue
+                            if not (ck < kc or (ck == kc and ccid < owner)):
+                                break
+                            heappop(commit_heap)
+                            self._commit_bounded(ccid, kc, owner)
+                            if run_len[ccid]:
+                                heappush(commit_heap,
+                                         (cores[ccid].clock, ccid,
+                                          vers[ccid]))
+                        self._serve(owner)
+                        if pos[owner] >= limits[owner] or journal.dirty:
+                            break
+                if pos[owner] < limits[owner]:
+                    need.append(owner)
+                dirty = journal.dirty
+                if dirty:
+                    for cid in dirty:
+                        if (cid == owner or self.traces[cid] is None
+                                or run_len[cid] == 0
+                                or pos[cid] >= limits[cid]):
+                            # Parked-at-contention cores keep an exact
+                            # park key (timing of committed refs only);
+                            # their contention is re-examined at serve
+                            # time through the full reference path.
+                            continue
+                        vers[cid] += 1
+                        journal.runs[cid] = None
+                        need.append(cid)
+                    dirty.clear()
+        finally:
+            journal.uninstall(system.l1s, system.ledger)
+
+    # -- classification + scout timing walk ----------------------------------
+
+    def _classify_and_scout(self, cid: int) -> None:
+        core = self.cores[cid]
+        trace = self._soa[cid]
+        pos = self._pos[cid]
+        limit = self._limit[cid]
+        blocks = trace.blocks
+        writes = trace.writes
+        l1 = self.system.l1s[cid]
+        sets = l1._sets
+        nsets = l1.num_sets
+        total = self.system.ledger.total_tokens
+        journal = self._journal
+        # Cheap first-reference probe: contention-parked cores (the
+        # common case on miss-heavy phases) never pay the scratch-state
+        # copy below.
+        block = blocks[pos]
+        line = sets[block % nsets].get(block)
+        if line is None or (writes[pos] and line.tokens != total):
+            self._run_len[cid] = 0
+            self._park_clock[cid] = core.clock
+            self._scout[cid] = None
+            journal.runs[cid] = None
+            return
+        gaps = trace.gaps
+        deps = trace.deps
+        iw = self._iw
+        win = self._win
+        mo = self._mo
+        l1_lat = self._l1_lat
+        clock = core.clock
+        instr = core.instructions
+        stalls = core.stall_cycles
+        mem = core.memory_refs
+        out = deque(core._outstanding)
+        run_blocks = self._run_blocks[cid]
+        run_blocks.clear()
+        add_block = run_blocks.add
+        run_lines = self._run_lines[cid]
+        run_lines.clear()
+        add_line = run_lines.append
+        # Scalar membership probes with a bulk escape hatch: once 64
+        # consecutive references classify local, upcoming chunks are
+        # classified in one numpy pass over the SoA columns (high-hit
+        # traces spend almost no time probing; miss-heavy traces never
+        # reach the streak and never pay the numpy fixed costs).
+        streak = 0
+        bulk_until = pos
+        i = pos
+        while i < limit:
+            block = blocks[i]
+            line = None
+            if i >= bulk_until:
+                if streak >= 64 and limit - i >= 128:
+                    chunk = min(i + 1024, limit) - i
+                    known = soa.local_prefix_length(
+                        trace, i, i + chunk,
+                        journal.resident_array(cid), journal.full_array(cid))
+                    if known is not None:
+                        if known < chunk:
+                            # The chunk contains a (possibly
+                            # conservative) stop; demand a fresh streak
+                            # before scanning again.
+                            streak = 0
+                        if known == 0:
+                            break
+                        bulk_until = i + known
+                if i >= bulk_until:
+                    line = sets[block % nsets].get(block)
+                    if line is None or (writes[i] and line.tokens != total):
+                        break
+                    streak += 1
+            add_block(block)
+            add_line(line)  # None in bulk regions: committed via lookup
+            # --- timing step: exact CoreModel port (keep in sync with
+            # repro/sim/cpu.py; also mirrored in _commit_bounded) ---
+            gap = gaps[i]
+            if gap:
+                instr += gap
+                clock += -(-gap // iw)
+                while out and out[0][0] <= clock:
+                    out.popleft()
+                while out and instr - out[0][1] >= win:
+                    when = out[0][0]
+                    if when > clock:
+                        stalls += when - clock
+                        clock = when
+                    while out and out[0][0] <= clock:
+                        out.popleft()
+                    if out and out[0][0] <= clock:  # pragma: no cover - guard
+                        out.popleft()
+            complete = clock + l1_lat
+            instr += 1
+            mem += 1
+            while out and out[0][0] <= clock:
+                out.popleft()
+            while len(out) >= mo:
+                earliest = min(t for t, _ in out)
+                if earliest > clock:
+                    stalls += earliest - clock
+                    clock = earliest
+                while out and out[0][0] <= clock:
+                    out.popleft()
+                before = len(out)
+                out = deque(p for p in out if p[0] > clock)
+                if len(out) == before:  # pragma: no cover - guard
+                    break
+            if deps[i]:
+                if complete > clock:
+                    stalls += complete - clock
+                    clock = complete
+                while out and out[0][0] <= clock:
+                    out.popleft()
+            else:
+                out.append((complete, instr))
+                while out and instr - out[0][1] >= win:
+                    when = out[0][0]
+                    if when > clock:
+                        stalls += when - clock
+                        clock = when
+                    while out and out[0][0] <= clock:
+                        out.popleft()
+                    if out and out[0][0] <= clock:  # pragma: no cover - guard
+                        out.popleft()
+            # --- end timing step ---
+            i += 1
+        self._run_len[cid] = i - pos
+        self._park_clock[cid] = clock
+        self._scout[cid] = (clock, instr, stalls, mem, out)
+        journal.runs[cid] = run_blocks if i > pos else None
+
+    # -- committing local runs -----------------------------------------------
+
+    def _commit_full(self, cid: int) -> None:
+        """Apply the whole classified run: functional effects per
+        reference, timing state assigned from the scout walk."""
+        n = self._run_len[cid]
+        if n == 0:
+            return
+        core = self.cores[cid]
+        pos = self._pos[cid]
+        trace = self._soa[cid]
+        blocks = trace.blocks
+        writes = trace.writes
+        l1 = self.system.l1s[cid]
+        sets = l1._sets
+        nsets = l1.num_sets
+        stamp = l1._stamp
+        run_lines = self._run_lines[cid]
+        for i in range(pos, pos + n):
+            line = run_lines[i - pos]
+            if line is None:  # classified by the bulk path: look up now
+                block = blocks[i]
+                line = sets[block % nsets][block]
+            stamp += 1
+            line.lru = stamp
+            line.reused = True
+            if writes[i]:
+                line.dirty = True
+        l1._stamp = stamp
+        clock, instr, stalls, mem, out = self._scout[cid]
+        core.clock = clock
+        core.instructions = instr
+        core.stall_cycles = stalls
+        core.memory_refs = mem
+        core._outstanding = out
+        self._scout[cid] = None
+        self._run_len[cid] = 0
+        self._journal.runs[cid] = None
+        self._flush_committed(cid, l1, n, pos + n)
+
+    def _commit_bounded(self, cid: int, kc: int, kcid: int) -> None:
+        """Commit run references whose keys order strictly before the
+        owner's park key ``(kc, kcid)``; timing replayed per reference
+        (the walk is deterministic, so a later full commit of the
+        remainder still lands exactly on the scout state)."""
+        n = self._run_len[cid]
+        core = self.cores[cid]
+        trace = self._soa[cid]
+        gaps = trace.gaps
+        blocks = trace.blocks
+        writes = trace.writes
+        deps = trace.deps
+        l1 = self.system.l1s[cid]
+        sets = l1._sets
+        nsets = l1.num_sets
+        stamp = l1._stamp
+        run_lines = self._run_lines[cid]
+        cfg = core.config
+        iw = cfg.issue_width
+        win = cfg.window_size
+        mo = cfg.max_outstanding
+        l1_lat = self._l1_lat
+        clock = core.clock
+        instr = core.instructions
+        stalls = core.stall_cycles
+        mem = core.memory_refs
+        out = core._outstanding
+        pos = self._pos[cid]
+        end = pos + n
+        i = pos
+        while i < end and (clock < kc or (clock == kc and cid < kcid)):
+            # --- timing step: exact CoreModel port (keep in sync with
+            # repro/sim/cpu.py; also mirrored in _classify_and_scout) ---
+            gap = gaps[i]
+            if gap:
+                instr += gap
+                clock += -(-gap // iw)
+                while out and out[0][0] <= clock:
+                    out.popleft()
+                while out and instr - out[0][1] >= win:
+                    when = out[0][0]
+                    if when > clock:
+                        stalls += when - clock
+                        clock = when
+                    while out and out[0][0] <= clock:
+                        out.popleft()
+                    if out and out[0][0] <= clock:  # pragma: no cover - guard
+                        out.popleft()
+            complete = clock + l1_lat
+            instr += 1
+            mem += 1
+            while out and out[0][0] <= clock:
+                out.popleft()
+            while len(out) >= mo:
+                earliest = min(t for t, _ in out)
+                if earliest > clock:
+                    stalls += earliest - clock
+                    clock = earliest
+                while out and out[0][0] <= clock:
+                    out.popleft()
+                before = len(out)
+                out = deque(p for p in out if p[0] > clock)
+                if len(out) == before:  # pragma: no cover - guard
+                    break
+            if deps[i]:
+                if complete > clock:
+                    stalls += complete - clock
+                    clock = complete
+                while out and out[0][0] <= clock:
+                    out.popleft()
+            else:
+                out.append((complete, instr))
+                while out and instr - out[0][1] >= win:
+                    when = out[0][0]
+                    if when > clock:
+                        stalls += when - clock
+                        clock = when
+                    while out and out[0][0] <= clock:
+                        out.popleft()
+                    if out and out[0][0] <= clock:  # pragma: no cover - guard
+                        out.popleft()
+            # --- end timing step ---
+            line = run_lines[i - pos]
+            if line is None:  # classified by the bulk path: look up now
+                block = blocks[i]
+                line = sets[block % nsets][block]
+            stamp += 1
+            line.lru = stamp
+            line.reused = True
+            if writes[i]:
+                line.dirty = True
+            i += 1
+        committed = i - pos
+        if not committed:
+            return
+        l1._stamp = stamp
+        core.clock = clock
+        core.instructions = instr
+        core.stall_cycles = stalls
+        core.memory_refs = mem
+        core._outstanding = out
+        self._run_len[cid] = n - committed
+        if self._run_len[cid] == 0:
+            self._scout[cid] = None
+            self._journal.runs[cid] = None
+        else:
+            # Keep the cached-line list aligned with the new run start.
+            del run_lines[:committed]
+        self._flush_committed(cid, l1, committed, i)
+
+    def _flush_committed(self, cid: int, l1, n: int, new_pos: int) -> None:
+        """Batched equivalent of n reference-path L1 hits' statistics.
+
+        Every local reference records Supplier.L1_LOCAL with a constant
+        latency (the L1 access latency), so the counter and histogram
+        updates fold to one addition each — landing in the *same live
+        counters* the reference path uses, so warm-up resets and
+        finalize snapshots need no special handling.
+        """
+        l1._hits.value += n
+        lat = self._l1_lat
+        self._local_count.value += n
+        self._local_cycles.value += n * lat
+        hist = self._local_hist
+        hist.buckets[self._l1_bucket] += n
+        hist.count += n
+        hist.total += n * lat
+        self._pos[cid] = new_pos
+        self._refs[cid] = new_pos
+        self._processed += n
+
+    # -- serving contention points -------------------------------------------
+
+    def _serve(self, cid: int) -> None:
+        """One contention reference through the unmodified reference
+        path — placement, search, replacement, coherence, NoC and
+        statistics behave exactly as under the reference engine."""
+        core = self.cores[cid]
+        i = self._pos[cid]
+        trace = self._soa[cid]
+        core.advance_gap(trace.gaps[i])
+        outcome = self.system.access(cid, trace.blocks[i], trace.writes[i],
+                                     core.issue_time())
+        core.complete_memory(trace.items[i].kind, outcome.complete)
+        self._pos[cid] = i + 1
+        self._refs[cid] = i + 1
+        self._processed += 1

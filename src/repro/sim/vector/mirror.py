@@ -1,0 +1,142 @@
+"""L1 membership mirror and change journal (docs/engine.md).
+
+The vectorized engine classifies upcoming references as *local* (L1
+hit needing no other component) or *contention* (everything else)
+against a snapshot of L1 state. That snapshot is only valid until a
+contention event changes L1 membership or removes tokens from an L1
+line; the journal records exactly those transitions so the engine can
+re-classify the affected cores and nobody else.
+
+Hook points (the complete set — verified against every architecture):
+
+* :meth:`repro.cache.l1.L1Cache.fill` — fresh install (+ optional
+  eviction) and token-merge into an existing line;
+* :meth:`repro.cache.l1.L1Cache.invalidate`;
+* :meth:`repro.coherence.tokens.TokenLedger.take_from_l1` — the single
+  chokepoint through which L1 token counts ever *decrease*.
+
+Token *increases* outside these hooks (``send_to_memory`` merges,
+``handle_upgrade`` collection) leave the mirror's ``full`` set stale
+low, which is safe: a full-token write misclassified as contention is
+served through the unmodified reference path with identical results.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.cache.l1 import L1Cache
+
+from repro.sim.vector import soa
+
+
+class MirrorJournal:
+    """Per-core resident/full-token block sets plus a dirty-core set.
+
+    ``resident[c]`` is exact; ``full[c]`` (resident with all tokens) is
+    conservative (never stale high). ``dirty`` collects cores whose
+    classified run may have been invalidated since the last drain.
+    """
+
+    def __init__(self, num_cores: int, total_tokens: int) -> None:
+        self.total_tokens = total_tokens
+        self.resident: List[Set[int]] = [set() for _ in range(num_cores)]
+        self.full: List[Set[int]] = [set() for _ in range(num_cores)]
+        self.dirty: Set[int] = set()
+        # Per-core block sets of the currently classified runs, owned
+        # by the engine. A membership/token transition invalidates a
+        # core's classification only when it touches a block *inside
+        # that core's run* — anything else cannot change how the run's
+        # references behave, so the core stays parked undisturbed.
+        # ``None`` = no classified run (nothing to invalidate).
+        self.runs: List[Optional[Set[int]]] = [None] * num_cores
+        self._resident_np: List[Optional[object]] = [None] * num_cores
+        self._full_np: List[Optional[object]] = [None] * num_cores
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def rebuild(self, l1s: List[L1Cache]) -> None:
+        """Resynchronize from live L1 contents (phase start)."""
+        total = self.total_tokens
+        for core, l1 in enumerate(l1s):
+            resident = self.resident[core]
+            full = self.full[core]
+            resident.clear()
+            full.clear()
+            for cache_set in l1._sets:
+                for block, line in cache_set.items():
+                    resident.add(block)
+                    if line.tokens == total:
+                        full.add(block)
+            self._resident_np[core] = None
+            self._full_np[core] = None
+            self.runs[core] = None
+        self.dirty.clear()
+
+    def install(self, l1s: List[L1Cache], ledger) -> None:
+        self.rebuild(l1s)
+        for l1 in l1s:
+            l1.journal = self
+        ledger.on_l1_tokens_taken = self._on_tokens_taken
+
+    def uninstall(self, l1s: List[L1Cache], ledger) -> None:
+        for l1 in l1s:
+            l1.journal = None
+        ledger.on_l1_tokens_taken = None
+
+    # -- L1Cache hooks -------------------------------------------------------
+
+    def on_install(self, core: int, block: int, tokens: int,
+                   evicted: Optional[int]) -> None:
+        self.resident[core].add(block)
+        if tokens == self.total_tokens:
+            self.full[core].add(block)
+        if evicted is not None:
+            self.resident[core].discard(evicted)
+            self.full[core].discard(evicted)
+            run = self.runs[core]
+            if run is not None and evicted in run:
+                self.dirty.add(core)
+        self._resident_np[core] = None
+        self._full_np[core] = None
+
+    def on_merge(self, core: int, block: int, tokens: int) -> None:
+        # Token increase: can only turn contention into locality, which
+        # is re-discovered at the next classification — never dirty.
+        if tokens == self.total_tokens:
+            self.full[core].add(block)
+            self._full_np[core] = None
+
+    def on_invalidate(self, core: int, block: int) -> None:
+        self.resident[core].discard(block)
+        self.full[core].discard(block)
+        run = self.runs[core]
+        if run is not None and block in run:
+            self.dirty.add(core)
+        self._resident_np[core] = None
+        self._full_np[core] = None
+
+    # -- TokenLedger hook ----------------------------------------------------
+
+    def _on_tokens_taken(self, block: int, core: int, remaining: int) -> None:
+        self.full[core].discard(block)
+        run = self.runs[core]
+        if run is not None and block in run:
+            self.dirty.add(core)
+        self._full_np[core] = None
+
+    # -- numpy views (bulk classification) -----------------------------------
+
+    def resident_array(self, core: int):
+        arr = self._resident_np[core]
+        if arr is None:
+            arr = soa.as_block_array(self.resident[core])
+            self._resident_np[core] = arr
+        return arr
+
+    def full_array(self, core: int):
+        arr = self._full_np[core]
+        if arr is None:
+            arr = soa.as_block_array(self.full[core])
+            self._full_np[core] = arr
+        return arr
