@@ -124,8 +124,15 @@ def _build_parser() -> argparse.ArgumentParser:
     service.add_argument("--queue-limit", type=int, default=256,
                          help="serve: max queued point tasks before "
                               "submissions get a typed queue-full reject")
+    service.add_argument("--workers", type=int, default=None,
+                         help="serve: simulation worker processes pulling "
+                              "from the shared fabric queue (default "
+                              "$REPRO_WORKERS, $REPRO_JOBS or the CPU "
+                              "count; 1 = serial; see docs/fabric.md)")
     service.add_argument("--service-workers", type=int, default=2,
-                         help="serve: concurrent executor batches")
+                         help="serve: asyncio dispatcher tasks (concurrent "
+                              "executor batches), not simulation processes "
+                              "-- that is --workers")
     service.add_argument("--batch", type=int, default=8,
                          help="serve: max points per executor batch")
     service.add_argument("--client-jobs", type=int, default=8,
@@ -257,17 +264,32 @@ def _serve(args: argparse.Namespace) -> int:
     from repro.service.protocol import parse_address
     from repro.service.server import ServiceConfig, SimulationService
 
+    from repro.harness.fabric import default_workers
+
     try:
         bind = parse_address(args.bind)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.workers is not None and args.workers < 1:
+        # A 0-process fabric would accept jobs and never run one — fail
+        # loudly instead of hanging the first submitter.
+        print("error: --workers must be >= 1 (simulation worker "
+              "processes); got "
+              f"{args.workers}", file=sys.stderr)
+        return 2
+    if args.workers is not None:
+        workers = args.workers
+    elif args.jobs is not None:
+        workers = args.jobs
+    else:
+        workers = default_workers()
     cache = RunCache(enabled=False) if args.no_cache else RunCache.from_env()
     service = SimulationService(
         ServiceConfig(bind=bind, queue_limit=args.queue_limit,
                       workers=args.service_workers, batch=args.batch,
                       client_jobs=args.client_jobs),
-        executor=Executor(jobs=args.jobs, cache=cache),
+        executor=Executor(jobs=workers, cache=cache),
         settings=_settings(args))
 
     async def _main() -> None:
@@ -276,7 +298,8 @@ def _serve(args: argparse.Namespace) -> int:
                  else f"{address[1]}:{address[2]}")
         print(f"esp-nuca service listening on {shown} "
               f"(queue limit {args.queue_limit}, "
-              f"{args.service_workers} worker(s) x batch {args.batch})",
+              f"{workers} simulation process(es), "
+              f"{args.service_workers} dispatcher(s) x batch {args.batch})",
               flush=True)
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):

@@ -21,9 +21,14 @@ semantics:
 
 Worker count comes from ``REPRO_JOBS`` (default ``os.cpu_count()``);
 ``REPRO_JOBS=1`` is a deterministic serial fallback that never spawns a
-process. Custom architecture factories that cannot be pickled (lambdas,
-closures — e.g. the Section 5.2 ablations) are detected and simulated
-in the parent process; everything else goes to the pool.
+process. Parallel batches route through the shared worker fabric
+(:mod:`repro.harness.fabric`): a persistent pool of worker processes
+pulling jobs from one queue, with heartbeats, crash detection and
+requeue-once recovery — the same pool the simulation service drives,
+so direct runs and ``esp-nuca serve --workers N`` share one
+implementation. Custom architecture factories that cannot be pickled
+(lambdas, closures — e.g. the Section 5.2 ablations) are detected and
+simulated in the parent process; everything else goes to the fabric.
 """
 
 from __future__ import annotations
@@ -33,11 +38,15 @@ import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.architectures.registry import make_architecture
 from repro.common.config import SystemConfig
-from repro.harness.runcache import RunCache, cache_key
+# env_int lives in runcache (the bottom of the harness import graph) so
+# cache- and fabric-level knobs can use it too; re-exported here because
+# the runner, benchmarks and tests have always imported it from the
+# executor.
+from repro.harness.runcache import RunCache, cache_key, env_int  # noqa: F401
 from repro.obs import trace as obs
 from repro.sim.cpu import TraceItem
 from repro.sim.engines import build_engine
@@ -45,30 +54,6 @@ from repro.sim.results import SimResult
 from repro.sim.system import CmpSystem
 from repro.workloads.base import TraceGenerator, WorkloadSpec
 from repro.workloads.registry import get_workload
-
-
-def env_int(name: str, default: int, minimum: int = 0) -> int:
-    """Validated integer environment knob.
-
-    Unset or blank returns ``default``; anything non-integer or below
-    ``minimum`` raises a :class:`ValueError` naming the variable, so a
-    typo in ``REPRO_REFS`` fails at startup instead of deep inside
-    ``int()``.
-    """
-    raw = os.environ.get(name)
-    if raw is None or raw.strip() == "":
-        return default
-    try:
-        value = int(raw.strip())
-    except ValueError:
-        raise ValueError(
-            f"environment variable {name} must be an integer, "
-            f"got {raw!r}") from None
-    if value < minimum:
-        raise ValueError(
-            f"environment variable {name} must be >= {minimum}, "
-            f"got {value}")
-    return value
 
 
 def default_jobs() -> int:
@@ -198,6 +183,13 @@ class Executor:
     ``jobs=1`` (or a single-point batch) never touches
     ``multiprocessing`` — the deterministic serial fallback. Results
     come back in submission order; duplicate points are simulated once.
+
+    Parallel batches go to a persistent
+    :class:`~repro.harness.fabric.WorkerPool` of ``jobs`` worker
+    processes, created lazily on the first pool-sized batch and reused
+    across batches (the service submits many small batches — pool
+    startup is paid once, not per batch). ``close()`` tears it down;
+    the fabric also registers an ``atexit`` guard.
     """
 
     def __init__(self, jobs: Optional[int] = None,
@@ -211,6 +203,8 @@ class Executor:
         self.executed = 0
         # The service calls run() from several threads concurrently.
         self._executed_lock = threading.Lock()
+        self._pool: Optional["fabric.WorkerPool"] = None  # noqa: F821
+        self._pool_lock = threading.Lock()
 
     def run(self, points: Sequence[RunPoint]) -> List[SimResult]:
         tracer = obs.active()
@@ -282,32 +276,60 @@ class Executor:
                     "executor", "pool dispatch (sim events not captured)",
                     ts=tracer.wall_now(), pid=tracer.wall_pid,
                     tid="executor", args={"points": len(pool_idx)})
-            ctx = self._context()
-            with ctx.Pool(processes=jobs) as pool:
-                computed = pool.map(simulate_point,
-                                    [points[i] for i in pool_idx],
-                                    chunksize=chunk)
-            for i, result in zip(pool_idx, computed):
-                out[i] = result
+            cache_spec = self.cache.spec()
+            ordered = [pool_idx[j:j + chunk]
+                       for j in range(0, len(pool_idx), chunk)]
+            payloads = [{"points": [(points[i].key, points[i])
+                                    for i in indices],
+                         "cache": cache_spec}
+                        for indices in ordered]
+            outcomes = self._ensure_pool().run_batch(payloads)
+            for indices, (values, worker_pid) in zip(ordered, outcomes):
+                for i, result in zip(indices, values):
+                    out[i] = result
+                if tracer.enabled and tracer.wants("executor"):
+                    # The distinct-PID evidence that parallel batches
+                    # really ran in separate OS processes.
+                    tracer.instant(
+                        "executor", "pool run", ts=tracer.wall_now(),
+                        pid=tracer.wall_pid, tid="executor",
+                        args={"worker_pid": worker_pid,
+                              "points": len(indices)})
         else:
             local_idx = sorted(local_idx + pool_idx)
         for i in local_idx:
             out[i] = self._simulate_span(points[i])
         return out  # type: ignore[return-value]
 
-    @staticmethod
-    def _context():
-        import multiprocessing
+    # -- the worker fabric ---------------------------------------------------
 
-        # fork inherits sys.path (bare-checkout runs work unchanged);
-        # on spawn-only platforms export the package location instead.
-        methods = multiprocessing.get_all_start_methods()
-        if "fork" in methods:
-            return multiprocessing.get_context("fork")
-        pkg_root = os.path.dirname(os.path.dirname(
-            os.path.dirname(os.path.abspath(__file__))))
-        existing = os.environ.get("PYTHONPATH", "")
-        if pkg_root not in existing.split(os.pathsep):
-            os.environ["PYTHONPATH"] = (
-                pkg_root + (os.pathsep + existing if existing else ""))
-        return multiprocessing.get_context("spawn")
+    def _ensure_pool(self) -> "fabric.WorkerPool":  # noqa: F821
+        """The persistent fabric pool, created on first parallel batch."""
+        from repro.harness import fabric
+
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = fabric.WorkerPool(self.jobs)
+            return self._pool
+
+    def procs_busy(self) -> int:
+        """Simulation worker processes currently executing a job (0
+        when the pool has never been started)."""
+        with self._pool_lock:
+            pool = self._pool
+        return pool.busy if pool is not None else 0
+
+    def fabric_stats(self) -> Optional[Dict[str, Any]]:
+        """The pool's :meth:`~repro.harness.fabric.WorkerPool.stats`
+        snapshot, or ``None`` before the first parallel batch."""
+        with self._pool_lock:
+            pool = self._pool
+        return pool.stats() if pool is not None else None
+
+    def close(self) -> None:
+        """Tear down the worker fabric (idempotent; a later parallel
+        batch would lazily start a fresh pool)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()

@@ -15,12 +15,25 @@ determines a run:
 * the architecture cache name, the workload name and the seed,
 * :data:`CACHE_VERSION`.
 
-Layout on disk (see docs/harness.md)::
+Layout on disk (see docs/harness.md and docs/fabric.md)::
 
     .repro_cache/
       v<CACHE_VERSION>-<schema fingerprint>/
-        <first 2 hex chars of key>/
+        <shard directory>/
           <64-hex-char sha256 key>.json
+
+The shard directory is a first-class **shard map** over the key space:
+``REPRO_CACHE_SHARDS`` (default 256) shards, each a directory named by
+the shard index in hex. The default count reproduces the historical
+``key[:2]`` layout byte-for-byte, so existing caches stay readable.
+Sharding is what makes the cache safe and fast under the multi-process
+worker fabric: every shard is an independent directory (atomic
+``os.replace`` writes never contend across shards), per-shard entry
+counts expose skew, and the :class:`ShardIndex` gives every process a
+cheap read-through view of which keys exist — a worker about to
+simulate a point can discover that another process already committed
+it and serve the bytes from disk instead (cross-process coalescing on
+content hash; see docs/fabric.md).
 
 Invalidation is versioned two ways, both automatic at the schema level:
 the cache *generation* (:func:`cache_generation`) combines the
@@ -37,7 +50,11 @@ name; as with the in-memory cache, the name must encode the parameters
 (the config is hashed too, but the factory itself cannot be).
 
 Environment knobs: ``REPRO_CACHE=0`` disables the cache entirely,
-``REPRO_CACHE_DIR`` relocates it (default ``.repro_cache``).
+``REPRO_CACHE_DIR`` relocates it (default ``.repro_cache``),
+``REPRO_CACHE_SHARDS`` sets the shard count (default 256; validated —
+malformed or non-positive values fail at startup). The shard count is
+a *deployment* knob, not part of the content key: all processes
+sharing one cache directory must agree on it.
 
 CLI: ``esp-nuca repro-cache stats`` / ``esp-nuca repro-cache clear``
 (also installed standalone as ``repro-cache``).
@@ -61,6 +78,69 @@ from repro.sim.results import SimResult
 CACHE_VERSION = 1
 
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Default shard count; reproduces the historical ``key[:2]`` directory
+#: layout exactly (shard index = first byte of the key, two-hex-char
+#: directory names), so caches written before the shard map existed
+#: stay readable without migration.
+DEFAULT_SHARDS = 256
+
+#: Upper bound on the shard count — beyond this the per-shard directory
+#: overhead outweighs any contention win.
+MAX_SHARDS = 65_536
+
+
+def env_int(name: str, default: int, minimum: int = 0) -> int:
+    """Validated integer environment knob.
+
+    Unset or blank returns ``default``; anything non-integer or below
+    ``minimum`` raises a :class:`ValueError` naming the variable, so a
+    typo in ``REPRO_WORKERS`` fails at startup instead of deep inside
+    ``int()``. (Shared by every ``REPRO_*`` integer knob: ``REPRO_JOBS``,
+    ``REPRO_WORKERS``, ``REPRO_CACHE_SHARDS``, ``REPRO_REFS``, ...)
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name} must be an integer, "
+            f"got {raw!r}") from None
+    if value < minimum:
+        raise ValueError(
+            f"environment variable {name} must be >= {minimum}, "
+            f"got {value}")
+    return value
+
+
+def default_shards() -> int:
+    """Shard count: ``REPRO_CACHE_SHARDS`` or :data:`DEFAULT_SHARDS`."""
+    shards = env_int("REPRO_CACHE_SHARDS", DEFAULT_SHARDS, minimum=1)
+    if shards > MAX_SHARDS:
+        raise ValueError(f"environment variable REPRO_CACHE_SHARDS must "
+                         f"be <= {MAX_SHARDS}, got {shards}")
+    return shards
+
+
+def shard_chars(shards: int) -> int:
+    """Hex digits of key prefix a shard index is derived from (and the
+    width of the shard directory name). Never below 2, so the default
+    256-shard map names directories exactly ``key[:2]``."""
+    return max(2, len(f"{shards - 1:x}"))
+
+
+def shard_of(key: str, shards: int) -> int:
+    """The shard index of a cache key: leading key hex chars mod the
+    shard count. Deterministic across processes and hosts — the shard
+    map is a pure function of (key, shard count)."""
+    return int(key[:shard_chars(shards)], 16) % shards
+
+
+def shard_name(index: int, shards: int) -> str:
+    """Directory name of a shard index (zero-padded hex)."""
+    return f"{index:0{shard_chars(shards)}x}"
 
 
 def schema_fingerprint() -> str:
@@ -107,30 +187,125 @@ def payload_to_result(payload: Dict[str, object]) -> Optional[SimResult]:
     return SimResult.from_dict(payload)
 
 
+class ShardIndex:
+    """Read-through index of which keys exist in one cache generation.
+
+    Shared across processes *via the filesystem*: each shard directory
+    is scanned at most once per observed directory mtime, so a
+    ``contains`` probe costs one ``os.stat`` in the steady state and
+    one ``os.listdir`` only after another process committed an entry
+    into that shard (``os.replace`` into a directory bumps its mtime).
+
+    The index is **advisory**: a stale negative merely means a worker
+    re-simulates a point another process just finished (correct, a
+    little wasteful), and every positive is revalidated by the actual
+    :meth:`RunCache.get` payload read — torn or stale reads are
+    impossible. That makes it safe to consult from every worker process
+    of the fabric without any cross-process locking (docs/fabric.md).
+    """
+
+    def __init__(self, generation_root: str) -> None:
+        self.root = generation_root
+        #: shard dir name -> (mtime_ns, frozenset of keys)
+        self._scans: Dict[str, tuple] = {}
+
+    def contains(self, key: str, shard: str) -> bool:
+        path = os.path.join(self.root, shard)
+        try:
+            stamp = os.stat(path).st_mtime_ns
+        except OSError:
+            self._scans.pop(shard, None)
+            return False
+        cached = self._scans.get(shard)
+        if cached is None or cached[0] != stamp:
+            try:
+                names = os.listdir(path)
+            except OSError:
+                return False
+            keys = frozenset(name[:-5] for name in names
+                             if name.endswith(".json"))
+            self._scans[shard] = (stamp, keys)
+        else:
+            keys = cached[1]
+        return key in keys
+
+    def note(self, key: str, shard: str) -> None:
+        """Record a key this process just wrote (keeps the local view
+        warm without a rescan)."""
+        cached = self._scans.get(shard)
+        if cached is not None:
+            self._scans[shard] = (cached[0], cached[1] | {key})
+
+
 class RunCache:
     """Filesystem-backed store of run results, safe for concurrent use
-    (writes are atomic renames; readers of half-written entries see a
-    miss and re-simulate)."""
+    across threads *and* processes (writes are atomic renames; readers
+    of half-written entries see a miss and re-simulate; the shard map
+    keeps directories independent)."""
 
     def __init__(self, root: Optional[str] = None,
-                 enabled: bool = True) -> None:
+                 enabled: bool = True,
+                 shards: Optional[int] = None) -> None:
         self.root = root or os.environ.get("REPRO_CACHE_DIR") or \
             DEFAULT_CACHE_DIR
         self.enabled = enabled
+        self.shards = shards if shards is not None else default_shards()
+        if not 1 <= self.shards <= MAX_SHARDS:
+            raise ValueError(f"shards must be in [1, {MAX_SHARDS}], "
+                             f"got {self.shards}")
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self._index: Optional[ShardIndex] = None
 
     @classmethod
     def from_env(cls) -> "RunCache":
         flag = os.environ.get("REPRO_CACHE", "1").strip().lower()
         return cls(enabled=flag not in ("0", "off", "false", "no"))
 
+    # -- cross-process plumbing (the worker fabric) --------------------------
+
+    def spec(self) -> Optional[Dict[str, object]]:
+        """Picklable recipe a worker process rebuilds this cache from
+        (``None`` when disabled — workers then skip read-through)."""
+        if not self.enabled:
+            return None
+        return {"root": self.root, "shards": self.shards}
+
+    @classmethod
+    def from_spec(cls, spec: Optional[Dict[str, object]]) -> "RunCache":
+        if spec is None:
+            return cls(enabled=False)
+        return cls(root=str(spec["root"]), shards=int(spec["shards"]))
+
+    @property
+    def index(self) -> ShardIndex:
+        """The generation's read-through :class:`ShardIndex` (lazy)."""
+        if self._index is None or \
+                not self._index.root.endswith(cache_generation()):
+            self._index = ShardIndex(
+                os.path.join(self.root, cache_generation()))
+        return self._index
+
+    def probably_has(self, key: str) -> bool:
+        """Cheap advisory existence probe through the shard index —
+        false negatives possible (filesystem mtime granularity), false
+        positives resolved by :meth:`get` itself."""
+        if not self.enabled:
+            return False
+        return self.index.contains(key, self.shard_dir(key))
+
+    # -- layout --------------------------------------------------------------
+
+    def shard_dir(self, key: str) -> str:
+        """The shard directory name a key lives under."""
+        return shard_name(shard_of(key, self.shards), self.shards)
+
     def entry_path(self, key: str) -> str:
         """Where a key's payload lives on disk (whether or not it
         exists) — the current generation's shard of the key."""
-        return os.path.join(self.root, cache_generation(), key[:2],
-                            f"{key}.json")
+        return os.path.join(self.root, cache_generation(),
+                            self.shard_dir(key), f"{key}.json")
 
     def get(self, key: str) -> Optional[SimResult]:
         if not self.enabled:
@@ -161,8 +336,26 @@ class RunCache:
             json.dump(result_to_payload(result), handle)
         os.replace(tmp, path)
         self.writes += 1
+        if self._index is not None:
+            self._index.note(key, self.shard_dir(key))
 
     # -- maintenance (the repro-cache CLI) ----------------------------------
+
+    def shard_stats(self) -> Dict[str, int]:
+        """Entry count per populated shard of the *current* generation
+        (empty shards are omitted — with 256 shards most are)."""
+        gen_dir = os.path.join(self.root, cache_generation())
+        out: Dict[str, int] = {}
+        if os.path.isdir(gen_dir):
+            for shard in sorted(os.listdir(gen_dir)):
+                sdir = os.path.join(gen_dir, shard)
+                if not os.path.isdir(sdir):
+                    continue
+                count = sum(1 for name in os.listdir(sdir)
+                            if name.endswith(".json"))
+                if count:
+                    out[shard] = count
+        return out
 
     def stats(self) -> Dict[str, object]:
         per_version: Dict[str, int] = {}
@@ -182,9 +375,19 @@ class RunCache:
                                 os.path.join(dirpath, name))
                 per_version[version] = count
                 entries += count
+        per_shard = self.shard_stats()
+        shard_summary: Dict[str, object] = {
+            "configured": self.shards,
+            "populated": len(per_shard),
+        }
+        if per_shard:
+            hottest = max(per_shard.items(), key=lambda kv: kv[1])
+            shard_summary["hottest"] = {"shard": hottest[0],
+                                        "entries": hottest[1]}
         return {"root": self.root, "enabled": self.enabled,
                 "entries": entries, "bytes": size,
                 "per_version": per_version,
+                "shards": shard_summary,
                 "session": {"hits": self.hits, "misses": self.misses,
                             "writes": self.writes}}
 
@@ -205,6 +408,15 @@ def format_stats(stats: Dict[str, object]) -> str:
         marker = (" (current)" if version == cache_generation()
                   else " (stale)")
         lines.append(f"    {version}: {count} result(s){marker}")
+    shards = stats.get("shards", {})
+    if shards:
+        line = (f"  shard map: {shards['configured']} shard(s), "
+                f"{shards['populated']} populated")
+        hottest = shards.get("hottest")
+        if hottest:
+            line += (f" (hottest {hottest['shard']}: "
+                     f"{hottest['entries']} entries)")
+        lines.append(line)
     session = stats["session"]
     lines.append(f"  this session: {session['hits']} hit(s), "
                  f"{session['misses']} miss(es), "

@@ -49,7 +49,7 @@ PH_META = "M"
 #: Standard categories the simulator and harness emit. ``categories=None``
 #: means exactly this set; detail categories are opt-in on top.
 CATEGORIES = ("access", "l2", "noc", "mem", "esp", "classifier", "duel",
-              "engine", "executor", "service", "check")
+              "engine", "executor", "service", "check", "fabric")
 
 #: High-frequency diagnostic categories, only emitted when explicitly
 #: named (in ``detail`` or in a ``--categories`` list).

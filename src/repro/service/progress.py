@@ -12,6 +12,11 @@ including the hierarchical ``stats`` tree — so a watcher sees per-bank /
 per-link / per-policy counters stream in as points finish, in exactly
 the serialization ``esp-nuca stats --json`` prints for a single run.
 
+Snapshots also carry the server's live gauges (injected via
+:attr:`Job.gauges`): queue depth plus **both** worker populations —
+``workers_busy`` (asyncio dispatcher tasks) and ``procs_busy`` (fabric
+simulation processes, the real CPU utilization; docs/fabric.md).
+
 Everything here runs on the server's event loop thread.
 """
 

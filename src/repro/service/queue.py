@@ -13,14 +13,16 @@ many-to-one:
   new tasks would overflow ``limit``, nothing is enqueued and
   :class:`QueueFullError` propagates as the typed ``queue-full`` wire
   error — the queue never blocks a submitter;
-* dequeue order is (priority desc, submission order) and workers pull
-  **batches** (up to ``batch`` compatible tasks at once) so the
-  executor can fan a batch out over its worker processes and reuse
-  materialized traces across architectures.
+* dequeue order is (priority desc, submission order) and dispatchers
+  pull **batches** (up to ``batch`` compatible tasks at once) so the
+  executor can fan a batch out over the shared
+  :mod:`~repro.harness.fabric` worker processes and reuse materialized
+  traces across architectures.
 
 Everything here runs on the server's event loop thread — no locks; the
 blocking simulation work happens elsewhere (the server hands batches to
-a thread pool).
+dispatcher threads, which route them through the executor to the
+fabric's simulation processes).
 """
 
 from __future__ import annotations

@@ -4,13 +4,19 @@
 request-serving system. One process owns:
 
 * an :class:`~repro.harness.executor.Executor` (and through it the
-  persistent :class:`~repro.harness.runcache.RunCache` and the
-  ``REPRO_JOBS`` process pool);
+  persistent :class:`~repro.harness.runcache.RunCache` and the shared
+  :mod:`~repro.harness.fabric` pool of simulation worker *processes* —
+  ``esp-nuca serve --workers N`` sizes it, ``REPRO_WORKERS`` /
+  ``REPRO_JOBS`` are the env equivalents);
 * a :class:`~repro.service.queue.Scheduler` — prioritized bounded
   backlog with in-flight coalescing;
-* ``workers`` asyncio worker tasks, each pulling **batches** of up to
-  ``batch`` point tasks and running them through the executor on a
-  thread pool (the event loop never blocks on a simulation);
+* ``workers`` asyncio **dispatcher** tasks, each pulling batches of up
+  to ``batch`` point tasks and running them through the executor on a
+  thread pool (the event loop never blocks on a simulation; the actual
+  CPU work happens in the fabric's worker processes). Two worker
+  populations, reported separately: ``workers_busy`` counts dispatcher
+  tasks mid-batch, ``procs_busy`` counts simulation processes
+  executing jobs (docs/fabric.md);
 * the JSON-lines protocol of :mod:`repro.service.protocol` over TCP or
   a Unix socket.
 
@@ -26,10 +32,11 @@ work is admitted to the bounded queue — all-or-nothing, with a typed
 
 Shutdown contract (``drain`` or SIGINT/SIGTERM): stop admitting
 (``draining`` errors), let workers finish the backlog, resolve every
-job, stop the workers, and only then answer the drainer — at which
-point every computed result has been committed to ``.repro_cache``
-(writes are write-through atomic renames, so the drain barrier *is*
-the cache flush).
+job, stop the dispatchers, tear down the fabric's worker processes,
+and only then answer the drainer — at which point every computed
+result has been committed to ``.repro_cache`` (writes are
+write-through atomic renames, so the drain barrier *is* the cache
+flush, and no simulation process outlives the daemon).
 """
 
 from __future__ import annotations
@@ -61,9 +68,10 @@ class ServiceConfig:
 
     bind: Tuple = ("tcp", "127.0.0.1", proto.DEFAULT_PORT)
     queue_limit: int = 256     # max queued point tasks (backpressure bound)
-    workers: int = 2           # concurrent executor batches
+    workers: int = 2           # asyncio dispatcher tasks (concurrent batches)
     batch: int = 8             # max point tasks per executor invocation
     client_jobs: int = 8       # max unfinished jobs per connection
+    # Simulation *processes* are the executor's `jobs` (CLI --workers).
 
     def __post_init__(self) -> None:
         for name in ("queue_limit", "workers", "batch", "client_jobs"):
@@ -163,10 +171,13 @@ class SimulationService:
         self._workers = []
         if self._pool is not None:
             # All batches have completed, so this returns immediately —
-            # it exists to reap the simulation threads ("zero orphaned
+            # it exists to reap the dispatcher threads ("zero orphaned
             # workers" covers OS threads too).
             self._pool.shutdown(wait=True)
             self._pool = None
+        # Tear down the fabric's simulation processes as well — the
+        # drain barrier means no worker process outlives the daemon.
+        self.executor.close()
         return {
             "drained": True,
             "jobs": len(self.jobs),
@@ -213,13 +224,17 @@ class SimulationService:
 
     def _gauges(self) -> Dict[str, Any]:
         """Live load figures attached to every job snapshot (status and
-        watch streams): queue depth and worker utilization."""
+        watch streams): queue depth and both worker populations —
+        ``workers*`` are the asyncio dispatcher tasks, ``procs*`` the
+        fabric's simulation processes (the real CPU utilization)."""
         return {
             "queue_backlog": self.scheduler.backlog,
             "queue_inflight": self.scheduler.inflight,
             "queue_limit": self.config.queue_limit,
             "workers_busy": self._busy,
             "workers": self.config.workers,
+            "procs_busy": self.executor.procs_busy(),
+            "procs": self.executor.jobs,
         }
 
     def _emit_gauges(self) -> None:
@@ -236,7 +251,8 @@ class SimulationService:
             tracer.counter(
                 "service", "busy workers", ts=ts, pid=tracer.wall_pid,
                 tid="service",
-                values={"busy": float(self._busy)})
+                values={"busy": float(self._busy),
+                        "procs_busy": float(self.executor.procs_busy())})
 
     def _begin_trace(self, job: Job) -> obs.Tracer:
         """Install a process-global tracer for one job's lifetime.
@@ -555,6 +571,9 @@ class SimulationService:
                       "limit": self.config.queue_limit},
             "workers": self.config.workers,
             "workers_busy": self._busy,
+            "procs": self.executor.jobs,
+            "procs_busy": self.executor.procs_busy(),
+            "fabric": self.executor.fabric_stats(),
             "jobs": by_state,
             "points": {"requested": self.points_requested,
                        "cached": self.points_cached,

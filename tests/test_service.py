@@ -16,7 +16,9 @@ The acceptance contract pinned here:
 """
 
 import json
+import os
 import shutil
+import signal
 import time
 import tempfile
 import threading
@@ -63,6 +65,38 @@ class CountingExecutor(Executor):
         if self._gate is not None:
             assert self._gate.wait(timeout=60), "test gate never released"
         return super().run(points)
+
+
+def gated_point_batch(payload):
+    """Fabric runner for the crash-recovery test: marks which worker
+    process started the job, then holds it until the release file
+    appears (so the test can kill a worker mid-batch at a known point).
+    Module-level so it pickles under any start method."""
+    from repro.harness.fabric import run_point_batch
+
+    gate_dir = os.environ.get("REPRO_TEST_FABRIC_GATE")
+    if gate_dir:
+        marker = os.path.join(
+            gate_dir, f"started-{os.getpid()}-{time.time_ns()}")
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        release = os.path.join(gate_dir, "release")
+        while not os.path.exists(release):
+            time.sleep(0.01)
+    return run_point_batch(payload)
+
+
+class GatedFabricExecutor(Executor):
+    """Executor whose fabric workers run the gated job runner."""
+
+    def _ensure_pool(self):
+        from repro.harness import fabric
+
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = fabric.WorkerPool(
+                    self.jobs, runner=gated_point_batch)
+            return self._pool
 
 
 @pytest.fixture
@@ -470,6 +504,61 @@ class TestLifecycle:
         assert not [t for t in threading.enumerate()
                     if t.name.startswith("esp-nuca-sim")]
 
+    def test_worker_crash_mid_batch_requeued_once_and_drains(
+            self, sock_dir, tmp_path, monkeypatch):
+        """Kill a simulation worker process mid-batch: the fabric
+        requeues its job exactly once, the job completes on a
+        surviving/replacement worker with correct results, and the
+        drain barrier still resolves everything."""
+        gate_dir = str(tmp_path / "gate")
+        os.makedirs(gate_dir)
+        monkeypatch.setenv("REPRO_TEST_FABRIC_GATE", gate_dir)
+
+        def markers():
+            return sorted(name for name in os.listdir(gate_dir)
+                          if name.startswith("started-"))
+
+        def wait_for(count, timeout=60):
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                if len(markers()) >= count:
+                    return True
+                time.sleep(0.02)
+            return False
+
+        executor = GatedFabricExecutor(jobs=2, cache=RunCache(enabled=False))
+        with service(sock_dir, executor, workers=1, batch=4) as handle:
+            with connect(handle) as client:
+                job = client.submit(["shared", "private"], ["apache"],
+                                    seeds=[7], wait=False,
+                                    settings=SETTINGS_WIRE)["job"]
+                # two points -> two fabric jobs, one per worker process
+                assert wait_for(2), "both workers should start a job"
+                pids = {int(name.split("-")[1]) for name in markers()}
+                assert len(pids) == 2
+                status = client.status()
+                assert status["procs"] == 2
+                assert status["procs_busy"] == 2
+                victim = min(pids)
+                os.kill(victim, signal.SIGKILL)
+                assert wait_for(3), "crashed job should restart"
+                with open(os.path.join(gate_dir, "release"), "w",
+                          encoding="utf-8"):
+                    pass
+                end = list(client.watch(job))[-1]
+                assert end["state"] == "done"
+                # byte-identical to a direct serial run despite the crash
+                assert ([canonical(p) for p in end["results"]]
+                        == [canonical(p) for p in reference_payloads(
+                            ["shared", "private"], ["apache"], [7])])
+                stats = executor.fabric_stats()
+                assert stats["requeued"] == 1
+                assert stats["crashed"] == 1
+                drained = client.drain()
+            assert drained["workers_alive"] == 0
+        # the drain barrier tore the fabric down with the daemon
+        assert executor.fabric_stats() is None
+
     def test_submissions_while_draining_get_typed_error(self, sock_dir):
         gate = threading.Event()
         executor = CountingExecutor(jobs=1, cache=RunCache(enabled=False),
@@ -512,11 +601,16 @@ class TestTracingAndGauges:
                 gauges = reply["gauges"]
                 assert set(gauges) >= {"queue_backlog", "queue_inflight",
                                        "queue_limit", "workers_busy",
-                                       "workers"}
+                                       "workers", "procs_busy", "procs"}
                 assert gauges["queue_backlog"] == 0  # job is done
                 assert gauges["workers"] == 1
+                assert gauges["procs"] == 1  # simulation processes
                 status = client.status()
                 assert status["workers_busy"] == 0
+                assert status["procs_busy"] == 0
+                assert status["procs"] == 1
+                # jobs=1 is the serial fallback: the fabric never starts
+                assert status["fabric"] is None
 
     def test_watch_stream_includes_gauges(self, sock_dir):
         with service(sock_dir, None, workers=1, batch=1) as handle:
