@@ -1,0 +1,762 @@
+"""The HTTP gateway: durable, multi-tenant front end over the core.
+
+``esp-nuca gateway serve`` runs one :class:`Gateway`: the shared
+:class:`~repro.service.core.ServiceCore` (same scheduler, coalescing,
+cache fast path and worker fabric as the JSON-lines daemon) plus three
+things the daemon does not have —
+
+* **durability**: every admitted job is written to the
+  :class:`~repro.gateway.store.JobStore` before the client hears
+  "admitted"; results are persisted by content hash as jobs finish. On
+  startup :meth:`Gateway._recover` re-expands every stored
+  ``queued``/``running`` job through the exact same
+  ``grid_points`` path and re-admits it — points that already ran
+  resolve instantly from the run cache, so a SIGKILL'd gateway's
+  backlog completes after restart with byte-identical results;
+* **identity**: ``Authorization: Bearer <api-key>`` resolves to a
+  tenant (sha256 lookup, :mod:`repro.gateway.auth`); every job is owned,
+  listings and access are tenant-scoped (cross-tenant access is an
+  indistinguishable 404), and per-tenant ``gateway.tenants.<name>``
+  stats scopes count admits/rejects/rate hits;
+* **admission control**: a per-tenant token bucket rate-limits
+  submissions (typed 429 + ``Retry-After``), and per-tenant
+  concurrent-job / queue-depth quotas bound what any one tenant can
+  occupy (typed 429) — all before the core's own all-or-nothing
+  queue admission (typed 503 when the shared queue itself is full).
+
+Request→response behavior is defined by ``GET /openapi.json``
+(:mod:`repro.gateway.openapi`); docs/gateway.md is the narrative
+version.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.statsreg import StatsRegistry
+from repro.gateway import http
+from repro.gateway.auth import TokenBucket
+from repro.gateway.openapi import spec as openapi_spec
+from repro.gateway.store import STORED_TERMINAL, JobStore
+from repro.harness.executor import Executor
+from repro.harness.runner import RunSettings
+from repro.service import protocol as proto
+from repro.service import queue as q
+from repro.service.core import ServiceCore
+from repro.service.progress import TERMINAL, Job
+
+#: Submit fields persisted for recovery (the canonical request is what
+#: re-expands to the identical grid after a restart).
+REQUEST_FIELDS = ("architectures", "workloads", "seeds", "settings",
+                  "priority", "check")
+
+#: Reject-reason counter names under ``gateway.rejects`` — one per typed
+#: failure class, mirroring the daemon's protocol error codes.
+REJECT_REASONS = ("auth", "bad-request", "quota-jobs", "quota-points",
+                  "rate-limited", "queue-full", "draining", "not-found")
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Gateway knobs. Service-core knobs mirror ``ServiceConfig``; the
+    ``anon_*`` fields are the pseudo-tenant quota applied when
+    ``allow_anonymous`` is set (dev/test mode — production gateways
+    should require keys)."""
+
+    bind: Tuple = ("tcp", "127.0.0.1", 8643)
+    db_path: str = "gateway.sqlite"
+    queue_limit: int = 256
+    workers: int = 2
+    batch: int = 8
+    allow_anonymous: bool = False
+    anon_max_jobs: int = 16
+    anon_max_points: int = 1024
+    anon_rate_capacity: float = 100.0
+    anon_rate_refill: float = 50.0
+
+
+@dataclass
+class TenantState:
+    """A resolved request identity: quotas + the in-memory rate bucket.
+
+    Buckets are per-process (they reset on restart, which only ever
+    lets a tenant burst once more — acceptable for a rate limit whose
+    job is smoothing, not billing)."""
+
+    name: str
+    max_jobs: int
+    max_points: int
+    bucket: TokenBucket
+    anonymous: bool = False
+
+    @property
+    def owner(self) -> str:
+        return self.name
+
+    @property
+    def stored_tenant(self) -> Optional[str]:
+        return None if self.anonymous else self.name
+
+
+class Gateway:
+    """One HTTP gateway process: core + store + auth + admission."""
+
+    def __init__(self, config: Optional[GatewayConfig] = None,
+                 executor: Optional[Executor] = None,
+                 settings: Optional[RunSettings] = None,
+                 store: Optional[JobStore] = None) -> None:
+        self.config = config or GatewayConfig()
+        self.core = ServiceCore(executor, settings,
+                                queue_limit=self.config.queue_limit,
+                                workers=self.config.workers,
+                                batch=self.config.batch)
+        self.store = store or JobStore.open(self.config.db_path)
+        self.address: Optional[Tuple] = None
+        self.registry = StatsRegistry()
+        gw = self.registry.scope("gateway")
+        self.c_requests = gw.counter("http_requests")
+        self.c_admits = gw.counter("admits")
+        self.c_recovered = gw.counter("recovered")
+        self.c_persisted = gw.counter("results_persisted")
+        rejects = gw.scope("rejects")
+        self.c_rejects = {reason: rejects.counter(reason.replace("-", "_"))
+                          for reason in REJECT_REASONS}
+        self._tenant_scopes = gw.scope("tenants")
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conns: set = set()
+        self._trackers: set = set()
+        self._recover_task: Optional[asyncio.Task] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._shutting_down = False
+        self.recovery_done: Optional[asyncio.Event] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> Tuple:
+        """Start the core, spin up the fabric, bind the HTTP server,
+        and kick off backlog recovery in the background (startup never
+        blocks on a large backlog). Returns the live address."""
+        await self.core.start()
+        # Recovered batches should not pay pool-spawn latency.
+        self.core.executor.prestart()
+        self._stopped = asyncio.Event()
+        self.recovery_done = asyncio.Event()
+        bind = self.config.bind
+        if bind[0] == "unix":
+            self._server = await asyncio.start_unix_server(
+                self._serve_conn, path=bind[1])
+            self.address = bind
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_conn, host=bind[1], port=bind[2])
+            port = self._server.sockets[0].getsockname()[1]
+            self.address = ("tcp", bind[1], port)
+        self._recover_task = asyncio.ensure_future(self._recover())
+        return self.address
+
+    async def serve_forever(self) -> None:
+        assert self._stopped is not None, "start() first"
+        await self._stopped.wait()
+        for conn in list(self._conns):
+            conn.cancel()
+        if self._conns:
+            await asyncio.gather(*self._conns, return_exceptions=True)
+
+    async def shutdown(self) -> Dict[str, Any]:
+        """Graceful stop: finish recovery admissions, drain the core
+        (all jobs resolve, fabric torn down), flush trackers so every
+        result row is committed, release sockets and the store."""
+        if self._stopped is not None and self._stopped.is_set():
+            return {"drained": True, "already_stopped": True}
+        self._shutting_down = True
+        if self._recover_task is not None and not self._recover_task.done():
+            # Recovery waits for queue room; draining would deadlock
+            # against it. It checks _shutting_down between admissions.
+            await self._recover_task
+        summary = await self.core.drain()
+        if self._trackers:
+            await asyncio.gather(*self._trackers, return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        summary["store"] = self.store.counts_by_state()
+        self.store.close()
+        if self._stopped is not None:
+            self._stopped.set()
+        return summary
+
+    # -- recovery ------------------------------------------------------------
+
+    async def _recover(self) -> None:
+        """Re-admit every stored ``queued``/``running`` job through the
+        core. Runs as a background task: a 1k-job backlog cannot fit the
+        bounded queue at once, so this loop waits for room between
+        admissions instead of blocking startup or overrunning the
+        queue's all-or-nothing contract."""
+        try:
+            rows = self.store.unfinished_jobs()
+            for row in rows:
+                if self._shutting_down:
+                    break
+                current = self.store.get_job(row["id"])
+                if current is None or current["state"] in STORED_TERMINAL:
+                    continue  # cancelled through the API while we waited
+                try:
+                    request = json.loads(row["request"])
+                    points, priority, _check = \
+                        self.core.request_points(request)
+                except (ValueError, proto.ProtocolError) as exc:
+                    # A request that no longer validates (schema drift,
+                    # removed workload) can never run again.
+                    self.store.set_job_state(
+                        row["id"], "failed", f"unrecoverable: {exc}")
+                    continue
+                owner = row["tenant"] if row["tenant"] is not None else "anon"
+                job = await self._admit_when_room(
+                    points, priority, owner, job_id=f"g{row['id']}")
+                if job is None:
+                    break  # shutting down
+                self.store.set_job_state(row["id"], "queued")
+                self._start_tracker(job, row["id"])
+                job.seal()
+                self.c_recovered.inc()
+                self._tenant_scope(owner).counter("recovered").inc()
+        finally:
+            self.recovery_done.set()
+
+    async def _admit_when_room(self, points: List, priority: int,
+                               owner: str, job_id: str) -> Optional[Job]:
+        """Admit, waiting for queue capacity instead of rejecting —
+        recovery must never drop a stored job on the floor. Returns
+        ``None`` only when the gateway is shutting down."""
+        unique_count = len({p.key for p in points})
+        while True:
+            if self._shutting_down:
+                return None
+            backlog = self.core.scheduler.backlog
+            if backlog + unique_count > self.config.queue_limit and backlog:
+                await asyncio.sleep(0.05)
+                continue
+            job, unique = self.core.create_job(points, priority, owner,
+                                               job_id=job_id)
+            try:
+                self.core.admit(job, unique)
+                return job
+            except q.QueueFullError:
+                # Lost a race with a live submission; retry. (The job
+                # was never registered, so recreating it is clean.)
+                await asyncio.sleep(0.05)
+
+    # -- job tracking (write-behind persistence) -----------------------------
+
+    def _start_tracker(self, job: Job, pk: int) -> None:
+        task = asyncio.ensure_future(self._track(job, pk))
+        self._trackers.add(task)
+        task.add_done_callback(self._trackers.discard)
+
+    async def _track(self, job: Job, pk: int) -> None:
+        """Follow one job's progress stream and persist transitions:
+        ``running`` on first dispatch, then at terminal state the result
+        payloads (by content hash) *before* the terminal job row — so a
+        crash between the two can only under-report completion, never
+        claim results that are not durable. The run cache backstops the
+        reverse gap."""
+        channel = job.subscribe()
+        stored_state = "queued"
+        try:
+            while True:
+                snap = await channel.get()
+                if snap is None:
+                    break
+                state = snap["state"]
+                if state == "running" and stored_state == "queued":
+                    self.store.set_job_state(pk, "running")
+                    stored_state = "running"
+        finally:
+            job.unsubscribe(channel)
+        state = job.state
+        if state == "done":
+            payloads = {key: job.payloads[key]
+                        for key in dict.fromkeys(job.order)}
+            self.store.record_results(payloads)
+            self.c_persisted.inc(len(payloads))
+            self.store.set_job_state(pk, "done")
+        elif state == "failed":
+            detail = "; ".join(sorted(set(job.errors.values()))) or "failed"
+            self.store.set_job_state(pk, "failed", detail[:2000])
+        else:
+            self.store.set_job_state(pk, "cancelled")
+
+    # -- auth + admission control --------------------------------------------
+
+    def _tenant_scope(self, name: str):
+        return self._tenant_scopes.scope(name)
+
+    def _reject(self, tenant: Optional[TenantState], reason: str,
+                status: int, code: str, message: str,
+                headers: Optional[Dict[str, str]] = None) -> http.HttpError:
+        self.c_rejects[reason].inc()
+        if tenant is not None:
+            self._tenant_scope(tenant.name).counter("rejects").inc()
+        return http.HttpError(status, code, message, headers=headers)
+
+    def _authenticate(self, request: http.Request) -> TenantState:
+        header = request.headers.get("authorization")
+        if header is None:
+            if self.config.allow_anonymous:
+                cfg = self.config
+                bucket = self._buckets.setdefault(
+                    "anon", TokenBucket(cfg.anon_rate_capacity,
+                                        cfg.anon_rate_refill))
+                return TenantState("anon", cfg.anon_max_jobs,
+                                   cfg.anon_max_points, bucket,
+                                   anonymous=True)
+            raise self._reject(
+                None, "auth", 401, "auth-required",
+                "missing Authorization header (Bearer <api-key>)",
+                headers={"WWW-Authenticate": "Bearer"})
+        scheme, _, key = header.partition(" ")
+        if scheme.lower() != "bearer" or not key.strip():
+            raise self._reject(None, "auth", 401, "auth-malformed",
+                               "Authorization must be 'Bearer <api-key>'",
+                               headers={"WWW-Authenticate": "Bearer"})
+        row = self.store.find_tenant_by_key(key.strip())
+        if row is None:
+            raise self._reject(None, "auth", 403, "auth-invalid",
+                               "unknown API key")
+        bucket = self._buckets.setdefault(
+            row["name"], TokenBucket(row["rate_capacity"],
+                                     row["rate_refill"]))
+        return TenantState(row["name"], int(row["max_jobs"]),
+                           int(row["max_points"]), bucket)
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _serve_conn(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        self._conns.add(asyncio.current_task())
+        try:
+            while True:
+                try:
+                    request = await http.read_request(reader)
+                except http.HttpError as exc:
+                    await http.send_error(writer, exc)
+                    if exc.close:
+                        break
+                    continue
+                if request is None:
+                    break
+                self.c_requests.inc()
+                keep = request.keep_alive
+                try:
+                    stream_closed = await self._dispatch(request, writer)
+                except http.HttpError as exc:
+                    await http.send_error(writer, exc, keep_alive=keep)
+                    if exc.close or not keep:
+                        break
+                    continue
+                except (ConnectionResetError, BrokenPipeError):
+                    raise
+                except Exception as exc:  # noqa: BLE001 — keep serving
+                    await http.send_error(writer, http.HttpError(
+                        500, "internal", f"{type(exc).__name__}: {exc}"),
+                        keep_alive=keep)
+                    if not keep:
+                        break
+                    continue
+                if stream_closed or not keep:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._conns.discard(asyncio.current_task())
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _dispatch(self, request: http.Request,
+                        writer: asyncio.StreamWriter) -> bool:
+        """Route one request; returns True when the handler consumed
+        the connection (streaming responses)."""
+        parts = [p for p in request.path.split("/") if p]
+        keep = request.keep_alive
+
+        if parts == ["healthz"]:
+            self._need_method(request, "GET")
+            await http.send_json(writer, 200, {
+                "ok": True, "draining": self.core.draining,
+                "recovering": not (self.recovery_done is None
+                                   or self.recovery_done.is_set())},
+                keep_alive=keep)
+            return False
+        if parts == ["openapi.json"]:
+            self._need_method(request, "GET")
+            await http.send_json(writer, 200, openapi_spec(),
+                                 keep_alive=keep)
+            return False
+
+        tenant = self._authenticate(request)
+        if parts == ["v1", "status"]:
+            self._need_method(request, "GET")
+            await http.send_json(writer, 200, self.server_status(),
+                                 keep_alive=keep)
+            return False
+        if parts == ["v1", "jobs"]:
+            if request.method == "POST":
+                await self._submit(request, writer, tenant)
+                return False
+            self._need_method(request, "GET")
+            await self._list_jobs(request, writer, tenant)
+            return False
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            pk, job, row = self._resolve_job(parts[2], tenant)
+            if request.method == "DELETE":
+                await self._cancel(writer, keep, pk, job, row)
+                return False
+            self._need_method(request, "GET")
+            await self._job_snapshot(request, writer, keep, job, row)
+            return False
+        if len(parts) == 4 and parts[:2] == ["v1", "jobs"]:
+            pk, job, row = self._resolve_job(parts[2], tenant)
+            self._need_method(request, "GET")
+            if parts[3] == "results":
+                await self._results(writer, keep, job, row)
+                return False
+            if parts[3] == "events":
+                await self._events(writer, job, row)
+                return True
+        raise self._reject(tenant if parts[:1] == ["v1"] else None,
+                           "not-found", 404, "not-found",
+                           f"no route for {request.method} {request.path}")
+
+    @staticmethod
+    def _need_method(request: http.Request, method: str) -> None:
+        if request.method != method:
+            raise http.HttpError(
+                405, "method-not-allowed",
+                f"{request.path} accepts {method}, not {request.method}",
+                headers={"Allow": method})
+
+    # -- handlers ------------------------------------------------------------
+
+    async def _submit(self, request: http.Request,
+                      writer: asyncio.StreamWriter,
+                      tenant: TenantState) -> None:
+        if self.core.draining:
+            raise self._reject(tenant, "draining", 503, "draining",
+                               "gateway is draining; no new jobs",
+                               headers={"Retry-After": "30"})
+        ok, retry_after = tenant.bucket.take()
+        if not ok:
+            self._tenant_scope(tenant.name).counter("rate_hits").inc()
+            raise self._reject(
+                tenant, "rate-limited", 429, "rate-limited",
+                f"tenant {tenant.name!r} exceeded its request rate",
+                headers={"Retry-After": str(max(1, math.ceil(retry_after)))})
+        body = request.json()
+        try:
+            points, priority, _check = self.core.request_points(body)
+        except proto.ProtocolError as exc:
+            raise self._reject(tenant, "bad-request", 400, "bad-request",
+                               str(exc))
+        active = self.core.active_jobs(owner=tenant.owner)
+        if active >= tenant.max_jobs:
+            raise self._reject(
+                tenant, "quota-jobs", 429, "quota-jobs",
+                f"tenant {tenant.name!r} already has {active} unfinished "
+                f"job(s) (limit {tenant.max_jobs})")
+        unique_count = len({p.key for p in points})
+        in_flight = self.core.active_points(owner=tenant.owner)
+        if in_flight + unique_count > tenant.max_points:
+            raise self._reject(
+                tenant, "quota-points", 429, "quota-points",
+                f"submission would put tenant {tenant.name!r} at "
+                f"{in_flight + unique_count} unfinished point(s) "
+                f"(limit {tenant.max_points})")
+
+        stored_request = {key: body[key] for key in REQUEST_FIELDS
+                          if key in body and body[key] is not None}
+        pk = self.store.create_job(
+            stored_request, priority, tenant.stored_tenant,
+            [(p.key, p.name, p.workload, p.seed) for p in points])
+        job, unique = self.core.create_job(points, priority, tenant.owner,
+                                           job_id=f"g{pk}")
+        try:
+            self.core.admit(job, unique)
+        except q.QueueFullError as exc:
+            # Never admitted ⇒ must not be "recovered" after a restart.
+            self.store.delete_job(pk)
+            raise self._reject(tenant, "queue-full", 503, "queue-full",
+                               str(exc), headers={"Retry-After": "5"})
+        self._start_tracker(job, pk)
+        job.seal()
+        self.c_admits.inc()
+        self._tenant_scope(tenant.name).counter("admits").inc()
+        reply = job.snapshot()
+        reply["cached"] = job.cached
+        results = job.results()
+        if results is not None:  # grid served entirely from cache
+            reply["results"] = results
+        await http.send_json(writer, 201, reply,
+                             keep_alive=request.keep_alive)
+
+    async def _list_jobs(self, request: http.Request,
+                         writer: asyncio.StreamWriter,
+                         tenant: TenantState) -> None:
+        try:
+            limit = min(1000, max(1, int(request.query.get("limit", "100"))))
+        except ValueError:
+            raise http.HttpError(400, "bad-request",
+                                 "limit must be an integer")
+        rows = self.store.list_jobs(tenant.stored_tenant, limit)
+        jobs = []
+        for row in rows:
+            gid = f"g{row['id']}"
+            live = self.core.get_job(gid)
+            jobs.append({
+                "job": gid,
+                "state": live.state if live is not None else row["state"],
+                "priority": row["priority"],
+                "created_at": row["created_at"],
+                "updated_at": row["updated_at"],
+                "error": row["error"],
+            })
+        await http.send_json(writer, 200, {"jobs": jobs},
+                             keep_alive=request.keep_alive)
+
+    def _resolve_job(self, gid: str, tenant: TenantState
+                     ) -> Tuple[int, Optional[Job], Dict[str, Any]]:
+        """Ownership gate for every per-job route: the stored row must
+        exist *and* belong to the caller — other tenants' jobs 404
+        indistinguishably from absent ones (no existence oracle)."""
+        not_found = self._reject(tenant, "not-found", 404, "unknown-job",
+                                 f"unknown job {gid!r}")
+        if not gid.startswith("g") or not gid[1:].isdigit():
+            raise not_found
+        pk = int(gid[1:])
+        row = self.store.get_job(pk)
+        if row is None or row["tenant"] != tenant.stored_tenant:
+            raise not_found
+        return pk, self.core.get_job(gid), row
+
+    async def _job_snapshot(self, request: http.Request,
+                            writer: asyncio.StreamWriter, keep: bool,
+                            job: Optional[Job], row: Dict[str, Any]) -> None:
+        if job is not None:
+            snap = job.snapshot(points="points" in request.query)
+        else:
+            snap = self._stored_snapshot(row)
+        await http.send_json(writer, 200, snap, keep_alive=keep)
+
+    def _stored_snapshot(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        """Summary snapshot for a job that is not live in the core —
+        terminal before the last restart, or still awaiting recovery."""
+        points = self.store.job_points(row["id"])
+        snap: Dict[str, Any] = {
+            "job": f"g{row['id']}",
+            "state": row["state"],
+            "priority": row["priority"],
+            "points": len(points),
+            "unique_points": len({p["point_key"] for p in points}),
+            "stored": True,
+        }
+        if row["state"] in ("queued", "running"):
+            snap["recovering"] = True
+        if row["error"]:
+            snap["errors"] = {"job": row["error"]}
+        return snap
+
+    def _stored_results(self, row: Dict[str, Any]
+                        ) -> List[Dict[str, Any]]:
+        """Result payloads for a stored-terminal job, grid order: the
+        results table first, the run cache as backstop (crash between
+        cache write and store commit)."""
+        points = self.store.job_points(row["id"])
+        keys = [p["point_key"] for p in points]
+        payloads = self.store.result_payloads(keys)
+        missing = [key for key in dict.fromkeys(keys) if key not in payloads]
+        for key in missing:
+            payload = self.core.executor.cache.get_payload(key)
+            if payload is not None:
+                payloads[key] = payload
+        still = [key for key in dict.fromkeys(keys) if key not in payloads]
+        if still:
+            raise http.HttpError(
+                500, "results-missing",
+                f"{len(still)} result payload(s) are in neither the store "
+                f"nor the run cache")
+        return [payloads[key] for key in keys]
+
+    async def _results(self, writer: asyncio.StreamWriter, keep: bool,
+                       job: Optional[Job], row: Dict[str, Any]) -> None:
+        if job is not None:
+            results = job.results()
+            state = job.state
+        elif row["state"] == "done":
+            results = self._stored_results(row)
+            state = "done"
+        else:
+            results, state = None, row["state"]
+        if results is None:
+            raise http.HttpError(
+                409, "not-done",
+                f"job g{row['id']} is {state}; results exist only for "
+                f"state 'done'")
+        await http.send_json(writer, 200,
+                             {"job": f"g{row['id']}", "state": state,
+                              "results": results}, keep_alive=keep)
+
+    async def _events(self, writer: asyncio.StreamWriter,
+                      job: Optional[Job], row: Dict[str, Any]) -> None:
+        """SSE progress stream; ends with an ``event=end`` frame. A
+        client disconnect mid-stream just unsubscribes — the job (and
+        the daemon) are unaffected."""
+        sse = http.SseStream(writer)
+        gid = f"g{row['id']}"
+        if job is None:
+            await sse.start()
+            end: Dict[str, Any] = {"event": "end", "job": gid,
+                                   "state": row["state"], "stored": True}
+            if row["state"] == "done":
+                end["results"] = self._stored_results(row)
+            await sse.send(end)
+            await sse.end()
+            return
+        channel = job.subscribe()
+        try:
+            await sse.start()
+            while True:
+                snap = await channel.get()
+                if snap is None:
+                    end = {"event": "end", "job": job.id,
+                           "state": job.state}
+                    results = job.results()
+                    if results is not None:
+                        end["results"] = results
+                    if job.errors:
+                        end["errors"] = dict(job.errors)
+                    await sse.send(end)
+                    await sse.end()
+                    return
+                snap = dict(snap)
+                snap["event"] = "progress"
+                await sse.send(snap)
+        finally:
+            job.unsubscribe(channel)
+
+    async def _cancel(self, writer: asyncio.StreamWriter, keep: bool,
+                      pk: int, job: Optional[Job],
+                      row: Dict[str, Any]) -> None:
+        if job is not None:
+            job.cancel(self.core.scheduler)  # tracker persists the state
+            await http.send_json(writer, 200,
+                                 {"job": job.id, "state": job.state},
+                                 keep_alive=keep)
+            return
+        if row["state"] not in STORED_TERMINAL:
+            # Stored but not yet (re-)admitted: cancel in the store; the
+            # recovery loop re-checks state before admitting.
+            self.store.set_job_state(pk, "cancelled")
+            row = dict(row, state="cancelled")
+        await http.send_json(writer, 200,
+                             {"job": f"g{pk}", "state": row["state"]},
+                             keep_alive=keep)
+
+    # -- status --------------------------------------------------------------
+
+    def server_status(self) -> Dict[str, Any]:
+        return {
+            "draining": self.core.draining,
+            "recovering": not (self.recovery_done is None
+                               or self.recovery_done.is_set()),
+            "queue": self.core.queue_status(),
+            "workers": self.core.workers,
+            "workers_busy": self.core.busy,
+            "procs": self.core.executor.jobs,
+            "procs_busy": self.core.executor.procs_busy(),
+            "fabric": self.core.executor.fabric_stats(),
+            "jobs": self.core.jobs_by_state(),
+            "points": self.core.points_status(),
+            "cache": self.core.cache_summary(),
+            "store": {"jobs": self.store.counts_by_state(),
+                      "results": self.store.result_count()},
+            "gateway": self.registry.to_dict()["gateway"],
+        }
+
+
+# -- embedding helpers --------------------------------------------------------
+
+async def _thread_main(gateway: Gateway, started: threading.Event,
+                       box: Dict[str, Any]) -> None:
+    try:
+        box["address"] = await gateway.start()
+        box["loop"] = asyncio.get_running_loop()
+    except BaseException as exc:
+        box["error"] = exc
+        started.set()
+        raise
+    started.set()
+    await gateway.serve_forever()
+
+
+class GatewayThread:
+    """A gateway on a background event loop — tests and notebooks (the
+    HTTP sibling of :class:`~repro.service.server.ServiceThread`)."""
+
+    def __init__(self, config: Optional[GatewayConfig] = None,
+                 executor: Optional[Executor] = None,
+                 settings: Optional[RunSettings] = None,
+                 store: Optional[JobStore] = None) -> None:
+        self.gateway = Gateway(config, executor, settings, store)
+        self._box: Dict[str, Any] = {}
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple:
+        return self._box["address"]
+
+    @property
+    def base_url(self) -> str:
+        kind, host, port = self.address
+        assert kind == "tcp", "base_url needs a TCP bind"
+        return f"http://{host}:{port}"
+
+    def __enter__(self) -> "GatewayThread":
+        started = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(
+                _thread_main(self.gateway, started, self._box)),
+            name="esp-nuca-gateway", daemon=True)
+        self._thread.start()
+        started.wait(timeout=30)
+        if "error" in self._box:
+            self._thread.join(timeout=5)
+            raise self._box["error"]
+        if "address" not in self._box:
+            raise RuntimeError("gateway failed to start within 30s")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        import concurrent.futures
+
+        loop = self._box.get("loop")
+        if (self._thread is not None and self._thread.is_alive()
+                and loop is not None and not loop.is_closed()):
+            try:
+                future = asyncio.run_coroutine_threadsafe(
+                    self.gateway.shutdown(), loop)
+                future.result(timeout=120)
+            except (RuntimeError, concurrent.futures.TimeoutError):
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=120)

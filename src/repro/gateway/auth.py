@@ -1,0 +1,87 @@
+"""Gateway authentication and admission-control primitives.
+
+API keys are bearer tokens: generated once (``esp-nuca gateway
+add-tenant``), stored only as a sha256 hex digest, presented as
+``Authorization: Bearer <key>``. Hashing is deliberately plain sha256
+rather than a password KDF — keys are 256-bit random strings, not
+human-chosen secrets, so brute force against the digest is already
+infeasible and the lookup must stay cheap (it runs on every request).
+
+Rate limiting is a token bucket per tenant: ``capacity`` burst tokens
+refilled at ``refill`` tokens/second. Like the scheduler's
+all-or-nothing queue admission, a request either takes a whole token or
+is rejected with a typed 429 carrying ``Retry-After`` — there is no
+partial service and no unbounded waiting queue in front of the
+gateway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import secrets
+import time
+from typing import Callable, Tuple
+
+#: Tenant names become statistics scope names (``gateway.tenants.<name>``)
+#: and appear in URLs and logs — so: lowercase, no dots, bounded length.
+TENANT_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9_-]{0,31}$")
+
+KEY_PREFIX = "esp_"
+
+
+def validate_tenant(name: str) -> str:
+    """The tenant-name contract (raises ``ValueError``)."""
+    if not isinstance(name, str) or not TENANT_NAME_RE.match(name):
+        raise ValueError(
+            f"invalid tenant name {name!r}: must match "
+            f"{TENANT_NAME_RE.pattern} (lowercase alphanumeric plus '-'/'_', "
+            f"max 32 chars — it becomes a stats scope name)")
+    return name
+
+
+def generate_key() -> str:
+    """A fresh API key: 256 bits of urlsafe randomness, prefixed so keys
+    are recognizable in configs and never collide with user data."""
+    return KEY_PREFIX + secrets.token_urlsafe(32)
+
+
+def hash_key(key: str) -> str:
+    """Stored/lookup form of an API key."""
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+class TokenBucket:
+    """Classic token bucket with an injectable clock (deterministic in
+    tests: pass a fake ``clock`` and advance it by hand)."""
+
+    def __init__(self, capacity: float, refill: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if capacity < 1 or refill <= 0:
+            raise ValueError(f"need capacity >= 1 and refill > 0, got "
+                             f"capacity={capacity} refill={refill}")
+        self.capacity = float(capacity)
+        self.refill = float(refill)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._last = clock()
+
+    def _advance(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.refill)
+
+    def take(self) -> Tuple[bool, float]:
+        """Try to take one token. Returns ``(True, 0.0)`` on success or
+        ``(False, retry_after_seconds)`` when the bucket is empty."""
+        self._advance()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self._tokens) / self.refill
+
+    @property
+    def tokens(self) -> float:
+        self._advance()
+        return self._tokens

@@ -1,0 +1,35 @@
+-- Jobs, their expanded run points, and results by content hash.
+--
+-- `request` is the canonical JSON of the validated submit message; on
+-- recovery the gateway re-expands it through the exact same
+-- grid_points path as the original admission, which is what makes
+-- recovered results byte-identical to direct runs.
+
+CREATE TABLE jobs (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    state       TEXT NOT NULL,
+    priority    INTEGER NOT NULL DEFAULT 0,
+    request     TEXT NOT NULL,
+    error       TEXT,
+    created_at  REAL NOT NULL,
+    updated_at  REAL NOT NULL
+);
+
+CREATE TABLE job_points (
+    job_id      INTEGER NOT NULL REFERENCES jobs(id) ON DELETE CASCADE,
+    ord         INTEGER NOT NULL,
+    point_key   TEXT NOT NULL,
+    name        TEXT NOT NULL,
+    workload    TEXT NOT NULL,
+    seed        INTEGER NOT NULL,
+    PRIMARY KEY (job_id, ord)
+);
+
+-- Content-hash keyed result payloads (canonical JSON of
+-- SimResult.to_dict()). Shared across jobs: two jobs naming the same
+-- point share one row, exactly like the run cache shares one entry.
+CREATE TABLE results (
+    point_key   TEXT PRIMARY KEY,
+    payload     TEXT NOT NULL,
+    created_at  REAL NOT NULL
+);

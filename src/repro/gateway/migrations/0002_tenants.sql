@@ -1,0 +1,19 @@
+-- Multi-tenancy: API-key identities with per-tenant quotas.
+--
+-- Only the sha256 of an API key is stored; the plaintext is shown once
+-- at `esp-nuca gateway add-tenant` time and cannot be recovered.
+
+CREATE TABLE tenants (
+    id             INTEGER PRIMARY KEY AUTOINCREMENT,
+    name           TEXT NOT NULL UNIQUE,
+    key_hash       TEXT NOT NULL UNIQUE,
+    max_jobs       INTEGER NOT NULL DEFAULT 4,
+    max_points     INTEGER NOT NULL DEFAULT 64,
+    rate_capacity  REAL NOT NULL DEFAULT 10.0,
+    rate_refill    REAL NOT NULL DEFAULT 2.0,
+    created_at     REAL NOT NULL
+);
+
+-- Jobs gain an owner (tenant name; NULL = submitted anonymously before
+-- this migration or with --allow-anonymous).
+ALTER TABLE jobs ADD COLUMN tenant TEXT;

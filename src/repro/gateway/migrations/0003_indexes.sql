@@ -1,0 +1,6 @@
+-- Hot-path indexes: recovery scans by state, listings scan by tenant,
+-- and result re-attachment joins points to results by content hash.
+
+CREATE INDEX idx_jobs_state ON jobs(state);
+CREATE INDEX idx_jobs_tenant ON jobs(tenant);
+CREATE INDEX idx_job_points_key ON job_points(point_key);

@@ -1,0 +1,132 @@
+"""The gateway's OpenAPI 3.0 document, served at ``GET /openapi.json``.
+
+Hand-maintained alongside the routes in :mod:`repro.gateway.app` (the
+route table is small enough that a generator would be more code than
+the document); ``tests/test_gateway.py`` asserts the two stay in sync —
+every route the app dispatches appears here and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+_ERROR = {"type": "object", "properties": {
+    "error": {"type": "object", "properties": {
+        "code": {"type": "string"},
+        "message": {"type": "string"}}}}}
+
+_JOB = {"type": "object", "properties": {
+    "job": {"type": "string", "description": "public job id (g<n>)"},
+    "state": {"type": "string",
+              "enum": ["queued", "running", "done", "failed", "cancelled"]},
+    "unique_points": {"type": "integer"},
+    "counts": {"type": "object", "additionalProperties":
+               {"type": "integer"}},
+}}
+
+_SUBMIT = {"type": "object",
+           "required": ["architectures", "workloads"],
+           "properties": {
+               "architectures": {"type": "array",
+                                 "items": {"type": "string"}},
+               "workloads": {"type": "array", "items": {"type": "string"}},
+               "seeds": {"type": "array", "items": {"type": "integer"}},
+               "settings": {"type": "object", "properties": {
+                   "refs_per_core": {"type": "integer"},
+                   "warmup_refs_per_core": {"type": "integer"},
+                   "capacity_factor": {"type": "integer"},
+                   "num_seeds": {"type": "integer"},
+                   "base_seed": {"type": "integer"},
+                   "engine": {"type": "string"}}},
+               "priority": {"type": "integer"},
+               "check": {"type": "integer"},
+           }}
+
+
+def _op(summary: str, responses: Dict[str, Any], *,
+        body: Any = None, security: bool = True) -> Dict[str, Any]:
+    op: Dict[str, Any] = {"summary": summary, "responses": responses}
+    if body is not None:
+        op["requestBody"] = {"required": True, "content": {
+            "application/json": {"schema": body}}}
+    if security:
+        op["security"] = [{"bearerKey": []}]
+    return op
+
+
+def _json_resp(description: str, schema: Any = None) -> Dict[str, Any]:
+    resp: Dict[str, Any] = {"description": description}
+    if schema is not None:
+        resp["content"] = {"application/json": {"schema": schema}}
+    return resp
+
+
+def spec() -> Dict[str, Any]:
+    """The complete document (a fresh dict each call — callers may
+    mutate)."""
+    err = _json_resp("typed error", _ERROR)
+    return {
+        "openapi": "3.0.3",
+        "info": {
+            "title": "esp-nuca simulation gateway",
+            "description":
+                "Durable, multi-tenant HTTP front end over the ESP-NUCA "
+                "simulation service core. Jobs survive restarts (SQLite "
+                "job store), results are keyed by run-point content hash "
+                "and byte-identical to direct harness runs. Authenticate "
+                "with `Authorization: Bearer <api-key>` (see docs/"
+                "gateway.md); quota and rate-limit rejects are typed "
+                "429s, queue saturation a typed 503.",
+            "version": "1",
+        },
+        "components": {"securitySchemes": {
+            "bearerKey": {"type": "http", "scheme": "bearer"}}},
+        "paths": {
+            "/healthz": {"get": _op(
+                "liveness probe (no auth)",
+                {"200": _json_resp("gateway is serving")},
+                security=False)},
+            "/openapi.json": {"get": _op(
+                "this document (no auth)",
+                {"200": _json_resp("OpenAPI 3.0 spec")}, security=False)},
+            "/v1/status": {"get": _op(
+                "server status: queue, workers, cache, per-tenant stats",
+                {"200": _json_resp("status snapshot"), "401": err})},
+            "/v1/jobs": {
+                "post": _op(
+                    "submit a simulation grid",
+                    {"201": _json_resp("admitted job snapshot", _JOB),
+                     "400": err, "401": err, "403": err,
+                     "429": _json_resp(
+                         "quota or rate-limit reject (Retry-After set "
+                         "for rate limits)", _ERROR),
+                     "503": _json_resp("queue full or draining", _ERROR)},
+                    body=_SUBMIT),
+                "get": _op(
+                    "list this tenant's jobs (newest first)",
+                    {"200": _json_resp("job summaries"), "401": err}),
+            },
+            "/v1/jobs/{id}": {
+                "get": _op(
+                    "job snapshot (live or recovered-from-store)",
+                    {"200": _json_resp("job snapshot", _JOB), "401": err,
+                     "404": err}),
+                "delete": _op(
+                    "cancel a job (queued points only; running points "
+                    "finish)",
+                    {"200": _json_resp("post-cancel snapshot", _JOB),
+                     "401": err, "404": err}),
+            },
+            "/v1/jobs/{id}/results": {"get": _op(
+                "full result payloads, grid order",
+                {"200": _json_resp("list of SimResult payloads"),
+                 "401": err, "404": err,
+                 "409": _json_resp("job not finished yet", _ERROR)})},
+            "/v1/jobs/{id}/events": {"get": _op(
+                "Server-Sent-Events progress stream until terminal",
+                {"200": {"description":
+                         "text/event-stream of snapshot frames; the "
+                         "final frame has event=end"},
+                 "401": err, "404": err})},
+        },
+    }

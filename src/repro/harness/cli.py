@@ -13,6 +13,9 @@ Examples::
     esp-nuca repro-cache clear
     esp-nuca serve --bind 127.0.0.1:8642             # simulation daemon
     esp-nuca submit --arch esp-nuca,shared --workload apache --watch
+    esp-nuca gateway serve --db jobs.sqlite --http 127.0.0.1:8643
+    esp-nuca gateway add-tenant --tenant alice --max-jobs 4
+    esp-nuca gateway migrate --db jobs.sqlite        # apply schema upgrades
     esp-nuca submit --arch esp-nuca --workload apache --trace
     esp-nuca trace fig6 --out trace.json             # capture an event trace
     esp-nuca trace run --arch esp-nuca --sample 10 --categories access,l2
@@ -41,7 +44,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                                      "list", "trace",
                                                      "overhead", "claims",
                                                      "repro-cache", "serve",
-                                                     "submit"],
+                                                     "submit", "gateway"],
                         help="experiment id (figN/stability/ablation), "
                              "'all', 'run' (single run), 'stats' (one run's "
                              "per-component statistics tables), 'trace' "
@@ -49,15 +52,18 @@ def _build_parser() -> argparse.ArgumentParser:
                              "model), 'claims' (verdicts over --json dir), "
                              "'repro-cache' (persistent cache maintenance), "
                              "'serve' (simulation daemon), 'submit' (send a "
-                             "grid to a running daemon), or 'list'")
+                             "grid to a running daemon), 'gateway' (durable "
+                             "HTTP front end), or 'list'")
     parser.add_argument("action", nargs="?", default=None,
                         choices=["stats", "clear"] + list(EXPERIMENTS)
-                        + ["run"],
+                        + ["run", "serve", "migrate", "add-tenant",
+                           "list-tenants"],
                         help="for 'repro-cache': stats (default) or clear; "
                              "for 'trace': the experiment (or 'run') to "
                              "capture an event trace of — without a target, "
                              "'trace' records a raw workload trace file "
-                             "(legacy behaviour)")
+                             "(legacy behaviour); for 'gateway': serve "
+                             "(default), migrate, add-tenant, list-tenants")
     parser.add_argument("--seeds", type=int, default=None,
                         help="perturbed runs per data point (default 2)")
     parser.add_argument("--refs", type=int, default=None,
@@ -145,6 +151,33 @@ def _build_parser() -> argparse.ArgumentParser:
     service.add_argument("--watch", action="store_true",
                          help="submit: stream progress events while "
                               "waiting")
+    gateway = parser.add_argument_group("HTTP gateway ('gateway ...'; "
+                                        "see docs/gateway.md)")
+    gateway.add_argument("--db", default="gateway.sqlite",
+                         help="gateway: SQLite job-store path "
+                              "(default gateway.sqlite)")
+    gateway.add_argument("--http", default="127.0.0.1:8643",
+                         help="gateway serve: HTTP bind host:port or "
+                              "unix:/path (default 127.0.0.1:8643)")
+    gateway.add_argument("--tenant", default=None,
+                         help="gateway add-tenant: tenant name (lowercase "
+                              "alphanumeric plus '-'/'_')")
+    gateway.add_argument("--max-jobs", type=int, default=4,
+                         help="gateway add-tenant: concurrent unfinished "
+                              "jobs allowed (default 4)")
+    gateway.add_argument("--max-points", type=int, default=64,
+                         help="gateway add-tenant: unfinished unique run "
+                              "points allowed (default 64)")
+    gateway.add_argument("--rate-capacity", type=float, default=10.0,
+                         help="gateway add-tenant: token-bucket burst size "
+                              "(default 10)")
+    gateway.add_argument("--rate-refill", type=float, default=2.0,
+                         help="gateway add-tenant: tokens/second refill "
+                              "(default 2)")
+    gateway.add_argument("--allow-anonymous", action="store_true",
+                         help="gateway serve: accept unauthenticated "
+                              "requests as the shared 'anon' tenant "
+                              "(dev/test only)")
     return parser
 
 
@@ -320,6 +353,127 @@ def _serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _gateway(args: argparse.Namespace) -> int:
+    """``esp-nuca gateway <serve|migrate|add-tenant|list-tenants>`` —
+    the durable multi-tenant HTTP front end (docs/gateway.md)."""
+    action = args.action or "serve"
+    if action not in ("serve", "migrate", "add-tenant", "list-tenants"):
+        print(f"error: 'gateway' action must be serve, migrate, "
+              f"add-tenant or list-tenants, got {action!r}",
+              file=sys.stderr)
+        return 2
+    from repro.gateway.store import JobStore, StoreError
+
+    if action == "migrate":
+        store = JobStore(args.db)
+        try:
+            applied = store.migrate()
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            store.close()
+        if applied:
+            print(f"applied {len(applied)} migration(s): "
+                  + ", ".join(applied))
+        else:
+            print("schema already up to date")
+        return 0
+    if action == "add-tenant":
+        if not args.tenant:
+            print("error: add-tenant needs --tenant <name>",
+                  file=sys.stderr)
+            return 2
+        with JobStore.open(args.db) as store:
+            try:
+                tenant, key = store.add_tenant(
+                    args.tenant, max_jobs=args.max_jobs,
+                    max_points=args.max_points,
+                    rate_capacity=args.rate_capacity,
+                    rate_refill=args.rate_refill)
+            except (StoreError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        print(f"tenant {tenant['name']!r}: max_jobs={tenant['max_jobs']} "
+              f"max_points={tenant['max_points']} "
+              f"rate={tenant['rate_capacity']:g}/burst "
+              f"{tenant['rate_refill']:g}/s")
+        print(f"api key (shown once, only the hash is stored): {key}")
+        return 0
+    if action == "list-tenants":
+        with JobStore.open(args.db) as store:
+            tenants = store.list_tenants()
+        if not tenants:
+            print("no tenants (use 'gateway add-tenant --tenant <name>')")
+            return 0
+        for row in tenants:
+            print(f"{row['name']}: max_jobs={row['max_jobs']} "
+                  f"max_points={row['max_points']} "
+                  f"rate={row['rate_capacity']:g}/burst "
+                  f"{row['rate_refill']:g}/s")
+        return 0
+
+    # serve
+    import asyncio
+    import signal
+
+    from repro.gateway.app import Gateway, GatewayConfig
+    from repro.harness.executor import Executor
+    from repro.harness.fabric import default_workers
+    from repro.harness.runcache import RunCache
+    from repro.service.protocol import parse_address
+
+    try:
+        bind = parse_address(args.http)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.workers is not None:
+        workers = args.workers
+    elif args.jobs is not None:
+        workers = args.jobs
+    else:
+        workers = default_workers()
+    cache = RunCache(enabled=False) if args.no_cache else RunCache.from_env()
+    gateway = Gateway(
+        GatewayConfig(bind=bind, db_path=args.db,
+                      queue_limit=args.queue_limit,
+                      workers=args.service_workers, batch=args.batch,
+                      allow_anonymous=args.allow_anonymous),
+        executor=Executor(jobs=workers, cache=cache),
+        settings=_settings(args))
+
+    async def _main() -> None:
+        address = await gateway.start()
+        shown = (f"unix:{address[1]}" if address[0] == "unix"
+                 else f"http://{address[1]}:{address[2]}")
+        backlog = len(gateway.store.unfinished_jobs())
+        print(f"esp-nuca gateway listening on {shown} "
+              f"(store {args.db}, queue limit {args.queue_limit}, "
+              f"{workers} simulation process(es), "
+              f"{'anonymous allowed' if args.allow_anonymous else 'API keys required'}"
+              f"{f', recovering {backlog} job(s)' if backlog else ''})",
+              flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(gateway.shutdown()))
+            except NotImplementedError:  # pragma: no cover — non-POSIX
+                pass
+        await gateway.serve_forever()
+        print(f"gateway drained: {len(gateway.core.jobs)} live job(s), "
+              f"{gateway.c_recovered.value} recovered, "
+              f"{gateway.c_admits.value} admitted over HTTP", flush=True)
+
+    asyncio.run(_main())
+    return 0
+
+
 def _submit(args: argparse.Namespace) -> int:
     """``esp-nuca submit`` — send one grid to a running daemon."""
     from repro.service.client import (ServiceClient, ServiceError,
@@ -440,6 +594,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _serve(args)
     if args.experiment == "submit":
         return _submit(args)
+    if args.experiment == "gateway":
+        return _gateway(args)
     from repro.harness.executor import Executor
     from repro.harness.runcache import RunCache
 

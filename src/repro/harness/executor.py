@@ -312,6 +312,15 @@ class Executor:
                 self._pool = fabric.WorkerPool(self.jobs)
             return self._pool
 
+    def prestart(self) -> None:
+        """Start the worker fabric now instead of on the first parallel
+        batch. Front ends that recover a persisted backlog on boot (the
+        gateway) call this so re-dispatched jobs never pay pool spawn
+        latency inside the first batch; a no-op for serial executors
+        (``jobs == 1`` runs in-process) and when the pool already runs."""
+        if self.jobs > 1:
+            self._ensure_pool()
+
     def procs_busy(self) -> int:
         """Simulation worker processes currently executing a job (0
         when the pool has never been started)."""

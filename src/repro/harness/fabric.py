@@ -138,10 +138,22 @@ def _worker_main(task_queue, result_queue, runner: Callable[[Any], Any],
                  heartbeat: float) -> None:
     """Worker process entry: pull jobs until the ``None`` sentinel."""
     pid = os.getpid()
+    parent = os.getppid()
 
     def beat() -> None:
         while True:
             time.sleep(heartbeat)
+            # Parent-death watchdog: if the pool's owner is SIGKILL'd it
+            # never sends the ``None`` sentinel, and this process would
+            # block in ``task_queue.get()`` forever (daemon=True only
+            # helps at interpreter exit, which never comes). A reparented
+            # worker (getppid() changed — to init or a subreaper) has no
+            # one left to report to, so exit hard: _exit() skips atexit
+            # and multiprocessing cleanup that could block on the dead
+            # parent's queues. The gateway's kill-and-restart recovery
+            # relies on this leaving zero orphaned simulation processes.
+            if os.getppid() != parent:
+                os._exit(1)
             try:
                 result_queue.put(("hb", pid, time.time()))
             except Exception:  # queue torn down mid-exit

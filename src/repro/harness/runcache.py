@@ -326,6 +326,28 @@ class RunCache:
         self.hits += 1
         return result
 
+    def get_payload(self, key: str) -> Optional[Dict[str, object]]:
+        """The raw wire payload for a key, schema-validated, or ``None``
+        on a miss. This is the persistent index behind the gateway's
+        results-by-content-hash store: a completed job whose results row
+        was lost (crash between cache write and store commit) re-attaches
+        here and still answers byte-identically, because the cache entry
+        *is* ``result.to_dict()`` — the same serializer every reply path
+        uses. Counts hits/misses like :meth:`get`."""
+        if not self.enabled:
+            return None
+        try:
+            with open(self.entry_path(key), encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload_to_result(payload) is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
     def put(self, key: str, result: SimResult) -> None:
         if not self.enabled:
             return

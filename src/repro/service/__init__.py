@@ -10,6 +10,7 @@ with streaming progress (``esp-nuca submit``). See docs/service.md.
 
 from repro.service.client import (ServiceClient, ServiceError,
                                   payloads_to_results)
+from repro.service.core import ServiceCore
 from repro.service.protocol import parse_address
 from repro.service.queue import QueueFullError, Scheduler
 from repro.service.server import (ServiceConfig, ServiceThread,
@@ -19,6 +20,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceConfig",
+    "ServiceCore",
     "ServiceThread",
     "SimulationService",
     "Scheduler",

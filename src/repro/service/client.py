@@ -21,6 +21,7 @@ so callers can branch on backpressure without string matching.
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.service import protocol as proto
@@ -72,6 +73,49 @@ class ServiceClient:
             sock = socket.create_connection((address[1], address[2]),
                                             timeout=timeout)
         return cls(sock, timeout=timeout)
+
+    @classmethod
+    def wait_until_ready(cls, address, timeout: float = 60.0,
+                         proc=None, request_timeout: Optional[float] = 120.0
+                         ) -> "ServiceClient":
+        """Connect with bounded retry/backoff until the server answers
+        a ``ping`` — the supported way to wait for a freshly spawned
+        daemon (smoke tests, the CLI, anything using ``Popen``).
+
+        Retries refused/absent sockets with exponential backoff (50 ms
+        doubling to 1 s) until ``timeout`` seconds have passed, then
+        raises :class:`TimeoutError`. Pass the daemon's
+        ``subprocess.Popen`` handle as ``proc`` to fail fast with
+        :class:`ConnectionError` the moment the server process dies
+        instead of burning the whole timeout."""
+        deadline = time.monotonic() + timeout
+        delay = 0.05
+        if isinstance(address, str):
+            address = proto.parse_address(address)
+        while True:
+            if proc is not None and proc.poll() is not None:
+                raise ConnectionError(
+                    f"server process exited with code {proc.returncode} "
+                    f"before becoming ready")
+            try:
+                client = cls.connect(address, timeout=request_timeout)
+            except (ConnectionError, FileNotFoundError, OSError) as exc:
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"server at {address!r} not ready within "
+                        f"{timeout:.0f}s: {exc}") from exc
+            else:
+                try:
+                    client.ping()
+                    return client
+                except (ConnectionError, ServiceError, OSError) as exc:
+                    client.close()
+                    if time.monotonic() >= deadline:
+                        raise TimeoutError(
+                            f"server at {address!r} not answering pings "
+                            f"within {timeout:.0f}s: {exc}") from exc
+            time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
+            delay = min(delay * 2, 1.0)
 
     def close(self) -> None:
         try:

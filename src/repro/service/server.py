@@ -1,7 +1,12 @@
 """The simulation daemon: asyncio server over the executor + run cache.
 
 ``esp-nuca serve`` turns the batch harness into a long-running,
-request-serving system. One process owns:
+request-serving system. One process owns a
+:class:`~repro.service.core.ServiceCore` — the transport-agnostic
+scheduler/coalescing/dispatch layer shared with the HTTP gateway
+(:mod:`repro.gateway`) — and speaks the JSON-lines protocol of
+:mod:`repro.service.protocol` over TCP or a Unix socket. Through the
+core it drives:
 
 * an :class:`~repro.harness.executor.Executor` (and through it the
   persistent :class:`~repro.harness.runcache.RunCache` and the shared
@@ -16,9 +21,7 @@ request-serving system. One process owns:
   CPU work happens in the fabric's worker processes). Two worker
   populations, reported separately: ``workers_busy`` counts dispatcher
   tasks mid-batch, ``procs_busy`` counts simulation processes
-  executing jobs (docs/fabric.md);
-* the JSON-lines protocol of :mod:`repro.service.protocol` over TCP or
-  a Unix socket.
+  executing jobs (docs/fabric.md).
 
 Request lifecycle of ``submit``: the grid expands to run points exactly
 as :class:`~repro.harness.runner.ExperimentRunner` builds them (same
@@ -44,22 +47,16 @@ from __future__ import annotations
 import asyncio
 import itertools
 import threading
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.architectures.registry import architecture_names
-from repro.common.config import CheckConfig, scaled_config
-from repro.common.rng import perturbed_seeds
 from repro.harness.executor import Executor
-from repro.harness.reporting import run_stats_payload
-from repro.harness.runner import RunSettings, grid_points
+from repro.harness.runner import RunSettings
 from repro.obs import trace as obs
 from repro.service import protocol as proto
 from repro.service import queue as q
+from repro.service.core import ServiceCore
 from repro.service.progress import TERMINAL, Job
-from repro.sim.engines import ENGINES
-from repro.workloads.registry import workload_names
 
 
 @dataclass(frozen=True)
@@ -81,53 +78,70 @@ class ServiceConfig:
 
 
 class SimulationService:
-    """The daemon: queue + workers + protocol endpoint in one loop."""
+    """The daemon: a shared core + the JSON-lines protocol endpoint."""
 
     def __init__(self, config: Optional[ServiceConfig] = None,
                  executor: Optional[Executor] = None,
                  settings: Optional[RunSettings] = None) -> None:
         self.config = config or ServiceConfig()
-        self.executor = executor or Executor()
-        self.defaults = settings or RunSettings.from_env()
-        self.scheduler: Optional[q.Scheduler] = None
-        self.jobs: Dict[str, Job] = {}
-        self.draining = False
+        self.core = ServiceCore(executor, settings,
+                                queue_limit=self.config.queue_limit,
+                                workers=self.config.workers,
+                                batch=self.config.batch)
         self.address: Optional[Tuple] = None
-        self._job_seq = itertools.count(1)
         self._client_seq = itertools.count(1)
         self._server: Optional[asyncio.AbstractServer] = None
         self._conns: set = set()
-        self._workers: List[asyncio.Task] = []
-        self._pool: Optional[ThreadPoolExecutor] = None
-        self._followers: Dict[str, List[Job]] = {}
-        # SystemConfig per (capacity_factor, check-period) pair.
-        self._configs: Dict[Tuple[int, int], Any] = {}
         self._stopped: Optional[asyncio.Event] = None
-        # lifetime counters (the `status` command's server section)
+        # protocol-level lifetime counter (the core owns the point ones)
         self.requests = 0
-        self.points_requested = 0
-        self.points_cached = 0
-        self.points_coalesced = 0
-        self.points_enqueued = 0
-        # live gauges + event-trace capture state (one traced job at a
-        # time; the tracer is process-global while it is active)
-        self._busy = 0
+        # event-trace capture state (one traced job at a time; the
+        # tracer is process-global while it is active)
         self._trace_job: Optional[str] = None
         self._tracer: Optional[obs.Tracer] = None
         self._trace_prev: Any = None
+
+    # -- thin views over the core (kept for tests and embedders) -------------
+
+    @property
+    def executor(self) -> Executor:
+        return self.core.executor
+
+    @property
+    def jobs(self) -> Dict[str, Job]:
+        return self.core.jobs
+
+    @property
+    def draining(self) -> bool:
+        return self.core.draining
+
+    @property
+    def scheduler(self) -> Optional[q.Scheduler]:
+        return self.core.scheduler
+
+    @property
+    def points_requested(self) -> int:
+        return self.core.points_requested
+
+    @property
+    def points_cached(self) -> int:
+        return self.core.points_cached
+
+    @property
+    def points_coalesced(self) -> int:
+        return self.core.points_coalesced
+
+    @property
+    def points_enqueued(self) -> int:
+        return self.core.points_enqueued
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> Tuple:
         """Bind, spawn workers, and return the live address (with the
         real port when binding port 0)."""
-        self.scheduler = q.Scheduler(self.config.queue_limit)
+        await self.core.start()
         self._stopped = asyncio.Event()
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.config.workers,
-            thread_name_prefix="esp-nuca-sim")
-        self._workers = [asyncio.ensure_future(self._worker())
-                         for _ in range(self.config.workers)]
         bind = self.config.bind
         if bind[0] == "unix":
             self._server = await asyncio.start_unix_server(
@@ -154,105 +168,11 @@ class SimulationService:
     async def shutdown(self) -> Dict[str, Any]:
         """Graceful stop: drain everything, then release the sockets,
         workers and thread pool. Idempotent."""
-        summary = await self._drain()
+        summary = await self.core.drain()
         self._finish_stop()
         return summary
 
-    async def _drain(self) -> Dict[str, Any]:
-        self.draining = True
-        self.scheduler.close()
-        pending = [job.done for job in self.jobs.values()
-                   if not job.done.done()]
-        if pending:
-            await asyncio.wait(pending)
-        if self._workers:
-            await asyncio.wait(self._workers)
-        alive = sum(1 for w in self._workers if not w.done())
-        self._workers = []
-        if self._pool is not None:
-            # All batches have completed, so this returns immediately —
-            # it exists to reap the dispatcher threads ("zero orphaned
-            # workers" covers OS threads too).
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        # Tear down the fabric's simulation processes as well — the
-        # drain barrier means no worker process outlives the daemon.
-        self.executor.close()
-        return {
-            "drained": True,
-            "jobs": len(self.jobs),
-            "workers_alive": alive,
-            "executed_points": self.executor.executed,
-            "cache": self._cache_summary(),
-        }
-
-    def _cache_summary(self) -> Dict[str, int]:
-        cache = self.executor.cache
-        return {"hits": cache.hits, "misses": cache.misses,
-                "writes": cache.writes}
-
-    # -- worker side ---------------------------------------------------------
-
-    async def _worker(self) -> None:
-        loop = asyncio.get_running_loop()
-        while True:
-            batch = await self.scheduler.next_batch(self.config.batch)
-            if batch is None:
-                return
-            for task in batch:
-                for job in self._followers.get(task.key, ()):
-                    job.mark_running([task.key])
-            points = [task.point for task in batch]
-            self._busy += 1
-            self._emit_gauges()
-            try:
-                results = await loop.run_in_executor(
-                    self._pool, self.executor.run, points)
-            except BaseException as exc:  # noqa: BLE001 — batch-fatal
-                for task in batch:
-                    self.scheduler.finish(task, error=exc)
-            else:
-                for task, result in zip(batch, results):
-                    self.scheduler.finish(task, result=result)
-            finally:
-                self._busy -= 1
-                self._emit_gauges()
-                for task in batch:
-                    self._followers.pop(task.key, None)
-
-    # -- gauges + event tracing ----------------------------------------------
-
-    def _gauges(self) -> Dict[str, Any]:
-        """Live load figures attached to every job snapshot (status and
-        watch streams): queue depth and both worker populations —
-        ``workers*`` are the asyncio dispatcher tasks, ``procs*`` the
-        fabric's simulation processes (the real CPU utilization)."""
-        return {
-            "queue_backlog": self.scheduler.backlog,
-            "queue_inflight": self.scheduler.inflight,
-            "queue_limit": self.config.queue_limit,
-            "workers_busy": self._busy,
-            "workers": self.config.workers,
-            "procs_busy": self.executor.procs_busy(),
-            "procs": self.executor.jobs,
-        }
-
-    def _emit_gauges(self) -> None:
-        """Counter-track samples on the active tracer (no-ops when
-        tracing is off)."""
-        tracer = obs.active()
-        if tracer.enabled and tracer.wants("service"):
-            ts = tracer.wall_now()
-            tracer.counter(
-                "service", "queue depth", ts=ts, pid=tracer.wall_pid,
-                tid="service",
-                values={"backlog": float(self.scheduler.backlog),
-                        "inflight": float(self.scheduler.inflight)})
-            tracer.counter(
-                "service", "busy workers", ts=ts, pid=tracer.wall_pid,
-                tid="service",
-                values={"busy": float(self._busy),
-                        "procs_busy": float(self.executor.procs_busy())})
+    # -- event tracing -------------------------------------------------------
 
     def _begin_trace(self, job: Job) -> obs.Tracer:
         """Install a process-global tracer for one job's lifetime.
@@ -376,7 +296,7 @@ class SimulationService:
             elif cmd == "cancel":
                 await self._cmd_cancel(message, writer)
             elif cmd == "drain":
-                summary = await self._drain()
+                summary = await self.core.drain()
                 await self._send(writer, proto.ok(**summary))
                 if self._stopped is not None:
                     # Let serve_forever return once the reply is out.
@@ -405,57 +325,6 @@ class SimulationService:
 
     # -- submit --------------------------------------------------------------
 
-    @staticmethod
-    def _build_config(capacity_factor: int, check: int):
-        """The (cached) SystemConfig for a submission: scaled to the
-        requested capacity, with the invariant checker enabled when the
-        client asked for a checked run."""
-        config = scaled_config(capacity_factor)
-        if check:
-            config = replace(config,
-                             checks=CheckConfig(enabled=True, sample=check))
-        return config
-
-    def _request_settings(self, message: Dict[str, Any]) -> RunSettings:
-        raw = message.get("settings", {})
-        if not isinstance(raw, dict):
-            raise proto.ProtocolError("field 'settings' must be an object")
-        known = ("refs_per_core", "warmup_refs_per_core", "capacity_factor",
-                 "num_seeds", "base_seed", "engine")
-        unknown = sorted(set(raw) - set(known))
-        if unknown:
-            raise proto.ProtocolError(
-                f"unknown settings field(s): {', '.join(unknown)} "
-                f"(known: {', '.join(known)})")
-        engine = raw.get("engine", self.defaults.engine)
-        if engine is not None and engine not in ENGINES:
-            raise proto.ProtocolError(
-                f"unknown engine {engine!r}; choices: {', '.join(ENGINES)}")
-        d = self.defaults
-        return RunSettings(
-            capacity_factor=proto.check_int(
-                raw, "capacity_factor", d.capacity_factor, 1),
-            refs_per_core=proto.check_int(
-                raw, "refs_per_core", d.refs_per_core, 1),
-            warmup_refs_per_core=proto.check_int(
-                raw, "warmup_refs_per_core", d.warmup_refs_per_core, 0),
-            num_seeds=proto.check_int(raw, "num_seeds", d.num_seeds, 1),
-            base_seed=proto.check_int(raw, "base_seed", d.base_seed, 0),
-            engine=engine,
-        )
-
-    def _request_seeds(self, message: Dict[str, Any],
-                       settings: RunSettings) -> List[int]:
-        seeds = message.get("seeds")
-        if seeds is None:
-            return perturbed_seeds(settings.base_seed, settings.num_seeds)
-        if not isinstance(seeds, list) or not seeds or not all(
-                isinstance(s, int) and not isinstance(s, bool)
-                for s in seeds):
-            raise proto.ProtocolError(
-                "field 'seeds' must be a non-empty list of integers")
-        return seeds
-
     async def _cmd_submit(self, message: Dict[str, Any], client: str,
                           owned: List[str],
                           writer: asyncio.StreamWriter) -> None:
@@ -471,72 +340,33 @@ class SimulationService:
                 f"connection already has {active} unfinished job(s) "
                 f"(limit {self.config.client_jobs})"))
             return
-        archs = proto.check_names(message, "architectures",
-                                  allowed=architecture_names())
-        workloads = proto.check_names(message, "workloads",
-                                      allowed=workload_names())
-        settings = self._request_settings(message)
-        seeds = self._request_seeds(message, settings)
-        priority = proto.check_int(message, "priority", 0, -1_000_000)
+        points, priority, _check = self.core.request_points(message)
         wait = bool(message.get("wait", False))
         trace = bool(message.get("trace", False))
-        # ``check`` = invariant sweep period (0 = off, 1 = every access).
-        check = proto.check_int(message, "check", 0, 0)
         if trace and self._trace_job is not None:
             await self._send(writer, proto.error(
                 proto.ERR_BAD_REQUEST,
                 f"job {self._trace_job} is already being traced "
                 f"(one traced job at a time)"))
             return
-        config = self._configs.setdefault(
-            (settings.capacity_factor, check),
-            self._build_config(settings.capacity_factor, check))
-        points = grid_points(config, settings, archs, workloads, seeds)
-        self.points_requested += len(points)
-
-        order: List[str] = []
-        unique: Dict[str, Any] = {}
-        meta: Dict[str, Tuple[str, str, int]] = {}
-        for point in points:
-            key = point.key
-            order.append(key)
-            unique.setdefault(key, point)
-            meta[key] = (point.name, point.workload, point.seed)
-        job = Job(f"j{next(self._job_seq)}", order, meta, priority, client)
-        job.gauges = self._gauges
+        job, unique = self.core.create_job(points, priority, client)
         tracer = self._begin_trace(job) if trace else None
-
-        missing: List[Tuple[str, Any]] = []
-        for key, point in unique.items():
-            cached = self.executor.cache.get(key)
-            if cached is not None:
-                job.resolve_cached(key, run_stats_payload(cached))
-                self.points_cached += 1
-            else:
-                missing.append((key, point))
         try:
-            tasks, coalesced = self.scheduler.admit(missing, priority)
+            self.core.admit(job, unique)
         except q.QueueFullError as exc:
             self._abort_trace()
             await self._send(writer, proto.error(
                 proto.ERR_QUEUE_FULL, str(exc)))
             return
-        job.coalesced = coalesced
-        self.points_coalesced += coalesced
-        self.points_enqueued += len(missing) - coalesced
-        for key, task in tasks.items():
-            job.attach(key, task)
-            self._followers.setdefault(key, []).append(job)
-        self.jobs[job.id] = job
         owned.append(job.id)
         if tracer is not None:
             if tracer.wants("service"):
                 tracer.instant(
                     "service", "job admitted", ts=tracer.wall_now(),
                     pid=tracer.wall_pid, tid=f"job {job.id}",
-                    args={"points": len(order), "cached": job.cached,
-                          "coalesced": coalesced})
-            self._emit_gauges()
+                    args={"points": len(points), "cached": job.cached,
+                          "coalesced": job.coalesced})
+            self.core._emit_gauges()
             job.done.add_done_callback(
                 lambda fut, job=job: self._finish_trace(job))
         job.seal()
@@ -553,34 +383,24 @@ class SimulationService:
     # -- status / watch / cancel ---------------------------------------------
 
     def _job(self, message: Dict[str, Any]) -> Job:
-        job_id = message.get("job")
-        job = self.jobs.get(job_id) if isinstance(job_id, str) else None
+        job = self.core.get_job(message.get("job"))
         if job is None:
-            raise proto.ProtocolError(f"unknown job {job_id!r}",
+            raise proto.ProtocolError(f"unknown job {message.get('job')!r}",
                                       code=proto.ERR_UNKNOWN_JOB)
         return job
 
     def server_status(self) -> Dict[str, Any]:
-        by_state: Dict[str, int] = {}
-        for job in self.jobs.values():
-            by_state[job.state] = by_state.get(job.state, 0) + 1
         return {
             "draining": self.draining,
-            "queue": {"backlog": self.scheduler.backlog,
-                      "inflight": self.scheduler.inflight,
-                      "limit": self.config.queue_limit},
+            "queue": self.core.queue_status(),
             "workers": self.config.workers,
-            "workers_busy": self._busy,
+            "workers_busy": self.core.busy,
             "procs": self.executor.jobs,
             "procs_busy": self.executor.procs_busy(),
             "fabric": self.executor.fabric_stats(),
-            "jobs": by_state,
-            "points": {"requested": self.points_requested,
-                       "cached": self.points_cached,
-                       "coalesced": self.points_coalesced,
-                       "enqueued": self.points_enqueued,
-                       "executed": self.executor.executed},
-            "cache": self._cache_summary(),
+            "jobs": self.core.jobs_by_state(),
+            "points": self.core.points_status(),
+            "cache": self.core.cache_summary(),
         }
 
     async def _cmd_status(self, message: Dict[str, Any],

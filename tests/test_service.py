@@ -681,3 +681,93 @@ class TestTracingAndGauges:
                     assert again["trace_path"]
         finally:
             gate.set()
+
+
+# -- protocol hardening: hostile and broken clients ---------------------------
+
+class TestProtocolHardening:
+    """A hostile or broken client must get a typed error (where a reply
+    is still possible) and must never wedge a worker or kill the daemon:
+    every test ends by proving a fresh connection still does real work."""
+
+    def _raw_connect(self, handle):
+        import socket
+
+        address = handle.address
+        if address[0] == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(address[1])
+        else:
+            sock = socket.create_connection((address[1], address[2]))
+        sock.settimeout(CLIENT_TIMEOUT)
+        return sock
+
+    def _still_serving(self, handle):
+        with connect(handle) as client:
+            assert client.ping()["pong"] is True
+            reply = client.submit(["shared"], ["apache"], seeds=[77],
+                                  wait=True, settings=SETTINGS_WIRE)
+            assert reply["state"] == "done"
+
+    def test_malformed_json_line_gets_typed_error(self, sock_dir):
+        with service(sock_dir, None) as handle:
+            sock = self._raw_connect(handle)
+            try:
+                sock.sendall(b'{"cmd": "submit", not json}\n')
+                reply = json.loads(sock.makefile("rb").readline())
+                assert reply["ok"] is False
+                assert reply["error"]["code"] == "bad-request"
+            finally:
+                sock.close()
+            self._still_serving(handle)
+
+    def test_oversized_request_line_rejected_not_buffered(self, sock_dir):
+        with service(sock_dir, None) as handle:
+            sock = self._raw_connect(handle)
+            try:
+                # No newline anywhere: the server must give up once the
+                # line exceeds MAX_LINE_BYTES instead of buffering
+                # forever, reply with a typed error, and drop the
+                # connection.
+                blob = b" " * (proto.MAX_LINE_BYTES + 64)
+                sock.sendall(blob)
+                stream = sock.makefile("rb")
+                reply = json.loads(stream.readline())
+                assert reply["ok"] is False
+                assert reply["error"]["code"] == "bad-request"
+                assert "too long" in reply["error"]["message"]
+                assert stream.readline() == b""  # server closed it
+            finally:
+                sock.close()
+            self._still_serving(handle)
+
+    def test_abrupt_disconnect_mid_watch_leaves_job_running(self, sock_dir):
+        gate = threading.Event()
+        executor = CountingExecutor(jobs=1, cache=RunCache(enabled=False),
+                                    gate=gate)
+        try:
+            with service(sock_dir, executor, workers=1, batch=1) as handle:
+                with connect(handle) as client:
+                    job = client.submit(["shared"], ["apache"], seeds=[21],
+                                        wait=False,
+                                        settings=SETTINGS_WIRE)["job"]
+                # A raw watcher that vanishes mid-stream (first snapshot
+                # arrives, then the socket dies without a goodbye).
+                sock = self._raw_connect(handle)
+                stream = sock.makefile("rb")
+                sock.sendall(json.dumps(
+                    {"cmd": "watch", "job": job}).encode() + b"\n")
+                first = json.loads(stream.readline())
+                assert first["event"] == "progress"
+                sock.close()  # abrupt: no unsubscribe, mid-subscription
+                gate.set()
+                # The job is unaffected and a healthy client still sees
+                # it complete with results.
+                with connect(handle) as client:
+                    end = list(client.watch(job))[-1]
+                    assert end["event"] == "end"
+                    assert end["state"] == "done"
+                    assert len(end["results"]) == 1
+                self._still_serving(handle)
+        finally:
+            gate.set()

@@ -21,7 +21,6 @@ import os
 import subprocess
 import sys
 import tempfile
-import time
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
@@ -41,17 +40,6 @@ DRAIN_TIMEOUT = 120
 def fail(message):
     print(f"FAIL: {message}", file=sys.stderr)
     sys.exit(1)
-
-
-def wait_for_socket(path, proc):
-    deadline = time.monotonic() + BOOT_TIMEOUT
-    while time.monotonic() < deadline:
-        if proc.poll() is not None:
-            fail(f"server died during boot (exit {proc.returncode})")
-        if os.path.exists(path):
-            return
-        time.sleep(0.1)
-    fail(f"server socket {path} did not appear within {BOOT_TIMEOUT}s")
 
 
 def canonical(payloads):
@@ -122,8 +110,9 @@ def main():
         env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True)
     try:
-        wait_for_socket(sock, server)
-        with ServiceClient.connect(f"unix:{sock}") as client:
+        with ServiceClient.wait_until_ready(f"unix:{sock}",
+                                            timeout=BOOT_TIMEOUT,
+                                            proc=server) as client:
             cold = client.submit(ARCHS, WORKLOADS, settings=SETTINGS,
                                  wait=True)
             if cold["state"] != "done" or len(cold["results"]) != POINTS:

@@ -1,0 +1,279 @@
+"""CI smoke test for the HTTP gateway, end to end as an operator would
+run it: migrate a fresh store, mint a tenant key via the CLI, boot the
+real ``esp-nuca gateway serve`` in a subprocess, submit a backlog, and
+then do the one thing in-process tests cannot — **SIGKILL the gateway
+mid-backlog** and prove the system's durability story:
+
+* the killed process leaves **zero orphaned simulation workers** (the
+  fabric's parent-death watchdog);
+* a restarted gateway on the same store recovers every non-terminal
+  job, drives it to a terminal state, and every result is
+  **byte-identical** to a direct in-process ``run_point`` execution of
+  the same grid;
+* per-tenant quota rejects (429 ``quota-jobs``) and token-bucket rate
+  limiting (429 ``rate-limited`` with ``Retry-After``) are enforced on
+  the wire, and an unauthenticated request is refused (401).
+
+Run locally with ``PYTHONPATH=src python tools/gateway_smoke.py``; the
+in-process equivalents live in ``tests/test_gateway.py``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.gateway.client import GatewayClient, GatewayError  # noqa: E402
+
+ARCHS = ["shared", "private", "esp-nuca"]
+WORKLOADS = ["apache"]
+SETTINGS = {"refs_per_core": 400, "warmup_refs_per_core": 100,
+            "capacity_factor": 8, "num_seeds": 1}
+#: Distinct seed per job so every job is genuinely uncached work.
+JOBS = 4
+BOOT_TIMEOUT = 60
+FINISH_TIMEOUT = 300
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def canonical(payloads):
+    return json.dumps(payloads, sort_keys=True, separators=(",", ":"))
+
+
+def reference_results(seed):
+    """The same grid, serial, in this process, no caches."""
+    from repro.common.config import scaled_config
+    from repro.harness.executor import Executor
+    from repro.harness.runcache import RunCache
+    from repro.harness.runner import RunSettings, grid_points
+
+    settings = RunSettings(
+        capacity_factor=SETTINGS["capacity_factor"],
+        refs_per_core=SETTINGS["refs_per_core"],
+        warmup_refs_per_core=SETTINGS["warmup_refs_per_core"],
+        num_seeds=SETTINGS["num_seeds"])
+    points = grid_points(scaled_config(settings.capacity_factor), settings,
+                         ARCHS, WORKLOADS, [seed])
+    executor = Executor(jobs=1, cache=RunCache(enabled=False))
+    return [r.to_dict() for r in executor.run(points)]
+
+
+def run_cli(env, *argv):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.harness.cli", *argv],
+        env=env, capture_output=True, text=True, timeout=60)
+    if proc.returncode != 0:
+        fail(f"CLI {' '.join(argv)} exited {proc.returncode}:\n"
+             f"{proc.stdout}\n{proc.stderr}")
+    return proc.stdout
+
+
+def start_gateway(env, db, port):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.harness.cli", "gateway", "serve",
+         "--db", db, "--http", f"127.0.0.1:{port}",
+         "--workers", "2", "--service-workers", "2", "--batch", "3"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+
+
+def worker_pids(status):
+    fabric = status.get("fabric") or {}
+    return {int(pid) for pid in (fabric.get("completed_by_pid") or {})} | \
+           {int(pid) for pid in (fabric.get("alive") or [])}
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="esp-gateway-smoke-")
+    db = os.path.join(workdir, "jobs.sqlite")
+    port = 8123 + os.getpid() % 20000
+    url = f"http://127.0.0.1:{port}"
+    env = dict(os.environ,
+               PYTHONPATH=os.path.join(REPO, "src"),
+               REPRO_CACHE_DIR=os.path.join(workdir, "cache"))
+    env.pop("REPRO_JOBS", None)
+
+    # Operator workflow: migrate, mint a tenant, list it back.
+    out = run_cli(env, "gateway", "migrate", "--db", db)
+    if "applied" not in out:
+        fail(f"migrate applied nothing on a fresh store: {out!r}")
+    def mint(name, *flags):
+        out = run_cli(env, "gateway", "add-tenant", "--db", db,
+                      "--tenant", name, *flags)
+        key = next((line.split(": ", 1)[1].strip()
+                    for line in out.splitlines()
+                    if line.startswith("api key")), None)
+        if not key or not key.startswith("esp_"):
+            fail(f"add-tenant printed no api key: {out!r}")
+        return key
+
+    # Tight limits to assert the rejects; loose limits for the backlog.
+    key = mint("smoke", "--max-jobs", "2", "--max-points", "64",
+               "--rate-capacity", "3", "--rate-refill", "1")
+    bulk_key = mint("bulk", "--max-jobs", "32", "--max-points", "1024",
+                    "--rate-capacity", "100", "--rate-refill", "50")
+    out = run_cli(env, "gateway", "list-tenants", "--db", db)
+    if "smoke:" not in out or "bulk:" not in out:
+        fail(f"list-tenants does not show the new tenants: {out!r}")
+
+    server = start_gateway(env, db, port)
+    submitted = {}
+    killed_pids = set()
+    try:
+        client = GatewayClient.wait_until_ready(url, timeout=BOOT_TIMEOUT,
+                                                proc=server, api_key=key)
+
+        # -- auth is required ------------------------------------------------
+        try:
+            GatewayClient(url).status()
+            fail("unauthenticated request was not rejected")
+        except GatewayError as exc:
+            if exc.status != 401:
+                fail(f"expected 401 without a key, got {exc}")
+
+        # -- rate limit: burst capacity 3, then a typed 429 ------------------
+        hits = 0
+        got_rate_reject = None
+        for _ in range(10):
+            try:
+                client.submit(["esp-nuca"], WORKLOADS,
+                              settings=SETTINGS, seeds=[7001])
+                hits += 1
+            except GatewayError as exc:
+                if exc.code == "rate-limited":
+                    got_rate_reject = exc
+                    break
+                if exc.code == "quota-jobs":
+                    continue  # quota kicked in before the bucket drained
+                raise
+        if got_rate_reject is None:
+            fail("10 rapid submissions never hit the rate limit "
+                 f"(capacity 3, refill 1/s; {hits} admitted)")
+        if not got_rate_reject.retry_after or got_rate_reject.retry_after < 1:
+            fail(f"rate reject carries no Retry-After: {got_rate_reject}")
+
+        # -- quota: at most 2 unfinished jobs --------------------------------
+        time.sleep(3.5)  # refill the bucket so quota is what rejects
+        got_quota_reject = False
+        for i in range(4):
+            try:
+                client.submit(ARCHS, WORKLOADS, settings=SETTINGS,
+                              seeds=[7100 + i])
+            except GatewayError as exc:
+                if exc.code == "quota-jobs":
+                    got_quota_reject = True
+                    break
+                if exc.code == "rate-limited":
+                    time.sleep(exc.retry_after or 1)
+                    continue
+                raise
+        if not got_quota_reject:
+            fail("4 concurrent submissions never hit the 2-job quota")
+
+        # Let the smoke tenant's jobs finish so the kill test starts
+        # from a quiet queue.
+        for row in client.jobs():
+            client.wait(row["job"], timeout=FINISH_TIMEOUT)
+        client.close()
+
+        # -- the backlog to kill: JOBS uncached grids, loose quotas ----------
+        bulk = GatewayClient(url, api_key=bulk_key)
+        killed_pids = worker_pids(bulk.status())
+        seeds = [8200 + i for i in range(JOBS)]
+        for seed in seeds:
+            reply = bulk.submit(ARCHS, WORKLOADS, settings=SETTINGS,
+                                seeds=[seed])
+            submitted[seed] = reply["job"]
+
+        # -- SIGKILL mid-backlog (submits are ms, jobs are seconds: the
+        # backlog is genuinely in flight) -----------------------------------
+        os.kill(server.pid, signal.SIGKILL)
+        server.wait(timeout=30)
+        bulk.close()
+
+        # The parent-death watchdog must reap every simulation worker
+        # (heartbeat interval 1s; give it a few).
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            alive = [pid for pid in killed_pids
+                     if _pid_alive(pid)]
+            if not alive:
+                break
+            time.sleep(0.5)
+        else:
+            fail(f"simulation workers survived the SIGKILL'd gateway: "
+                 f"{alive}")
+
+        # -- restart on the same store: recovery ----------------------------
+        server = start_gateway(env, db, port)
+        client = GatewayClient.wait_until_ready(url, timeout=BOOT_TIMEOUT,
+                                                proc=server,
+                                                api_key=bulk_key)
+        finals = {}
+        for seed, gid in submitted.items():
+            snap = client.wait(gid, timeout=FINISH_TIMEOUT)
+            finals[seed] = snap
+        bad = {gid: s["state"] for gid, s in finals.items()
+               if s["state"] != "done"}
+        if bad:
+            fail(f"recovered jobs did not complete: {bad}")
+        status = client.status()
+        recovered = status["gateway"]["recovered"]
+        # At most one job can slip to terminal in the ms between the
+        # last submit and the SIGKILL; everything else must have been
+        # recovered from the store.
+        if recovered < len(submitted) - 1:
+            fail(f"expected >= {len(submitted) - 1} recovered jobs, "
+                 f"status says {recovered}")
+
+        # -- byte-identity vs direct runs ------------------------------------
+        for seed, gid in submitted.items():
+            got = client.results(gid)["results"]
+            want = reference_results(seed)
+            if canonical(got) != canonical(want):
+                fail(f"job {gid} (seed {seed}) results differ from a "
+                     f"direct serial run")
+
+        # -- graceful stop ---------------------------------------------------
+        final_pids = worker_pids(client.status())
+        client.close()
+        server.send_signal(signal.SIGTERM)
+        server.wait(timeout=120)
+        if server.returncode != 0:
+            fail(f"gateway exited {server.returncode} after SIGTERM")
+        for pid in final_pids:
+            if _pid_alive(pid):
+                fail(f"worker process {pid} survived the graceful stop")
+        print("gateway smoke OK: "
+              f"auth/rate/quota rejects typed, {len(submitted)} job(s) "
+              f"survived SIGKILL (workers reaped), all recovered to "
+              f"done with results byte-identical to direct runs, "
+              f"clean SIGTERM stop")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+def _pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+if __name__ == "__main__":
+    main()

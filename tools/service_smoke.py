@@ -20,7 +20,6 @@ import os
 import subprocess
 import sys
 import tempfile
-import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src"))
@@ -45,17 +44,6 @@ DRAIN_TIMEOUT = 120
 def fail(message):
     print(f"FAIL: {message}", file=sys.stderr)
     sys.exit(1)
-
-
-def wait_for_socket(path, proc):
-    deadline = time.monotonic() + BOOT_TIMEOUT
-    while time.monotonic() < deadline:
-        if proc.poll() is not None:
-            fail(f"server died during boot (exit {proc.returncode})")
-        if os.path.exists(path):
-            return
-        time.sleep(0.1)
-    fail(f"server socket {path} did not appear within {BOOT_TIMEOUT}s")
 
 
 def canonical(payloads):
@@ -106,8 +94,9 @@ def main():
         env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True)
     try:
-        wait_for_socket(sock, server)
-        with ServiceClient.connect(f"unix:{sock}") as client:
+        with ServiceClient.wait_until_ready(f"unix:{sock}",
+                                            timeout=BOOT_TIMEOUT,
+                                            proc=server) as client:
             first = client.submit(ARCHS, WORKLOADS, settings=SETTINGS,
                                   wait=True)
             if first["state"] != "done" or len(first["results"]) != POINTS:
