@@ -35,8 +35,9 @@ import asyncio
 import json
 import math
 import threading
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.statsreg import StatsRegistry
 from repro.gateway import http
@@ -45,6 +46,8 @@ from repro.gateway.openapi import spec as openapi_spec
 from repro.gateway.store import STORED_TERMINAL, JobStore
 from repro.harness.executor import Executor
 from repro.harness.runner import RunSettings
+from repro.obs import metrics as obsmetrics
+from repro.obs.logging import get_logger, log_context
 from repro.service import protocol as proto
 from repro.service import queue as q
 from repro.service.core import ServiceCore
@@ -78,6 +81,10 @@ class GatewayConfig:
     anon_max_points: int = 1024
     anon_rate_capacity: float = 100.0
     anon_rate_refill: float = 50.0
+    #: Telemetry master switch: per-route latency histograms, per-tenant
+    #: request counters, and the ``/metrics`` exporter. On by default;
+    #: ``False`` is the A/B baseline arm of bench_telemetry.py.
+    telemetry: bool = True
 
 
 @dataclass
@@ -101,6 +108,107 @@ class TenantState:
     @property
     def stored_tenant(self) -> Optional[str]:
         return None if self.anonymous else self.name
+
+
+# -- runtime metric collectors (docs/observability.md, "Live telemetry") ------
+
+def _queue_collector(core: ServiceCore):
+    """Queue/dispatcher gauges and lifetime point counters."""
+
+    def collect() -> Iterator[Tuple]:
+        if core.scheduler is None:
+            status = {"backlog": 0, "inflight": 0, "limit": core.queue_limit}
+        else:
+            status = core.queue_status()
+        yield ("queue_backlog", "gauge",
+               "grid points waiting for dispatch", {}, status["backlog"])
+        yield ("queue_inflight", "gauge",
+               "grid points currently executing", {}, status["inflight"])
+        yield ("queue_limit", "gauge",
+               "bounded queue capacity", {}, status["limit"])
+        yield ("dispatchers", "gauge",
+               "asyncio dispatcher tasks", {}, core.workers)
+        yield ("dispatchers_busy", "gauge",
+               "dispatcher tasks currently mid-batch", {}, core.busy)
+        yield ("points_requested_total", "counter",
+               "grid points requested since process start", {},
+               core.points_requested)
+        yield ("points_cached_total", "counter",
+               "points answered from the run cache at admission", {},
+               core.points_cached)
+        yield ("points_coalesced_total", "counter",
+               "points coalesced onto in-flight duplicates", {},
+               core.points_coalesced)
+        yield ("points_enqueued_total", "counter",
+               "points enqueued for execution", {}, core.points_enqueued)
+
+    return collect
+
+
+def _fabric_collector(executor: Executor):
+    """Worker-fabric gauges: population, heartbeat age, crash/requeue
+    counters (zeros until the pool spins up)."""
+
+    def collect() -> Iterator[Tuple]:
+        summary = executor.fabric_summary()
+        yield ("fabric_running", "gauge",
+               "1 when the worker pool is up (or execution is serial)",
+               {}, 1 if summary["running"] else 0)
+        yield ("fabric_workers", "gauge",
+               "live fabric worker processes", {}, summary["workers"])
+        yield ("fabric_busy", "gauge",
+               "fabric workers with an assigned batch", {},
+               summary["busy"])
+        yield ("fabric_dispatched_total", "counter",
+               "batches handed to fabric workers", {},
+               summary["dispatched"])
+        yield ("fabric_completed_total", "counter",
+               "batches completed by fabric workers", {},
+               summary["completed"])
+        yield ("fabric_requeued_total", "counter",
+               "batches requeued after a worker crash", {},
+               summary["requeued"])
+        yield ("fabric_crashed_total", "counter",
+               "fabric worker processes that died unexpectedly", {},
+               summary["crashed"])
+        for pid, age in summary["heartbeat_age_s"].items():
+            yield ("fabric_heartbeat_age_seconds", "gauge",
+                   "seconds since each live worker's last heartbeat",
+                   {"pid": str(pid)}, age)
+        if summary["heartbeat_age_max_s"] is not None:
+            yield ("fabric_heartbeat_age_max_seconds", "gauge",
+                   "worst heartbeat age across live workers", {},
+                   summary["heartbeat_age_max_s"])
+        yield ("executed_points_total", "counter",
+               "points actually simulated (cache misses)", {},
+               executor.executed)
+
+    return collect
+
+
+def _cache_collector(cache):
+    """Run-cache session counters plus on-disk usage (served from the
+    mtime-revalidated shard index — no directory sweep per scrape)."""
+
+    def collect() -> Iterator[Tuple]:
+        yield ("cache_hits_total", "counter",
+               "run-cache lookups answered from disk", {}, cache.hits)
+        yield ("cache_misses_total", "counter",
+               "run-cache lookups that missed", {}, cache.misses)
+        yield ("cache_writes_total", "counter",
+               "run-cache entries written", {}, cache.writes)
+        lookups = cache.hits + cache.misses
+        yield ("cache_hit_ratio", "gauge",
+               "session hit ratio (hits / lookups)", {},
+               (cache.hits / lookups) if lookups else 0.0)
+        if cache.enabled:
+            entries, size = cache.usage()
+            yield ("cache_entries", "gauge",
+                   "entries in the current cache generation", {}, entries)
+            yield ("cache_bytes", "gauge",
+                   "bytes in the current cache generation", {}, size)
+
+    return collect
 
 
 class Gateway:
@@ -127,6 +235,11 @@ class Gateway:
         self.c_rejects = {reason: rejects.counter(reason.replace("-", "_"))
                           for reason in REJECT_REASONS}
         self._tenant_scopes = gw.scope("tenants")
+        self._routes_scope = gw.scope("routes")
+        self._route_stats: Dict[str, Tuple] = {}
+        self._tenant_requests: Dict[str, Any] = {}
+        self._telemetry = self.config.telemetry
+        self.log = get_logger("gateway")
         self._buckets: Dict[str, TokenBucket] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._conns: set = set()
@@ -135,6 +248,8 @@ class Gateway:
         self._stopped: Optional[asyncio.Event] = None
         self._shutting_down = False
         self.recovery_done: Optional[asyncio.Event] = None
+        self.exporter: Optional[obsmetrics.MetricsExporter] = (
+            self._build_exporter() if self._telemetry else None)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -189,6 +304,8 @@ class Gateway:
         self.store.close()
         if self._stopped is not None:
             self._stopped.set()
+        self.log.info("gateway drained", jobs=summary.get("jobs"),
+                      executed=summary.get("executed_points"))
         return summary
 
     # -- recovery ------------------------------------------------------------
@@ -227,8 +344,12 @@ class Gateway:
                 job.seal()
                 self.c_recovered.inc()
                 self._tenant_scope(owner).counter("recovered").inc()
+                self.log.info("job recovered", job=f"g{row['id']}",
+                              tenant=owner)
         finally:
             self.recovery_done.set()
+            self.log.info("recovery complete",
+                          recovered=self.c_recovered.value)
 
     async def _admit_when_room(self, points: List, priority: int,
                                owner: str, job_id: str) -> Optional[Job]:
@@ -293,6 +414,119 @@ class Gateway:
         else:
             self.store.set_job_state(pk, "cancelled")
 
+    # -- telemetry -----------------------------------------------------------
+
+    def _build_exporter(self) -> obsmetrics.MetricsExporter:
+        """The ``/metrics`` exporter: the gateway registry (tenant /
+        reject / route families folded into labels) plus runtime
+        collectors over queue, fabric, cache, store and health."""
+        exporter = obsmetrics.MetricsExporter()
+        exporter.mount_registry(self.registry, label_scopes={
+            "gateway.tenants": "tenant",
+            "gateway.rejects": "reason",
+            "gateway.routes": "route",
+        })
+        exporter.add_collector(_queue_collector(self.core))
+        exporter.add_collector(_fabric_collector(self.core.executor))
+        exporter.add_collector(_cache_collector(self.core.executor.cache))
+        exporter.add_collector(self._health_metrics)
+        exporter.add_collector(self._store_metrics)
+        return exporter
+
+    def readiness(self) -> Tuple[bool, Dict[str, bool]]:
+        """The ``/readyz`` verdict: the store is fully migrated, the
+        worker fabric is up (or execution is serial), and the queue
+        accepts admissions (exists, not draining). False before
+        migrations have run and from the moment a drain begins."""
+        try:
+            migrated = not self.store.pending_migrations()
+        except Exception:  # noqa: BLE001 — unreadable store is not ready
+            migrated = False
+        checks = {
+            "store_migrated": migrated,
+            "fabric_started": self.core.executor.fabric_running(),
+            "queue_accepting": (self.core.scheduler is not None
+                                and not self.core.draining
+                                and not self._shutting_down),
+        }
+        return all(checks.values()), checks
+
+    def _health_metrics(self) -> Iterator[Tuple]:
+        ready, checks = self.readiness()
+        yield ("ready", "gauge", "1 when /readyz reports ready", {},
+               1 if ready else 0)
+        for name, ok in checks.items():
+            yield ("ready_check", "gauge",
+                   "individual /readyz check results", {"check": name},
+                   1 if ok else 0)
+        yield ("draining", "gauge", "1 while the core is draining", {},
+               1 if self.core.draining else 0)
+        yield ("recovering", "gauge",
+               "1 while stored backlog recovery is in progress", {},
+               0 if (self.recovery_done is None
+                     or self.recovery_done.is_set()) else 1)
+
+    def _store_metrics(self) -> Iterator[Tuple]:
+        try:
+            counts = self.store.counts_by_state()
+            results = self.store.result_count()
+        except Exception:  # noqa: BLE001 — store closed mid-scrape
+            return
+        for state, count in sorted(counts.items()):
+            yield ("store_jobs", "gauge", "stored job rows by state",
+                   {"state": state}, count)
+        yield ("store_results", "gauge",
+               "persisted result payloads (by content hash)", {}, results)
+
+    #: Route templates for per-route metrics: label values and registry
+    #: scope names (so they avoid ``.`` and ``/``), derived from the
+    #: path alone so even rejected requests land in the right bucket.
+    _ROUTE_KEYS = {
+        ("healthz",): "healthz",
+        ("metrics",): "metrics",
+        ("readyz",): "readyz",
+        ("openapi.json",): "openapi",
+        ("v1", "status"): "v1_status",
+        ("v1", "jobs"): "v1_jobs",
+    }
+
+    @classmethod
+    def _route_key(cls, path: str) -> str:
+        parts = tuple(p for p in path.split("/") if p)
+        known = cls._ROUTE_KEYS.get(parts)
+        if known is not None:
+            return known
+        if len(parts) == 3 and parts[:2] == ("v1", "jobs"):
+            return "v1_jobs_id"
+        if len(parts) == 4 and parts[:2] == ("v1", "jobs") and \
+                parts[3] in ("results", "events"):
+            return f"v1_jobs_id_{parts[3]}"
+        return "other"
+
+    def _observe_request(self, route: str, elapsed_s: float, *,
+                         error: bool, aborted: bool) -> None:
+        """Record one finished (or aborted) request against its route
+        scope. Called from exactly one ``finally`` per request, so each
+        request counts once no matter how it ended."""
+        if self._telemetry:
+            stats = self._route_stats.get(route)
+            if stats is None:
+                scope = self._routes_scope.scope(route)
+                stats = (scope.counter("requests"), scope.counter("errors"),
+                         scope.counter("aborted"),
+                         scope.histogram("latency_us"))
+                self._route_stats[route] = stats
+            requests, errors, aborts, latency = stats
+            requests.inc()
+            if error:
+                errors.inc()
+            if aborted:
+                aborts.inc()
+            latency.record(int(elapsed_s * 1e6))
+        self.log.debug("request", route=route,
+                       ms=round(elapsed_s * 1000, 3), error=error,
+                       aborted=aborted)
+
     # -- auth + admission control --------------------------------------------
 
     def _tenant_scope(self, name: str):
@@ -304,6 +538,9 @@ class Gateway:
         self.c_rejects[reason].inc()
         if tenant is not None:
             self._tenant_scope(tenant.name).counter("rejects").inc()
+        self.log.debug("request rejected", reason=reason, status=status,
+                       code=code,
+                       tenant=None if tenant is None else tenant.name)
         return http.HttpError(status, code, message, headers=headers)
 
     def _authenticate(self, request: http.Request) -> TenantState:
@@ -354,23 +591,39 @@ class Gateway:
                     break
                 self.c_requests.inc()
                 keep = request.keep_alive
+                route = self._route_key(request.path)
+                started = time.perf_counter()
+                error = aborted = stream_closed = stop = False
                 try:
-                    stream_closed = await self._dispatch(request, writer)
-                except http.HttpError as exc:
-                    await http.send_error(writer, exc, keep_alive=keep)
-                    if exc.close or not keep:
-                        break
-                    continue
-                except (ConnectionResetError, BrokenPipeError):
-                    raise
-                except Exception as exc:  # noqa: BLE001 — keep serving
-                    await http.send_error(writer, http.HttpError(
-                        500, "internal", f"{type(exc).__name__}: {exc}"),
-                        keep_alive=keep)
-                    if not keep:
-                        break
-                    continue
-                if stream_closed or not keep:
+                    try:
+                        stream_closed = await self._dispatch(request, reader,
+                                                             writer)
+                    except http.HttpError as exc:
+                        error = True
+                        await http.send_error(writer, exc, keep_alive=keep)
+                        if exc.close or not keep:
+                            stop = True
+                    except (ConnectionResetError, BrokenPipeError):
+                        aborted = True
+                        raise
+                    except asyncio.CancelledError:
+                        aborted = True
+                        raise
+                    except Exception as exc:  # noqa: BLE001 — keep serving
+                        error = True
+                        await http.send_error(writer, http.HttpError(
+                            500, "internal", f"{type(exc).__name__}: {exc}"),
+                            keep_alive=keep)
+                        if not keep:
+                            stop = True
+                finally:
+                    # One finally per request — runs on normal completion,
+                    # typed errors, disconnects and cancellation alike, so
+                    # every request is observed exactly once.
+                    self._observe_request(
+                        route, time.perf_counter() - started,
+                        error=error, aborted=aborted)
+                if stop or stream_closed or not keep:
                     break
         except (ConnectionResetError, BrokenPipeError):
             pass
@@ -385,9 +638,11 @@ class Gateway:
                 pass
 
     async def _dispatch(self, request: http.Request,
+                        reader: asyncio.StreamReader,
                         writer: asyncio.StreamWriter) -> bool:
         """Route one request; returns True when the handler consumed
-        the connection (streaming responses)."""
+        the connection (streaming responses, which also watch ``reader``
+        for the client going away)."""
         parts = [p for p in request.path.split("/") if p]
         keep = request.keep_alive
 
@@ -399,6 +654,22 @@ class Gateway:
                                    or self.recovery_done.is_set())},
                 keep_alive=keep)
             return False
+        if parts == ["readyz"]:
+            self._need_method(request, "GET")
+            ready, checks = self.readiness()
+            await http.send_json(writer, 200 if ready else 503,
+                                 {"ready": ready, "checks": checks},
+                                 keep_alive=keep)
+            return False
+        if parts == ["metrics"]:
+            self._need_method(request, "GET")
+            if self.exporter is None:
+                raise http.HttpError(503, "telemetry-disabled",
+                                     "telemetry is disabled on this gateway")
+            await http.send_text(writer, 200, self.exporter.render(),
+                                 content_type=obsmetrics.CONTENT_TYPE,
+                                 keep_alive=keep)
+            return False
         if parts == ["openapi.json"]:
             self._need_method(request, "GET")
             await http.send_json(writer, 200, openapi_spec(),
@@ -406,6 +677,16 @@ class Gateway:
             return False
 
         tenant = self._authenticate(request)
+        if self._telemetry:
+            # Exactly once per authenticated request: _authenticate runs
+            # once per dispatch, before any handler can raise or stream.
+            # The counter object is cached per tenant — this is the
+            # hottest telemetry site.
+            counter = self._tenant_requests.get(tenant.name)
+            if counter is None:
+                counter = self._tenant_scope(tenant.name).counter("requests")
+                self._tenant_requests[tenant.name] = counter
+            counter.inc()
         if parts == ["v1", "status"]:
             self._need_method(request, "GET")
             await http.send_json(writer, 200, self.server_status(),
@@ -433,7 +714,7 @@ class Gateway:
                 await self._results(writer, keep, job, row)
                 return False
             if parts[3] == "events":
-                await self._events(writer, job, row)
+                await self._events(reader, writer, job, row)
                 return True
         raise self._reject(tenant if parts[:1] == ["v1"] else None,
                            "not-found", 404, "not-found",
@@ -489,17 +770,22 @@ class Gateway:
         pk = self.store.create_job(
             stored_request, priority, tenant.stored_tenant,
             [(p.key, p.name, p.workload, p.seed) for p in points])
-        job, unique = self.core.create_job(points, priority, tenant.owner,
-                                           job_id=f"g{pk}")
-        try:
-            self.core.admit(job, unique)
-        except q.QueueFullError as exc:
-            # Never admitted ⇒ must not be "recovered" after a restart.
-            self.store.delete_job(pk)
-            raise self._reject(tenant, "queue-full", 503, "queue-full",
-                               str(exc), headers={"Retry-After": "5"})
-        self._start_tracker(job, pk)
-        job.seal()
+        with log_context(job=f"g{pk}", tenant=tenant.name):
+            job, unique = self.core.create_job(points, priority,
+                                               tenant.owner,
+                                               job_id=f"g{pk}")
+            try:
+                self.core.admit(job, unique)
+            except q.QueueFullError as exc:
+                # Never admitted ⇒ must not be "recovered" after restart.
+                self.store.delete_job(pk)
+                raise self._reject(tenant, "queue-full", 503, "queue-full",
+                                   str(exc), headers={"Retry-After": "5"})
+            self._start_tracker(job, pk)
+            job.seal()
+            self.log.info("job admitted", points=len(points),
+                          unique=unique_count, cached=job.cached,
+                          coalesced=job.coalesced, priority=priority)
         self.c_admits.inc()
         self._tenant_scope(tenant.name).counter("admits").inc()
         reply = job.snapshot()
@@ -539,14 +825,18 @@ class Gateway:
         """Ownership gate for every per-job route: the stored row must
         exist *and* belong to the caller — other tenants' jobs 404
         indistinguishably from absent ones (no existence oracle)."""
-        not_found = self._reject(tenant, "not-found", 404, "unknown-job",
-                                 f"unknown job {gid!r}")
+        def not_found() -> http.HttpError:
+            # Built lazily: _reject counts the reject when called, so a
+            # successful resolve must not construct it.
+            return self._reject(tenant, "not-found", 404, "unknown-job",
+                                f"unknown job {gid!r}")
+
         if not gid.startswith("g") or not gid[1:].isdigit():
-            raise not_found
+            raise not_found()
         pk = int(gid[1:])
         row = self.store.get_job(pk)
         if row is None or row["tenant"] != tenant.stored_tenant:
-            raise not_found
+            raise not_found()
         return pk, self.core.get_job(gid), row
 
     async def _job_snapshot(self, request: http.Request,
@@ -616,11 +906,17 @@ class Gateway:
                              {"job": f"g{row['id']}", "state": state,
                               "results": results}, keep_alive=keep)
 
-    async def _events(self, writer: asyncio.StreamWriter,
+    async def _events(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter,
                       job: Optional[Job], row: Dict[str, Any]) -> None:
         """SSE progress stream; ends with an ``event=end`` frame. A
         client disconnect mid-stream just unsubscribes — the job (and
-        the daemon) are unaffected."""
+        the daemon) are unaffected. The read side is watched while we
+        wait for snapshots: an SSE client never sends again, so EOF (or
+        stray bytes) means the watcher went away — detected *promptly*
+        instead of on some later write into a dead socket, so the
+        subscription is released and the request is observed as aborted
+        exactly once."""
         sse = http.SseStream(writer)
         gid = f"g{row['id']}"
         if job is None:
@@ -633,10 +929,19 @@ class Gateway:
             await sse.end()
             return
         channel = job.subscribe()
+        gone = asyncio.ensure_future(reader.read(1))
+        getter: Optional[asyncio.Task] = None
         try:
             await sse.start()
             while True:
-                snap = await channel.get()
+                getter = asyncio.ensure_future(channel.get())
+                await asyncio.wait({getter, gone},
+                                   return_when=asyncio.FIRST_COMPLETED)
+                if not getter.done():
+                    raise ConnectionResetError(
+                        "SSE client disconnected mid-stream")
+                snap = getter.result()
+                getter = None
                 if snap is None:
                     end = {"event": "end", "job": job.id,
                            "state": job.state}
@@ -652,6 +957,14 @@ class Gateway:
                 snap["event"] = "progress"
                 await sse.send(snap)
         finally:
+            for task in (getter, gone):
+                if task is None:
+                    continue
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, OSError):
+                    pass
             job.unsubscribe(channel)
 
     async def _cancel(self, writer: asyncio.StreamWriter, keep: bool,
@@ -685,6 +998,7 @@ class Gateway:
             "procs": self.core.executor.jobs,
             "procs_busy": self.core.executor.procs_busy(),
             "fabric": self.core.executor.fabric_stats(),
+            "fabric_summary": self.core.executor.fabric_summary(),
             "jobs": self.core.jobs_by_state(),
             "points": self.core.points_status(),
             "cache": self.core.cache_summary(),

@@ -105,10 +105,10 @@ class GatewayClient:
             headers["Authorization"] = f"Bearer {self.api_key}"
         return headers
 
-    def request(self, method: str, path: str,
-                body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        """One request/JSON reply; raises :class:`GatewayError` on a
-        typed error status. Retries once on a stale keep-alive socket."""
+    def _roundtrip(self, method: str, path: str,
+                   body: Optional[Dict[str, Any]] = None):
+        """One request over the keep-alive connection; returns
+        ``(response, raw_bytes)``. Retries once on a stale socket."""
         payload = None
         headers = self._headers()
         if body is not None:
@@ -126,7 +126,23 @@ class GatewayClient:
                 self.close()
                 if attempt:
                     raise
+        return resp, data
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """One request/JSON reply; raises :class:`GatewayError` on a
+        typed error status. Retries once on a stale keep-alive socket."""
+        resp, data = self._roundtrip(method, path, body)
         return self._decode(resp.status, resp, data)
+
+    def request_text(self, method: str, path: str) -> str:
+        """Like :meth:`request` but returns the raw body text (the
+        /metrics exposition document is not JSON); still raises a typed
+        :class:`GatewayError` on error statuses."""
+        resp, data = self._roundtrip(method, path)
+        if resp.status >= 400:
+            self._decode(resp.status, resp, data)
+        return data.decode("utf-8")
 
     @staticmethod
     def _decode(status: int, resp, data: bytes) -> Dict[str, Any]:
@@ -146,6 +162,24 @@ class GatewayClient:
 
     def health(self) -> Dict[str, Any]:
         return self.request("GET", "/healthz")
+
+    def readyz(self) -> Dict[str, Any]:
+        """The readiness verdict ``{"ready": bool, "checks": {...}}``.
+        Unlike :meth:`request`, a 503 (not ready) is a *answer*, not an
+        error — the body is returned either way."""
+        resp, data = self._roundtrip("GET", "/readyz")
+        try:
+            obj = json.loads(data.decode("utf-8")) if data else {}
+        except ValueError:
+            obj = {}
+        if not isinstance(obj, dict):
+            obj = {}
+        obj.setdefault("ready", resp.status == 200)
+        return obj
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition document from ``/metrics``."""
+        return self.request_text("GET", "/metrics")
 
     def openapi(self) -> Dict[str, Any]:
         return self.request("GET", "/openapi.json")

@@ -200,6 +200,23 @@ async def send_json(writer: asyncio.StreamWriter, status: int, obj: Any, *,
     await writer.drain()
 
 
+async def send_text(writer: asyncio.StreamWriter, status: int, text: str, *,
+                    content_type: str = "text/plain; charset=utf-8",
+                    keep_alive: bool = True,
+                    headers: Optional[Dict[str, str]] = None) -> None:
+    """One complete plain-text response (the /metrics exposition path)."""
+    body = text.encode("utf-8")
+    head = {
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "keep-alive" if keep_alive else "close",
+    }
+    if headers:
+        head.update(headers)
+    writer.write(_head(status, head) + body)
+    await writer.drain()
+
+
 async def send_error(writer: asyncio.StreamWriter, exc: HttpError, *,
                      keep_alive: bool = True) -> None:
     await send_json(writer, exc.status,

@@ -43,6 +43,38 @@ _SUBMIT = {"type": "object",
            }}
 
 
+#: The /metrics exposition contract (docs/observability.md, "Live
+#: telemetry" has the narrative catalog). Documented here so the spec
+#: is the machine-readable source of truth for metric names and labels.
+_METRICS_DOC = (
+    "Prometheus text exposition format (version 0.0.4). All metrics "
+    "carry the `espnuca_` prefix. Registry-bridged families: "
+    "`espnuca_gateway_http_requests_total`, "
+    "`espnuca_gateway_admits_total`, `espnuca_gateway_recovered_total`, "
+    "`espnuca_gateway_results_persisted_total`, "
+    "`espnuca_gateway_rejects_total{reason}` (reason in auth, "
+    "bad_request, quota_jobs, quota_points, rate_limited, queue_full, "
+    "draining, not_found), "
+    "`espnuca_gateway_tenants_{requests,admits,rejects,rate_hits,"
+    "recovered}_total{tenant}`, "
+    "`espnuca_gateway_routes_{requests,errors,aborted}_total{route}` "
+    "and the per-route latency histogram "
+    "`espnuca_gateway_routes_latency_us{route}` (power-of-two `le` "
+    "bounds, exact `_sum`/`_count`). Runtime collectors: queue "
+    "(`espnuca_queue_{backlog,inflight,limit}`, "
+    "`espnuca_dispatchers{,_busy}`, `espnuca_points_{requested,cached,"
+    "coalesced,enqueued}_total`), fabric (`espnuca_fabric_{running,"
+    "workers,busy}`, `espnuca_fabric_{dispatched,completed,requeued,"
+    "crashed}_total`, `espnuca_fabric_heartbeat_age_seconds{pid}`, "
+    "`espnuca_fabric_heartbeat_age_max_seconds`, "
+    "`espnuca_executed_points_total`), run cache "
+    "(`espnuca_cache_{hits,misses,writes}_total`, "
+    "`espnuca_cache_hit_ratio`, `espnuca_cache_{entries,bytes}`), "
+    "store (`espnuca_store_jobs{state}`, `espnuca_store_results`) and "
+    "health (`espnuca_ready`, `espnuca_ready_check{check}`, "
+    "`espnuca_draining`, `espnuca_recovering`).")
+
+
 def _op(summary: str, responses: Dict[str, Any], *,
         body: Any = None, security: bool = True) -> Dict[str, Any]:
     op: Dict[str, Any] = {"summary": summary, "responses": responses}
@@ -85,6 +117,20 @@ def spec() -> Dict[str, Any]:
             "/healthz": {"get": _op(
                 "liveness probe (no auth)",
                 {"200": _json_resp("gateway is serving")},
+                security=False)},
+            "/readyz": {"get": _op(
+                "readiness probe (no auth): store migrated + fabric "
+                "started + queue accepting; false during drain",
+                {"200": _json_resp(
+                    "ready — body {ready: true, checks: {...}}"),
+                 "503": _json_resp(
+                     "not ready — body {ready: false, checks: {...}} "
+                     "with the failing checks false")},
+                security=False)},
+            "/metrics": {"get": _op(
+                "Prometheus metrics (no auth): queue, fabric, run "
+                "cache, store, health and per-tenant/per-route scopes",
+                {"200": {"description": _METRICS_DOC}},
                 security=False)},
             "/openapi.json": {"get": _op(
                 "this document (no auth)",

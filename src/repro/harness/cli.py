@@ -16,6 +16,7 @@ Examples::
     esp-nuca gateway serve --db jobs.sqlite --http 127.0.0.1:8643
     esp-nuca gateway add-tenant --tenant alice --max-jobs 4
     esp-nuca gateway migrate --db jobs.sqlite        # apply schema upgrades
+    esp-nuca top --http 127.0.0.1:8643               # live /metrics dashboard
     esp-nuca submit --arch esp-nuca --workload apache --trace
     esp-nuca trace fig6 --out trace.json             # capture an event trace
     esp-nuca trace run --arch esp-nuca --sample 10 --categories access,l2
@@ -44,7 +45,8 @@ def _build_parser() -> argparse.ArgumentParser:
                                                      "list", "trace",
                                                      "overhead", "claims",
                                                      "repro-cache", "serve",
-                                                     "submit", "gateway"],
+                                                     "submit", "gateway",
+                                                     "top"],
                         help="experiment id (figN/stability/ablation), "
                              "'all', 'run' (single run), 'stats' (one run's "
                              "per-component statistics tables), 'trace' "
@@ -53,7 +55,9 @@ def _build_parser() -> argparse.ArgumentParser:
                              "'repro-cache' (persistent cache maintenance), "
                              "'serve' (simulation daemon), 'submit' (send a "
                              "grid to a running daemon), 'gateway' (durable "
-                             "HTTP front end), or 'list'")
+                             "HTTP front end), 'top' (live telemetry "
+                             "dashboard over a gateway's /metrics), or "
+                             "'list'")
     parser.add_argument("action", nargs="?", default=None,
                         choices=["stats", "clear"] + list(EXPERIMENTS)
                         + ["run", "serve", "migrate", "add-tenant",
@@ -178,6 +182,26 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="gateway serve: accept unauthenticated "
                               "requests as the shared 'anon' tenant "
                               "(dev/test only)")
+    obs = parser.add_argument_group("telemetry ('top' / daemon logging; "
+                                    "see docs/observability.md)")
+    obs.add_argument("--interval", type=float, default=2.0,
+                     help="top: seconds between /metrics scrapes "
+                          "(default 2)")
+    obs.add_argument("--once", action="store_true",
+                     help="top: render a single frame and exit (no "
+                          "screen clearing; script-friendly)")
+    obs.add_argument("--api-key", default=None,
+                     help="top: gateway API key (optional — /metrics "
+                          "and /readyz need no auth)")
+    obs.add_argument("--log-level", default=None,
+                     choices=["debug", "info", "warning", "error"],
+                     help="serve/gateway serve: structured-log "
+                          "threshold on stderr (default: info; "
+                          "propagated to fabric workers via REPRO_LOG)")
+    obs.add_argument("--log-format", default="json",
+                     choices=["json", "human"],
+                     help="serve/gateway serve: one JSON object per "
+                          "line (default) or human-readable lines")
     return parser
 
 
@@ -294,11 +318,14 @@ def _serve(args: argparse.Namespace) -> int:
 
     from repro.harness.executor import Executor
     from repro.harness.runcache import RunCache
+    from repro.harness.fabric import default_workers
+    from repro.obs.logging import configure
     from repro.service.protocol import parse_address
     from repro.service.server import ServiceConfig, SimulationService
 
-    from repro.harness.fabric import default_workers
-
+    # Structured logs on stderr; the parseable startup/drained lines
+    # below stay on stdout (tools/service_smoke.py greps them).
+    configure(args.log_level or "info", fmt=args.log_format)
     try:
         bind = parse_address(args.bind)
     except ValueError as exc:
@@ -421,8 +448,12 @@ def _gateway(args: argparse.Namespace) -> int:
     from repro.harness.executor import Executor
     from repro.harness.fabric import default_workers
     from repro.harness.runcache import RunCache
+    from repro.obs.logging import configure
     from repro.service.protocol import parse_address
 
+    # Structured logs on stderr; the parseable startup/drained lines
+    # below stay on stdout (tools/gateway_smoke.py greps them).
+    configure(args.log_level or "info", fmt=args.log_format)
     try:
         bind = parse_address(args.http)
     except ValueError as exc:
@@ -472,6 +503,24 @@ def _gateway(args: argparse.Namespace) -> int:
 
     asyncio.run(_main())
     return 0
+
+
+def _top(args: argparse.Namespace) -> int:
+    """``esp-nuca top`` — live telemetry dashboard over a gateway's
+    ``/metrics`` and ``/readyz`` (docs/observability.md, "Live
+    telemetry"). Works without an API key: both routes are pre-auth."""
+    from repro.obs.top import run_top
+
+    host = args.http
+    url = host if host.startswith("http://") else f"http://{host}"
+    if args.interval <= 0:
+        print("error: --interval must be > 0", file=sys.stderr)
+        return 2
+    try:
+        return run_top(url, api_key=args.api_key,
+                       interval=args.interval, once=args.once)
+    except KeyboardInterrupt:  # pragma: no cover — interactive
+        return 0
 
 
 def _submit(args: argparse.Namespace) -> int:
@@ -596,6 +645,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _submit(args)
     if args.experiment == "gateway":
         return _gateway(args)
+    if args.experiment == "top":
+        return _top(args)
     from repro.harness.executor import Executor
     from repro.harness.runcache import RunCache
 

@@ -48,12 +48,16 @@ from repro.common.config import SystemConfig
 # executor.
 from repro.harness.runcache import RunCache, cache_key, env_int  # noqa: F401
 from repro.obs import trace as obs
+from repro.obs.logging import get_logger
 from repro.sim.cpu import TraceItem
 from repro.sim.engines import build_engine
 from repro.sim.results import SimResult
 from repro.sim.system import CmpSystem
 from repro.workloads.base import TraceGenerator, WorkloadSpec
 from repro.workloads.registry import get_workload
+
+
+_log = get_logger("executor")
 
 
 def default_jobs() -> int:
@@ -238,6 +242,11 @@ class Executor:
             span["unique"] = len(unique)
             span["cached"] = len(unique) - len(misses)
             span["executed"] = len(misses)
+            _log.debug("batch complete", points=len(points),
+                       unique=len(unique),
+                       cached=len(unique) - len(misses),
+                       executed=len(misses),
+                       keys=[key[:12] for key, _ in misses])
             return [results[key] for key in order]
 
     # -- internals ----------------------------------------------------------
@@ -334,6 +343,40 @@ class Executor:
         with self._pool_lock:
             pool = self._pool
         return pool.stats() if pool is not None else None
+
+    def fabric_running(self) -> bool:
+        """True when execution capacity is available: the pool is up,
+        or the executor is serial and never needs one (the /readyz
+        ``fabric_started`` check)."""
+        if self.jobs <= 1:
+            return True
+        with self._pool_lock:
+            return self._pool is not None
+
+    def fabric_summary(self) -> Dict[str, Any]:
+        """A never-``None`` digest of :meth:`fabric_stats` for status
+        payloads and the /metrics fabric scope: worker population,
+        per-pid heartbeat ages (and their max), and the dispatch /
+        completion / requeue / crash counters — all zeros before the
+        pool first spins up."""
+        stats = self.fabric_stats()
+        if stats is None:
+            return {"running": self.jobs <= 1, "workers": 0, "busy": 0,
+                    "heartbeat_age_s": {}, "heartbeat_age_max_s": None,
+                    "dispatched": 0, "completed": 0, "requeued": 0,
+                    "crashed": 0}
+        ages = dict(stats["heartbeat_age_s"])
+        return {
+            "running": True,
+            "workers": len(stats["alive"]),
+            "busy": stats["busy"],
+            "heartbeat_age_s": ages,
+            "heartbeat_age_max_s": max(ages.values()) if ages else None,
+            "dispatched": stats["dispatched"],
+            "completed": stats["completed"],
+            "requeued": stats["requeued"],
+            "crashed": stats["crashed"],
+        }
 
     def close(self) -> None:
         """Tear down the worker fabric (idempotent; a later parallel

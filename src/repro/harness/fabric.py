@@ -50,6 +50,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.harness.runcache import RunCache, env_int
 from repro.obs import trace as obs
+from repro.obs.logging import configure_from_env, get_logger
+
+_log = get_logger("fabric")
 
 #: Seconds between worker heartbeat messages.
 HEARTBEAT_INTERVAL = 1.0
@@ -128,8 +131,11 @@ def run_point_batch(payload: Dict[str, Any]) -> List[Any]:
         result = None
         if cache.enabled and cache.probably_has(key):
             result = cache.get(key)
+        cached = result is not None
         if result is None:
             result = executor_mod.simulate_point(point)
+        _log.debug("point served", key=key[:12], cached=cached,
+                   point=f"{point.name}/{point.workload}/s{point.seed}")
         results.append(result)
     return results
 
@@ -137,6 +143,10 @@ def run_point_batch(payload: Dict[str, Any]) -> List[Any]:
 def _worker_main(task_queue, result_queue, runner: Callable[[Any], Any],
                  heartbeat: float) -> None:
     """Worker process entry: pull jobs until the ``None`` sentinel."""
+    # Spawn-mode workers inherit no logging handlers; rebuild the
+    # parent's configuration from REPRO_LOG (no-op when unset, and
+    # harmlessly idempotent under fork).
+    configure_from_env()
     pid = os.getpid()
     parent = os.getppid()
 
@@ -168,15 +178,20 @@ def _worker_main(task_queue, result_queue, runner: Callable[[Any], Any],
             return
         job_id, attempt, payload = item
         result_queue.put(("started", job_id, pid))
+        _log.debug("fabric job started", fabric_job=job_id,
+                   attempt=attempt, worker_pid=pid)
         try:
             value = runner(payload)
         except BaseException as exc:  # noqa: BLE001 — report, don't die
             import traceback
 
+            _log.warning("fabric job failed", fabric_job=job_id,
+                         worker_pid=pid, error=f"{type(exc).__name__}: {exc}")
             result_queue.put(("failed", job_id, pid,
                               f"{type(exc).__name__}: {exc}\n"
                               f"{traceback.format_exc()}"))
         else:
+            _log.debug("fabric job done", fabric_job=job_id, worker_pid=pid)
             result_queue.put(("done", job_id, pid, value))
 
 
@@ -327,6 +342,7 @@ class WorkerPool:
         proc.start()
         self._procs.append(proc)
         self._trace_instant("worker spawned", {"worker_pid": proc.pid})
+        _log.info("worker spawned", worker_pid=proc.pid, pool=self.name)
         return proc
 
     def _collect_loop(self) -> None:
@@ -399,9 +415,13 @@ class WorkerPool:
             for proc in dead:
                 self._trace_instant("worker crashed",
                                     {"worker_pid": proc.pid})
+                _log.warning("worker crashed", worker_pid=proc.pid,
+                             pool=self.name)
             for job in requeue:
                 self._trace_instant("job requeued",
                                     {"job": job.id, "attempt": job.attempt})
+                _log.warning("fabric job requeued", fabric_job=job.id,
+                             attempt=job.attempt, pool=self.name)
                 self._tasks.put((job.id, job.attempt, job.payload))
             for job in fail:
                 if not job.future.done():

@@ -206,35 +206,61 @@ class ShardIndex:
 
     def __init__(self, generation_root: str) -> None:
         self.root = generation_root
-        #: shard dir name -> (mtime_ns, frozenset of keys)
+        #: shard dir name -> (mtime_ns, frozenset of keys, total bytes)
         self._scans: Dict[str, tuple] = {}
 
-    def contains(self, key: str, shard: str) -> bool:
+    def _scan(self, shard: str) -> Optional[tuple]:
+        """The ``(mtime_ns, keys, bytes)`` view of one shard, rescanned
+        only when the directory mtime moved; ``None`` for an absent
+        shard. One ``os.scandir`` pass captures membership *and* sizes,
+        so usage accounting (``repro-cache stats``, the /metrics cache
+        gauges) rides the same revalidation the existence probes use."""
         path = os.path.join(self.root, shard)
         try:
             stamp = os.stat(path).st_mtime_ns
         except OSError:
             self._scans.pop(shard, None)
-            return False
+            return None
         cached = self._scans.get(shard)
-        if cached is None or cached[0] != stamp:
-            try:
-                names = os.listdir(path)
-            except OSError:
-                return False
-            keys = frozenset(name[:-5] for name in names
-                             if name.endswith(".json"))
-            self._scans[shard] = (stamp, keys)
-        else:
-            keys = cached[1]
-        return key in keys
+        if cached is not None and cached[0] == stamp:
+            return cached
+        keys = []
+        size = 0
+        try:
+            with os.scandir(path) as entries:
+                for entry in entries:
+                    if not entry.name.endswith(".json"):
+                        continue
+                    keys.append(entry.name[:-5])
+                    try:
+                        size += entry.stat().st_size
+                    except OSError:
+                        pass  # entry replaced mid-scan; next mtime bump
+        except OSError:
+            return None
+        scan = (stamp, frozenset(keys), size)
+        self._scans[shard] = scan
+        return scan
+
+    def contains(self, key: str, shard: str) -> bool:
+        scan = self._scan(shard)
+        return scan is not None and key in scan[1]
+
+    def shard_usage(self, shard: str) -> tuple:
+        """``(entry_count, bytes)`` of one shard, from the cached scan."""
+        scan = self._scan(shard)
+        if scan is None:
+            return (0, 0)
+        return (len(scan[1]), scan[2])
 
     def note(self, key: str, shard: str) -> None:
         """Record a key this process just wrote (keeps the local view
-        warm without a rescan)."""
+        warm without a rescan). The byte total goes momentarily stale,
+        but the write bumped the directory mtime, so the next
+        :meth:`_scan` picks up exact sizes again."""
         cached = self._scans.get(shard)
         if cached is not None:
-            self._scans[shard] = (cached[0], cached[1] | {key})
+            self._scans[shard] = (cached[0], cached[1] | {key}, cached[2])
 
 
 class RunCache:
@@ -363,23 +389,42 @@ class RunCache:
 
     # -- maintenance (the repro-cache CLI) ----------------------------------
 
+    def shard_usage(self) -> Dict[str, tuple]:
+        """``(entries, bytes)`` per populated shard of the *current*
+        generation, served through the :class:`ShardIndex`: repeated
+        calls cost one ``os.stat`` per shard (plus one generation-dir
+        listing), re-listing only shards whose mtime moved — not a full
+        directory sweep per call."""
+        gen_dir = os.path.join(self.root, cache_generation())
+        out: Dict[str, tuple] = {}
+        if os.path.isdir(gen_dir):
+            index = self.index
+            for shard in sorted(os.listdir(gen_dir)):
+                if not os.path.isdir(os.path.join(gen_dir, shard)):
+                    continue
+                count, size = index.shard_usage(shard)
+                if count:
+                    out[shard] = (count, size)
+        return out
+
+    def usage(self) -> tuple:
+        """``(entries, bytes)`` of the current generation — cheap
+        enough for every /metrics scrape (steady state: no re-listing
+        at all, just mtime checks)."""
+        entries = size = 0
+        for count, nbytes in self.shard_usage().values():
+            entries += count
+            size += nbytes
+        return entries, size
+
     def shard_stats(self) -> Dict[str, int]:
         """Entry count per populated shard of the *current* generation
         (empty shards are omitted — with 256 shards most are)."""
-        gen_dir = os.path.join(self.root, cache_generation())
-        out: Dict[str, int] = {}
-        if os.path.isdir(gen_dir):
-            for shard in sorted(os.listdir(gen_dir)):
-                sdir = os.path.join(gen_dir, shard)
-                if not os.path.isdir(sdir):
-                    continue
-                count = sum(1 for name in os.listdir(sdir)
-                            if name.endswith(".json"))
-                if count:
-                    out[shard] = count
-        return out
+        return {shard: count
+                for shard, (count, _) in self.shard_usage().items()}
 
     def stats(self) -> Dict[str, object]:
+        generation = cache_generation()
         per_version: Dict[str, int] = {}
         entries = 0
         size = 0
@@ -388,15 +433,25 @@ class RunCache:
                 vdir = os.path.join(self.root, version)
                 if not os.path.isdir(vdir):
                     continue
-                count = 0
-                for dirpath, _, filenames in os.walk(vdir):
-                    for name in filenames:
-                        if name.endswith(".json"):
-                            count += 1
-                            size += os.path.getsize(
-                                os.path.join(dirpath, name))
+                if version == generation:
+                    # Current generation: reuse the ShardIndex's
+                    # mtime-revalidated scans instead of re-walking.
+                    count, vsize = self.usage()
+                else:
+                    # Stale generations have no live index; they exist
+                    # only across schema/version bumps, so walking is
+                    # the rare path.
+                    count = 0
+                    vsize = 0
+                    for dirpath, _, filenames in os.walk(vdir):
+                        for name in filenames:
+                            if name.endswith(".json"):
+                                count += 1
+                                vsize += os.path.getsize(
+                                    os.path.join(dirpath, name))
                 per_version[version] = count
                 entries += count
+                size += vsize
         per_shard = self.shard_stats()
         shard_summary: Dict[str, object] = {
             "configured": self.shards,

@@ -14,10 +14,29 @@ module-level active-tracer slot that instrumented call sites consult;
 :mod:`repro.obs.export` turns a captured buffer into Chrome
 trace-event / Perfetto JSON or JSONL. See docs/observability.md
 ("Tracing").
+
+The fleet-telemetry layer lives alongside the tracer (see
+docs/observability.md, "Live telemetry"):
+
+* :mod:`repro.obs.metrics` — Prometheus text exposition over the stats
+  registry plus runtime collectors (:class:`MetricsExporter`), and the
+  validating :func:`parse_exposition` used by tests, the smoke harness
+  and the dashboard;
+* :mod:`repro.obs.logging` — structured JSON logging with correlation
+  fields (:func:`get_logger`, :func:`log_context`,
+  :func:`configure`);
+* :mod:`repro.obs.top` — the ``esp-nuca top`` terminal dashboard.
 """
 
+from repro.obs.logging import (configure, configure_from_env, get_logger,
+                               log_context)
+from repro.obs.metrics import (MetricsExporter, ParsedMetrics,
+                               assert_counters_monotone, parse_exposition)
 from repro.obs.trace import (NULL_TRACER, NullTracer, SpanContext, TraceEvent,
                              Tracer, TracerView, activated, active, install)
 
 __all__ = ["NULL_TRACER", "NullTracer", "SpanContext", "TraceEvent",
-           "Tracer", "TracerView", "activated", "active", "install"]
+           "Tracer", "TracerView", "activated", "active", "install",
+           "MetricsExporter", "ParsedMetrics", "assert_counters_monotone",
+           "parse_exposition", "configure", "configure_from_env",
+           "get_logger", "log_context"]

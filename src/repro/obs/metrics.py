@@ -1,0 +1,372 @@
+"""Prometheus-style metrics export over the stats registry.
+
+The :class:`~repro.common.statsreg.StatsRegistry` was built for
+end-of-run snapshots; this module turns a *live* registry (plus
+arbitrary runtime callbacks) into the Prometheus text exposition
+format, so one ``curl /metrics`` against a running gateway answers
+"what is this fleet doing right now" with standard tooling.
+
+Mapping rules (docs/observability.md, "Live telemetry"):
+
+* every metric is prefixed with the ``espnuca_`` namespace;
+* registry :class:`~repro.common.statsreg.Counter` leaves render as
+  Prometheus counters named ``<namespace>_<dotted_path>_total`` (dots
+  become underscores);
+* :class:`~repro.common.statsreg.Gauge` leaves render as gauges;
+* :class:`~repro.common.statsreg.Histogram` leaves render as Prometheus
+  histograms: registry buckets are power-of-two (bucket ``i`` counts
+  values with ``bit_length() == i``, i.e. integers in ``[2**(i-1),
+  2**i)``), so the cumulative ``le`` bound of bucket ``i`` is exactly
+  ``2**i - 1`` — the emitted buckets are *exact*, not approximated —
+  and ``_sum``/``_count`` carry the registry's exact first moment;
+* **label scopes** fold scope families into labels instead of name
+  explosions: registering ``gateway.tenants`` with label ``tenant``
+  renders ``gateway.tenants.alice.admits`` as
+  ``espnuca_gateway_tenants_admits_total{tenant="alice"}``; a family
+  whose *leaf* names are the label values (``gateway.rejects.auth``)
+  renders as ``espnuca_gateway_rejects_total{reason="auth"}``.
+
+:func:`parse_exposition` is the matching validating parser — the CI
+smoke test, the tests and ``esp-nuca top`` all consume /metrics through
+it, so the emitted format is pinned by round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.statsreg import Counter, Gauge, Histogram, Scope
+
+#: Content-Type of the text exposition format (version pinned — this is
+#: what Prometheus' scraper sends in Accept).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Default metric-name namespace.
+NAMESPACE = "espnuca"
+
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$")
+
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def sanitize_name(name: str) -> str:
+    """A valid Prometheus metric-name fragment: dots and other invalid
+    characters become underscores; a leading digit gets prefixed."""
+    out = _INVALID_NAME_CHARS.sub("_", name.replace(".", "_"))
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _unescape_label_value(value: str) -> str:
+    return (value.replace("\\n", "\n").replace('\\"', '"')
+            .replace("\\\\", "\\"))
+
+
+class _Family:
+    """One metric family: a name, a kind, and labeled samples."""
+
+    __slots__ = ("name", "kind", "help", "samples")
+
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        # list of (sorted label tuples, value-or-Histogram-snapshot)
+        self.samples: List[Tuple[Tuple[Tuple[str, str], ...], Any]] = []
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _label_text(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{name}="{escape_label_value(str(value))}"'
+                     for name, value in labels)
+    return "{" + inner + "}"
+
+
+class MetricsExporter:
+    """Renders mounted registries plus runtime collectors as one
+    exposition-format document.
+
+    ``mount_registry(scope, label_scopes=...)`` bridges a live
+    :class:`~repro.common.statsreg.Scope` tree; ``add_metric`` registers
+    a single callback-backed gauge/counter; ``add_collector`` registers
+    a function yielding ``(name, kind, help, labels_dict, value)``
+    tuples for metric groups that share one snapshot (fabric stats,
+    cache stats). ``render()`` walks everything fresh each call — there
+    is no sampling thread, so an unscraped exporter costs nothing at
+    runtime beyond the counters the app was already incrementing.
+    """
+
+    def __init__(self, namespace: str = NAMESPACE) -> None:
+        self.namespace = namespace
+        self._registries: List[Tuple[Scope, str, Dict[str, str]]] = []
+        self._collectors: List[Callable[[], Iterable[Tuple]]] = []
+
+    # -- registration --------------------------------------------------------
+
+    def mount_registry(self, scope: Scope, prefix: str = "",
+                       label_scopes: Optional[Dict[str, str]] = None
+                       ) -> None:
+        """Bridge a live registry subtree. ``prefix`` is prepended to
+        every walked path (``walk()`` yields paths relative to the
+        mounted scope); ``label_scopes`` maps a dotted full-path prefix
+        to a label name — the path segment following the prefix becomes
+        the label value."""
+        self._registries.append((scope, prefix, dict(label_scopes or {})))
+
+    def add_collector(self, fn: Callable[[], Iterable[Tuple]]) -> None:
+        """``fn()`` yields ``(name, kind, help, labels_dict, value)``
+        per sample; called at every render."""
+        self._collectors.append(fn)
+
+    def add_metric(self, name: str, kind: str, help_text: str,
+                   fn: Callable[[], Any], label: Optional[str] = None
+                   ) -> None:
+        """One callback-backed metric. ``fn`` returns a number, or —
+        when ``label`` is given — a dict mapping label value to number
+        (one sample per entry)."""
+
+        def collect() -> Iterable[Tuple]:
+            value = fn()
+            if label is None:
+                yield (name, kind, help_text, {}, value)
+            else:
+                for key, number in value.items():
+                    yield (name, kind, help_text, {label: str(key)}, number)
+
+        self._collectors.append(collect)
+
+    # -- rendering -----------------------------------------------------------
+
+    def _family(self, families: Dict[str, _Family], name: str, kind: str,
+                help_text: str) -> _Family:
+        family = families.get(name)
+        if family is None:
+            family = families[name] = _Family(name, kind, help_text)
+        return family
+
+    def _registry_families(self, families: Dict[str, _Family],
+                           scope: Scope, prefix: str,
+                           label_scopes: Dict[str, str]) -> None:
+        for path, stat in scope.walk(f"{prefix}." if prefix else ""):
+            labels: Tuple[Tuple[str, str], ...] = ()
+            name_path = path
+            for prefix, label in label_scopes.items():
+                if path.startswith(prefix + "."):
+                    rest = path[len(prefix) + 1:]
+                    value, _, tail = rest.partition(".")
+                    labels = ((label, value),)
+                    name_path = prefix + (("." + tail) if tail else "")
+                    break
+            base = f"{self.namespace}_{sanitize_name(name_path)}"
+            if isinstance(stat, Counter):
+                family = self._family(
+                    families, f"{base}_total", "counter",
+                    f"registry counter {name_path}")
+                family.samples.append((labels, stat.value))
+            elif isinstance(stat, Gauge):
+                family = self._family(families, base, "gauge",
+                                      f"registry gauge {name_path}")
+                family.samples.append((labels, stat.value))
+            elif isinstance(stat, Histogram):
+                family = self._family(families, base, "histogram",
+                                      f"registry histogram {name_path}")
+                snap = (list(stat.buckets), stat.count, stat.total)
+                family.samples.append((labels, snap))
+
+    def render(self) -> str:
+        families: Dict[str, _Family] = {}
+        for scope, prefix, label_scopes in self._registries:
+            self._registry_families(families, scope, prefix, label_scopes)
+        for collector in self._collectors:
+            for name, kind, help_text, labels, value in collector():
+                if value is None:
+                    continue
+                full = f"{self.namespace}_{sanitize_name(name)}"
+                if kind == "counter" and not full.endswith("_total"):
+                    full += "_total"
+                family = self._family(families, full, kind, help_text)
+                family.samples.append(
+                    (tuple(sorted((k, str(v)) for k, v in labels.items())),
+                     value))
+        lines: List[str] = []
+        for name in sorted(families):
+            family = families[name]
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, value in family.samples:
+                if family.kind == "histogram":
+                    self._render_histogram(lines, family.name, labels, value)
+                else:
+                    lines.append(f"{family.name}{_label_text(labels)} "
+                                 f"{_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _render_histogram(lines: List[str], name: str,
+                          labels: Tuple[Tuple[str, str], ...],
+                          snap: Tuple[List[int], int, int]) -> None:
+        buckets, count, total = snap
+        cumulative = 0
+        for i, n in enumerate(buckets):
+            if not n:
+                continue
+            cumulative += n
+            # bucket i holds ints with bit_length() == i, whose inclusive
+            # upper bound is 2**i - 1 — the le boundary is exact.
+            bound = (2 ** i) - 1 if i else 0
+            le_labels = labels + (("le", str(bound)),)
+            lines.append(f"{name}_bucket{_label_text(le_labels)} "
+                         f"{cumulative}")
+        inf_labels = labels + (("le", "+Inf"),)
+        lines.append(f"{name}_bucket{_label_text(inf_labels)} {count}")
+        lines.append(f"{name}_sum{_label_text(labels)} {total}")
+        lines.append(f"{name}_count{_label_text(labels)} {count}")
+
+
+# -- parsing (the validating consumer side) -----------------------------------
+
+class ParsedMetrics:
+    """A parsed exposition document.
+
+    ``samples`` maps ``(name, ((label, value), ...))`` to a float;
+    ``types`` maps family name to its declared kind. :meth:`value` and
+    :meth:`family` are the convenience accessors the dashboard uses.
+    """
+
+    def __init__(self) -> None:
+        self.samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                           float] = {}
+        self.types: Dict[str, str] = {}
+
+    def value(self, name: str, /, default: Optional[float] = None,
+              **labels: str) -> Optional[float]:
+        # name is positional-only so a label literally called "name" (a
+        # legal Prometheus label) stays expressible as a keyword
+        key = (name, tuple(sorted(labels.items())))
+        return self.samples.get(key, default)
+
+    def family(self, name: str) -> Dict[Tuple[Tuple[str, str], ...], float]:
+        """Every sample of one metric name, keyed by its label tuples."""
+        return {labels: value for (n, labels), value in self.samples.items()
+                if n == name}
+
+    def label_values(self, name: str, label: str) -> List[str]:
+        """Distinct values one label takes across a family's samples."""
+        out = []
+        for labels in self.family(name):
+            for key, value in labels:
+                if key == label and value not in out:
+                    out.append(value)
+        return sorted(out)
+
+    def counters(self) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                               float]:
+        """Samples belonging to counter families (including histogram
+        ``_bucket``/``_count``/``_sum`` series, which are monotone too)
+        — the monotonicity-check surface."""
+        out = {}
+        for (name, labels), value in self.samples.items():
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and \
+                        name[:-len(suffix)] in self.types:
+                    base = name[:-len(suffix)]
+                    break
+            kind = self.types.get(base)
+            if kind == "counter" or (kind == "histogram" and base != name):
+                out[(name, labels)] = value
+        return out
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)  # raises ValueError on garbage
+
+
+def parse_exposition(text: str) -> ParsedMetrics:
+    """Validating parser for the text exposition format; raises
+    :class:`ValueError` naming the offending line on anything
+    malformed."""
+    parsed = ParsedMetrics()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3].strip() not in (
+                        "counter", "gauge", "histogram", "summary",
+                        "untyped"):
+                    raise ValueError(f"line {lineno}: malformed TYPE "
+                                     f"comment {line!r}")
+                parsed.types[parts[2]] = parts[3].strip()
+            elif len(parts) >= 2 and parts[1] == "HELP":
+                if len(parts) < 3:
+                    raise ValueError(f"line {lineno}: malformed HELP "
+                                     f"comment {line!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        labels: List[Tuple[str, str]] = []
+        raw = match.group("labels")
+        if raw:
+            consumed = 0
+            for lm in _LABEL_RE.finditer(raw):
+                labels.append((lm.group(1),
+                               _unescape_label_value(lm.group(2))))
+                consumed = lm.end()
+            leftover = raw[consumed:].strip().strip(",")
+            if leftover:
+                raise ValueError(f"line {lineno}: malformed labels "
+                                 f"{raw!r}")
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ValueError(f"line {lineno}: malformed value "
+                             f"{match.group('value')!r}") from None
+        key = (match.group("name"), tuple(sorted(labels)))
+        if key in parsed.samples:
+            raise ValueError(f"line {lineno}: duplicate sample "
+                             f"{match.group('name')}{dict(labels)}")
+        parsed.samples[key] = value
+    return parsed
+
+
+def assert_counters_monotone(before: ParsedMetrics,
+                             after: ParsedMetrics) -> None:
+    """Every counter-family sample present in both scrapes must not
+    have decreased (the smoke test's cross-scrape check); raises
+    :class:`AssertionError` naming the first regression."""
+    earlier = before.counters()
+    later = after.counters()
+    for key, value in earlier.items():
+        if key in later and later[key] < value:
+            name, labels = key
+            raise AssertionError(
+                f"counter {name}{dict(labels)} went backwards: "
+                f"{value} -> {later[key]}")

@@ -1,0 +1,243 @@
+"""``esp-nuca top`` — a polling terminal dashboard over ``/metrics``.
+
+A deliberately small client of the gateway's operator surfaces: each
+tick it scrapes ``GET /metrics`` (and ``GET /readyz``), parses the
+exposition text with :func:`repro.obs.metrics.parse_exposition`, and
+renders queue / fabric / cache / tenant panels. Rates are derived
+client-side from consecutive scrapes — the server exports monotone
+counters only, exactly what a Prometheus server would see.
+
+Rendering is a pure function of the parsed scrape(s) so tests can
+exercise the panels without a terminal or a live gateway::
+
+    text = render_dashboard(parsed, ready=ready_body, url=url,
+                            previous=prev, elapsed_s=2.0)
+
+The loop (:func:`run_top`) only adds polling, ANSI clear-screen and
+Ctrl-C handling. Authentication is not required: /metrics and /readyz
+are pre-auth routes, so ``esp-nuca top`` works against a locked-down
+gateway without an API key.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import ParsedMetrics, parse_exposition
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_bytes(n: float) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return (f"{value:.0f}{unit}" if unit == "B"
+                    else f"{value:.1f}{unit}")
+        value /= 1024
+    return f"{value:.1f}GiB"  # pragma: no cover — unreachable
+
+
+def _rate(current: ParsedMetrics, previous: Optional[ParsedMetrics],
+          elapsed_s: float, name: str, **labels: str) -> Optional[float]:
+    """Per-second rate of a counter between two scrapes, or None on the
+    first scrape (no baseline yet)."""
+    if previous is None or elapsed_s <= 0:
+        return None
+    now = current.value(name, default=None, **labels)
+    before = previous.value(name, default=None, **labels)
+    if now is None or before is None:
+        return None
+    return max(0.0, now - before) / elapsed_s
+
+
+def _with_rate(value: float, rate: Optional[float]) -> str:
+    base = f"{value:.0f}"
+    return base if rate is None else f"{base} ({rate:.1f}/s)"
+
+
+def _queue_panel(m: ParsedMetrics, prev: Optional[ParsedMetrics],
+                 dt: float) -> List[str]:
+    backlog = m.value("espnuca_queue_backlog", default=0)
+    inflight = m.value("espnuca_queue_inflight", default=0)
+    limit = m.value("espnuca_queue_limit", default=0)
+    dispatchers = m.value("espnuca_dispatchers", default=0)
+    busy = m.value("espnuca_dispatchers_busy", default=0)
+    lines = [f"queue     backlog {backlog:.0f}/{limit:.0f}  "
+             f"inflight {inflight:.0f}  "
+             f"dispatchers {busy:.0f}/{dispatchers:.0f} busy"]
+    requested = m.value("espnuca_points_requested_total", default=0)
+    cached = m.value("espnuca_points_cached_total", default=0)
+    coalesced = m.value("espnuca_points_coalesced_total", default=0)
+    lines.append(
+        "points    requested "
+        + _with_rate(requested,
+                     _rate(m, prev, dt, "espnuca_points_requested_total"))
+        + f"  cached {cached:.0f}  coalesced {coalesced:.0f}")
+    return lines
+
+
+def _fabric_panel(m: ParsedMetrics, prev: Optional[ParsedMetrics],
+                  dt: float) -> List[str]:
+    running = m.value("espnuca_fabric_running", default=0)
+    workers = m.value("espnuca_fabric_workers", default=0)
+    busy = m.value("espnuca_fabric_busy", default=0)
+    state = "up" if running else "DOWN"
+    line = f"fabric    {state}  workers {busy:.0f}/{workers:.0f} busy"
+    age = m.value("espnuca_fabric_heartbeat_age_max_seconds", default=None)
+    if age is not None:
+        line += f"  heartbeat {age:.1f}s"
+    lines = [line]
+    completed = m.value("espnuca_fabric_completed_total", default=0)
+    requeued = m.value("espnuca_fabric_requeued_total", default=0)
+    crashed = m.value("espnuca_fabric_crashed_total", default=0)
+    executed = m.value("espnuca_executed_points_total", default=0)
+    lines.append(
+        "          executed "
+        + _with_rate(executed,
+                     _rate(m, prev, dt, "espnuca_executed_points_total"))
+        + f"  completed {completed:.0f}  requeued {requeued:.0f}"
+        + (f"  crashed {crashed:.0f}" if crashed else ""))
+    return lines
+
+
+def _cache_panel(m: ParsedMetrics, prev: Optional[ParsedMetrics],
+                 dt: float) -> List[str]:
+    hits = m.value("espnuca_cache_hits_total", default=0)
+    misses = m.value("espnuca_cache_misses_total", default=0)
+    ratio = m.value("espnuca_cache_hit_ratio", default=0.0)
+    line = (f"cache     hit ratio {ratio:.0%}  hits "
+            + _with_rate(hits, _rate(m, prev, dt, "espnuca_cache_hits_total"))
+            + f"  misses {misses:.0f}")
+    entries = m.value("espnuca_cache_entries", default=None)
+    if entries is not None:
+        size = m.value("espnuca_cache_bytes", default=0)
+        line += f"  ({entries:.0f} entries, {_fmt_bytes(size)})"
+    return [line]
+
+
+def _tenant_panel(m: ParsedMetrics, prev: Optional[ParsedMetrics],
+                  dt: float) -> List[str]:
+    tenants = sorted(
+        m.label_values("espnuca_gateway_tenants_requests_total", "tenant"))
+    if not tenants:
+        return ["tenants   (none seen yet)"]
+    lines = ["tenants   " + f"{'name':<14}{'requests':>12}{'admits':>10}"
+             f"{'rejects':>10}"]
+    for tenant in tenants:
+        requests = m.value("espnuca_gateway_tenants_requests_total",
+                           default=0, tenant=tenant)
+        admits = m.value("espnuca_gateway_tenants_admits_total",
+                         default=0, tenant=tenant)
+        rejects = m.value("espnuca_gateway_tenants_rejects_total",
+                          default=0, tenant=tenant)
+        rate = _rate(m, prev, dt, "espnuca_gateway_tenants_requests_total",
+                     tenant=tenant)
+        shown = (f"{requests:.0f}" if rate is None
+                 else f"{requests:.0f} ({rate:.1f}/s)")
+        lines.append(f"          {tenant:<14}{shown:>12}{admits:>10.0f}"
+                     f"{rejects:>10.0f}")
+    return lines
+
+
+def _routes_panel(m: ParsedMetrics) -> List[str]:
+    routes = sorted(
+        m.label_values("espnuca_gateway_routes_requests_total", "route"))
+    if not routes:
+        return []
+    lines = ["routes    " + f"{'route':<22}{'requests':>10}{'errors':>8}"
+             f"{'aborted':>8}{'avg ms':>9}"]
+    for route in routes:
+        requests = m.value("espnuca_gateway_routes_requests_total",
+                           default=0, route=route)
+        errors = m.value("espnuca_gateway_routes_errors_total",
+                         default=0, route=route)
+        aborted = m.value("espnuca_gateway_routes_aborted_total",
+                          default=0, route=route)
+        total_us = m.value("espnuca_gateway_routes_latency_us_sum",
+                           default=0, route=route)
+        count = m.value("espnuca_gateway_routes_latency_us_count",
+                        default=0, route=route)
+        avg_ms = (total_us / count / 1000.0) if count else 0.0
+        lines.append(f"          {route:<22}{requests:>10.0f}{errors:>8.0f}"
+                     f"{aborted:>8.0f}{avg_ms:>9.2f}")
+    return lines
+
+
+def render_dashboard(metrics: ParsedMetrics,
+                     ready: Optional[Dict[str, object]] = None,
+                     *, url: str = "",
+                     previous: Optional[ParsedMetrics] = None,
+                     elapsed_s: float = 0.0) -> str:
+    """One full dashboard frame as a string (no ANSI codes)."""
+    if ready is None:
+        ready_txt = "ready ?"
+    elif ready.get("ready"):
+        ready_txt = "ready"
+    else:
+        checks = ready.get("checks")
+        failing = (sorted(k for k, ok in checks.items() if not ok)
+                   if isinstance(checks, dict) else [])
+        ready_txt = ("NOT READY"
+                     + (f" ({', '.join(failing)})" if failing else ""))
+    header = f"esp-nuca top — {url}  [{ready_txt}]"
+    draining = metrics.value("espnuca_draining", default=0)
+    if draining:
+        header += "  [draining]"
+    sections = [[header, "-" * max(40, len(header))],
+                _queue_panel(metrics, previous, elapsed_s),
+                _fabric_panel(metrics, previous, elapsed_s),
+                _cache_panel(metrics, previous, elapsed_s),
+                _tenant_panel(metrics, previous, elapsed_s),
+                _routes_panel(metrics)]
+    return "\n".join("\n".join(s) for s in sections if s)
+
+
+def run_top(url: str, *, api_key: Optional[str] = None,
+            interval: float = 2.0, once: bool = False,
+            iterations: Optional[int] = None, stream=None) -> int:
+    """Poll ``url`` and redraw until Ctrl-C (or ``iterations`` frames).
+
+    ``once`` renders a single frame without clearing the screen —
+    useful for scripts and copy-paste. ``api_key`` is accepted for
+    symmetry with the other subcommands but unused by the pre-auth
+    endpoints top scrapes.
+    """
+    from repro.gateway.client import GatewayClient, GatewayError
+
+    out = stream if stream is not None else sys.stdout
+    previous: Optional[ParsedMetrics] = None
+    prev_at = 0.0
+    frames = 0
+    with GatewayClient(url, api_key=api_key) as client:
+        while True:
+            try:
+                parsed = parse_exposition(client.metrics())
+                ready = client.readyz()
+            except GatewayError as exc:
+                print(f"esp-nuca top: gateway error: {exc}", file=out)
+                return 1
+            except (OSError, ConnectionError) as exc:
+                print(f"esp-nuca top: cannot reach {url}: {exc}", file=out)
+                return 1
+            except ValueError as exc:
+                print(f"esp-nuca top: bad /metrics payload: {exc}",
+                      file=out)
+                return 1
+            now = time.monotonic()
+            frame = render_dashboard(parsed, ready, url=url,
+                                     previous=previous,
+                                     elapsed_s=now - prev_at)
+            if not once:
+                print(_CLEAR, end="", file=out)
+            print(frame, file=out, flush=True)
+            previous, prev_at = parsed, now
+            frames += 1
+            if once or (iterations is not None and frames >= iterations):
+                return 0
+            try:
+                time.sleep(interval)
+            except KeyboardInterrupt:  # pragma: no cover — interactive
+                return 0

@@ -41,11 +41,14 @@ from repro.harness.executor import Executor
 from repro.harness.reporting import run_stats_payload
 from repro.harness.runner import RunSettings, grid_points
 from repro.obs import trace as obs
+from repro.obs.logging import get_logger
 from repro.service import protocol as proto
 from repro.service import queue as q
 from repro.service.progress import TERMINAL, Job
 from repro.sim.engines import ENGINES
 from repro.workloads.registry import workload_names
+
+_log = get_logger("core")
 
 
 class ServiceCore:
@@ -122,6 +125,8 @@ class ServiceCore:
         # Tear down the fabric's simulation processes as well — the
         # drain barrier means no worker process outlives the daemon.
         self.executor.close()
+        _log.info("core drained", jobs=len(self.jobs),
+                  executed=self.executor.executed, workers_alive=alive)
         return {
             "drained": True,
             "jobs": len(self.jobs),
@@ -331,6 +336,10 @@ class ServiceCore:
             job.attach(key, task)
             self._followers.setdefault(key, []).append(job)
         self.jobs[job.id] = job
+        _log.debug("job admitted to core", job=job.id, owner=job.owner,
+                   unique=len(unique), cached=job.cached,
+                   coalesced=coalesced,
+                   enqueued=len(missing) - coalesced)
 
     def get_job(self, job_id: Any) -> Optional[Job]:
         return self.jobs.get(job_id) if isinstance(job_id, str) else None

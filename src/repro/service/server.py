@@ -398,6 +398,7 @@ class SimulationService:
             "procs": self.executor.jobs,
             "procs_busy": self.executor.procs_busy(),
             "fabric": self.executor.fabric_stats(),
+            "fabric_summary": self.executor.fabric_summary(),
             "jobs": self.core.jobs_by_state(),
             "points": self.core.points_status(),
             "cache": self.core.cache_summary(),

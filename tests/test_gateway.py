@@ -426,7 +426,8 @@ class TestGatewayHttp:
                               for path, ops in spec["paths"].items()
                               for method in ops}
                 assert documented == {
-                    ("/healthz", "GET"), ("/openapi.json", "GET"),
+                    ("/healthz", "GET"), ("/readyz", "GET"),
+                    ("/metrics", "GET"), ("/openapi.json", "GET"),
                     ("/v1/status", "GET"),
                     ("/v1/jobs", "GET"), ("/v1/jobs", "POST"),
                     ("/v1/jobs/{id}", "GET"), ("/v1/jobs/{id}", "DELETE"),

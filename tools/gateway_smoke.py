@@ -12,10 +12,15 @@ mid-backlog** and prove the system's durability story:
   the same grid;
 * per-tenant quota rejects (429 ``quota-jobs``) and token-bucket rate
   limiting (429 ``rate-limited`` with ``Retry-After``) are enforced on
-  the wire, and an unauthenticated request is refused (401).
+  the wire, and an unauthenticated request is refused (401);
+* ``/metrics`` scraped under load is valid Prometheus exposition whose
+  counters are monotone across scrapes, and ``/readyz`` reports ready
+  on a booted gateway but flips false while a SIGTERM drain is still
+  finishing jobs.
 
 Run locally with ``PYTHONPATH=src python tools/gateway_smoke.py``; the
-in-process equivalents live in ``tests/test_gateway.py``.
+in-process equivalents live in ``tests/test_gateway.py`` and
+``tests/test_telemetry.py``.
 """
 
 import json
@@ -30,6 +35,8 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
 
 from repro.gateway.client import GatewayClient, GatewayError  # noqa: E402
+from repro.obs.metrics import (  # noqa: E402
+    assert_counters_monotone, parse_exposition)
 
 ARCHS = ["shared", "private", "esp-nuca"]
 WORKLOADS = ["apache"]
@@ -133,6 +140,12 @@ def main():
         client = GatewayClient.wait_until_ready(url, timeout=BOOT_TIMEOUT,
                                                 proc=server, api_key=key)
 
+        # -- telemetry: ready on boot, baseline scrape -----------------------
+        ready = client.readyz()
+        if not ready.get("ready") or not all(ready["checks"].values()):
+            fail(f"/readyz not ready on a booted gateway: {ready}")
+        scrape_before = parse_exposition(client.metrics())
+
         # -- auth is required ------------------------------------------------
         try:
             GatewayClient(url).status()
@@ -184,6 +197,21 @@ def main():
         # from a quiet queue.
         for row in client.jobs():
             client.wait(row["job"], timeout=FINISH_TIMEOUT)
+
+        # -- /metrics after load: parseable, monotone, fleet scopes ----------
+        scrape_after = parse_exposition(client.metrics())
+        assert_counters_monotone(scrape_before, scrape_after)
+        for family in ("espnuca_queue_backlog", "espnuca_fabric_workers",
+                       "espnuca_cache_hits_total", "espnuca_ready"):
+            if not scrape_after.family(family):
+                fail(f"/metrics is missing the {family} family")
+        requests_name = "espnuca_gateway_http_requests_total"
+        if (scrape_after.value(requests_name, default=0) <=
+                scrape_before.value(requests_name, default=0)):
+            fail("HTTP request counter did not grow between scrapes")
+        if scrape_after.value("espnuca_gateway_tenants_requests_total",
+                              default=0, tenant="smoke") <= 0:
+            fail("per-tenant request counter missing for tenant 'smoke'")
         client.close()
 
         # -- the backlog to kill: JOBS uncached grids, loose quotas ----------
@@ -244,10 +272,28 @@ def main():
                 fail(f"job {gid} (seed {seed}) results differ from a "
                      f"direct serial run")
 
-        # -- graceful stop ---------------------------------------------------
+        # -- graceful stop: /readyz flips false while the drain finishes -----
         final_pids = worker_pids(client.status())
-        client.close()
+        client.submit(ARCHS, WORKLOADS, settings=SETTINGS, seeds=[9300])
         server.send_signal(signal.SIGTERM)
+        saw_not_ready = False
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline and server.poll() is None:
+            try:
+                reply = client.readyz()
+            except (GatewayError, OSError):
+                time.sleep(0.05)  # listener mid-teardown; poll() decides
+                continue
+            if not reply.get("ready"):
+                if reply["checks"].get("queue_accepting") is not False:
+                    fail(f"draining /readyz should fail queue_accepting: "
+                         f"{reply}")
+                saw_not_ready = True
+                break
+            time.sleep(0.05)
+        if not saw_not_ready:
+            fail("/readyz never reported not-ready during the drain")
+        client.close()
         server.wait(timeout=120)
         if server.returncode != 0:
             fail(f"gateway exited {server.returncode} after SIGTERM")
@@ -258,7 +304,8 @@ def main():
               f"auth/rate/quota rejects typed, {len(submitted)} job(s) "
               f"survived SIGKILL (workers reaped), all recovered to "
               f"done with results byte-identical to direct runs, "
-              f"clean SIGTERM stop")
+              f"/metrics monotone across scrapes, /readyz flipped "
+              f"false during the drain, clean SIGTERM stop")
     finally:
         if server.poll() is None:
             server.kill()
