@@ -123,13 +123,13 @@ class AdaptiveSelectiveReplication(TiledPrivate):
 
     # -- selective replication on writeback ---------------------------------------------
 
-    def route_l1_eviction(self, core: int, line: L1Line) -> None:
+    def route_l1_eviction(self, core: int, line: L1Line, t: int = 0) -> None:
         block = line.block
         state = self.ledger.state(block)
         other_copies = (any(h != core for h in state.l1) or bool(state.l2))
         if not other_copies:
             # Sole copy: the owner keeps it locally (the "home" copy).
-            super().route_l1_eviction(core, line)
+            super().route_l1_eviction(core, line, t)
             return
         tokens = self.ledger.take_from_l1(block, core)
         if self._rng.random() < self.replication_probability(core):
@@ -145,10 +145,10 @@ class AdaptiveSelectiveReplication(TiledPrivate):
             entry = CacheBlock(block=block, cls=BlockClass.PRIVATE,
                                owner=core, dirty=line.dirty, tokens=tokens)
             entry.meta["replica"] = True
-            if self.l2_allocate(bank_id, index, entry):
+            if self.l2_allocate(bank_id, index, entry, t=t):
                 return
             self.system.send_to_memory(block, tokens, line.dirty,
-                                       self.router_of_core(core))
+                                       self.router_of_core(core), t)
             return
         # No replication: return the tokens to an existing copy.
         for holding in self.ledger.l2_holdings(block):
@@ -157,10 +157,10 @@ class AdaptiveSelectiveReplication(TiledPrivate):
             self.banks[holding.bank_id].touch(holding.entry)
             return
         self.system.send_to_memory(block, tokens, line.dirty,
-                                   self.router_of_core(core))
+                                   self.router_of_core(core), t)
 
     def on_l2_eviction(self, bank_id: int, set_index: int, entry: CacheBlock,
-                       tokens: int, cascade: bool) -> None:
+                       tokens: int, cascade: bool, t: int = 0) -> None:
         owner = entry.owner
         if 0 <= owner < self.config.num_cores and not entry.meta.get("replica"):
             tags = self._victim_tags[owner]
@@ -168,4 +168,5 @@ class AdaptiveSelectiveReplication(TiledPrivate):
                 self._victim_sets[owner].discard(tags[0])
             tags.append(entry.block)
             self._victim_sets[owner].add(entry.block)
-        super().on_l2_eviction(bank_id, set_index, entry, tokens, cascade)
+        super().on_l2_eviction(bank_id, set_index, entry, tokens, cascade,
+                               t)

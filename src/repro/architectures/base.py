@@ -70,6 +70,21 @@ class NucaArchitecture:
         self.ledger = system.ledger
         self.banks: List[CacheBank] = self.build_banks()
         self._bank_busy = [0] * len(self.banks)
+        # Dense geometry tables: router_of_core is the identity on this
+        # mesh and router_of_bank a division, but both sit on the
+        # per-miss hot path — flatten to list lookups.
+        topo = self.topology
+        self._core_router = [topo.router_of_core(c)
+                             for c in range(self.config.num_cores)]
+        self._bank_router = [topo.router_of_bank(b)
+                             for b in range(len(self.banks))]
+        # Shadow the method wrappers with the tables' C-level
+        # ``__getitem__``: every ``self.router_of_core(c)`` call across
+        # the architectures dispatches straight into the list lookup,
+        # with no Python frame. The class methods below stay as the
+        # documented interface (and serve any unbound architecture).
+        self.router_of_core = self._core_router.__getitem__
+        self.router_of_bank = self._bank_router.__getitem__
         # A rebound architecture starts its statistics from zero (the
         # mechanism state is rebuilt by build_banks/on_bound anyway).
         self.stats.reset()
@@ -99,20 +114,22 @@ class NucaArchitecture:
         """
         raise NotImplementedError
 
-    def route_l1_eviction(self, core: int, line: L1Line) -> None:
+    def route_l1_eviction(self, core: int, line: L1Line, t: int = 0) -> None:
         """Place a line evicted from ``core``'s L1 somewhere in L2 (or
-        memory). Off the critical path: traffic only, no latency."""
+        memory) at cycle ``t``. Off the critical path: traffic only, no
+        latency charged to the evicting access — but any off-chip
+        writeback it triggers reserves controller bandwidth at ``t``."""
         raise NotImplementedError
 
     def on_l2_eviction(self, bank_id: int, set_index: int, entry: CacheBlock,
-                       tokens: int, cascade: bool) -> None:
+                       tokens: int, cascade: bool, t: int = 0) -> None:
         """An L2 replacement pushed ``entry`` out (its tokens already
-        withdrawn from the ledger). Default: return it to memory.
-        ``cascade`` is True when the eviction was itself caused by a
-        helping-block insertion — implementations must not create new
-        helping blocks then (bounds recursion)."""
+        withdrawn from the ledger) at cycle ``t``. Default: return it to
+        memory. ``cascade`` is True when the eviction was itself caused
+        by a helping-block insertion — implementations must not create
+        new helping blocks then (bounds recursion)."""
         self.system.send_to_memory(entry.block, tokens, entry.dirty,
-                                   self.router_of_bank(bank_id))
+                                   self.router_of_bank(bank_id), t)
 
     def on_block_left_chip(self, block: int) -> None:
         """Called when the last on-chip copy of ``block`` is gone."""
@@ -120,10 +137,10 @@ class NucaArchitecture:
     # -- geometry shorthands ------------------------------------------------------
 
     def router_of_core(self, core: int) -> int:
-        return self.topology.router_of_core(core)
+        return self._core_router[core]
 
     def router_of_bank(self, bank_id: int) -> int:
-        return self.topology.router_of_bank(bank_id)
+        return self._bank_router[bank_id]
 
     def is_local_bank(self, core: int, bank_id: int) -> bool:
         return self.router_of_bank(bank_id) == self.router_of_core(core)
@@ -297,11 +314,14 @@ class NucaArchitecture:
     # -- functional allocation helpers -----------------------------------------------
 
     def l2_allocate(self, bank_id: int, set_index: int, entry: CacheBlock,
-                    cascade: bool = False) -> bool:
+                    cascade: bool = False, t: int = 0,
+                    dup_checked: bool = False) -> bool:
         """Install an entry in a bank, registering tokens and handling
-        the displaced block. Returns False if the policy refused it."""
+        the displaced block. Returns False if the policy refused it.
+        ``dup_checked`` as in :meth:`CacheBank.allocate`."""
         bank = self.banks[bank_id]
-        admitted, evicted = bank.allocate(set_index, entry)
+        admitted, evicted = bank.allocate(set_index, entry,
+                                          dup_checked=dup_checked)
         if not admitted:
             tr = self.system.tracer
             if tr.enabled and tr.wants("l2"):
@@ -313,20 +333,34 @@ class NucaArchitecture:
             return False
         if evicted is not None:
             tokens = self.ledger.take_from_l2(evicted.block, evicted)
-            self.on_l2_eviction(bank_id, set_index, evicted, tokens, cascade)
+            self.on_l2_eviction(bank_id, set_index, evicted, tokens, cascade,
+                                t)
         self.ledger.register_l2(entry.block, bank_id, set_index, entry)
         return True
 
     def merge_or_allocate(self, bank_id: int, set_index: int, block: int,
                           cls: BlockClass, owner: int, tokens: int,
-                          dirty: bool, cascade: bool = False) -> bool:
+                          dirty: bool, cascade: bool = False, t: int = 0
+                          ) -> bool:
         """Merge tokens into an existing same-class copy at the target
         location, or allocate a fresh entry there."""
         bank = self.banks[bank_id]
-        existing = bank.peek(set_index, block, classes=(cls,), owner=owner)
+        # Direct scan instead of bank.peek(): same (block, class, owner)
+        # filters without the lookup() call layers — this runs once per
+        # L1 writeback.
+        existing = None
+        for resident in bank.sets[set_index].blocks:
+            if (resident is not None and resident.block == block
+                    and resident.cls is cls and resident.owner == owner):
+                existing = resident
+                break
         if existing is None and cls is BlockClass.PRIVATE:
             # An owner's writeback may also merge into its own replica.
-            existing = bank.peek(set_index, block, owner=owner)
+            for resident in bank.sets[set_index].blocks:
+                if (resident is not None and resident.block == block
+                        and resident.owner == owner):
+                    existing = resident
+                    break
         if existing is not None:
             existing.tokens += tokens
             existing.dirty = existing.dirty or dirty
@@ -334,10 +368,13 @@ class NucaArchitecture:
             return True
         entry = CacheBlock(block=block, cls=cls, owner=owner,
                            dirty=dirty, tokens=tokens)
-        if self.l2_allocate(bank_id, set_index, entry, cascade):
+        # The merge probe above already proved no resident shares this
+        # (block, class, owner) — install can skip its duplicate scan.
+        if self.l2_allocate(bank_id, set_index, entry, cascade, t,
+                            dup_checked=True):
             return True
         self.system.send_to_memory(block, tokens, dirty,
-                                   self.router_of_bank(bank_id))
+                                   self.router_of_bank(bank_id), t)
         return False
 
     # -- reporting -------------------------------------------------------------------

@@ -85,13 +85,13 @@ class CooperativeCaching(TiledPrivate):
         return [CacheBank(b, cfg.sets_per_bank, cfg.assoc, policy)
                 for b in range(cfg.num_banks)]
 
-    def route_l1_eviction(self, core: int, line) -> None:
+    def route_l1_eviction(self, core: int, line, t: int = 0) -> None:
         """Like the private base, but stamping the CCE's allocation-time
         replication hint on fresh entries."""
         block = line.block
         state = self.ledger.state(block)
         hint = (any(h != core for h in state.l1) or bool(state.l2))
-        super().route_l1_eviction(core, line)
+        super().route_l1_eviction(core, line, t)
         bank_id = self.amap.private_bank(block, core)
         entry = self.banks[bank_id].peek(self.amap.private_index(block),
                                          block, owner=core)
@@ -121,7 +121,7 @@ class CooperativeCaching(TiledPrivate):
     # -- spilling --------------------------------------------------------------------
 
     def on_l2_eviction(self, bank_id: int, set_index: int, entry: CacheBlock,
-                       tokens: int, cascade: bool) -> None:
+                       tokens: int, cascade: bool, t: int = 0) -> None:
         block = entry.block
         state = self.ledger.state(block)
         singlet = not state.l1 and not state.l2
@@ -137,11 +137,11 @@ class CooperativeCaching(TiledPrivate):
                 host_bank = self.amap.private_bank(block, host)
                 host_index = self.amap.private_index(block)
                 if self.l2_allocate(host_bank, host_index, spilled,
-                                    cascade=True):
+                                    cascade=True, t=t):
                     self._spills.value += 1
                     return
         self.system.send_to_memory(block, tokens, entry.dirty,
-                                   self.router_of_bank(bank_id))
+                                   self.router_of_bank(bank_id), t)
 
     def _pick_host(self, bank_id: int) -> Optional[int]:
         evictor = self.amap.owner_of_bank(bank_id)

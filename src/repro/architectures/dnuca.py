@@ -75,14 +75,14 @@ class DNuca(NucaArchitecture):
                 t_coll, extra, _ = self.collect_for_write(core, block,
                                                           bank_router, t2)
                 t_done = max(self.data(bank_router, core_router, t2), t_coll)
-                self.system.l1_fill(core, block, tokens + extra, True)
+                self.system.l1_fill(core, block, tokens + extra, True, t_done)
                 return t_done, (Supplier.L2_LOCAL if local else Supplier.L2_SHARED)
             t_done = self.data(bank_router, core_router, t2)
             if local:
                 # Local hits swallow sole copies (cheap later upgrades).
                 tokens, dirty, _ = self.take_from_l2_entry(
                     block, bank_id, index, entry, want_all=False)
-                self.system.l1_fill(core, block, tokens, dirty)
+                self.system.l1_fill(core, block, tokens, dirty, t_done)
                 return t_done, Supplier.L2_LOCAL
             # Remote hit: borrow a token and pull the copy one
             # cluster-step toward the requester (gradual migration);
@@ -90,9 +90,10 @@ class DNuca(NucaArchitecture):
             tokens, dirty, removed = self.take_from_l2_entry(
                 block, bank_id, index, entry,
                 want_all=False, exclusive_if_sole=False)
-            self.system.l1_fill(core, block, tokens, dirty)
+            self.system.l1_fill(core, block, tokens, dirty, t_done)
             if not removed:
-                self._migrate_toward(block, entry, holding, core_router)
+                self._migrate_toward(block, entry, holding, core_router,
+                                     t_done)
             return t_done, Supplier.L2_SHARED
         # Not in L2: remote L1s, then memory. Miss detection is charged
         # at the requester's own cluster bank of the bankset.
@@ -105,18 +106,18 @@ class DNuca(NucaArchitecture):
             if is_write:
                 t_done, tokens, _ = self.collect_for_write(core, block,
                                                            core_router, t2)
-                self.system.l1_fill(core, block, tokens, True)
+                self.system.l1_fill(core, block, tokens, True, t_done)
                 return t_done, Supplier.L1_REMOTE
             holder = min(holders, key=lambda h: self.topology.hops(
                 core_router, self.router_of_core(h)))
             tokens, dirty = self.take_read_from_l1(block, holder)
             t_done = self.supply_from_l1(core, holder, core_router, t2)
-            self.system.l1_fill(core, block, tokens, dirty)
+            self.system.l1_fill(core, block, tokens, dirty, t_done)
             return t_done, Supplier.L1_REMOTE
         t_done = self.fetch_offchip(core_router, t2, core_router)
         tokens = self.ledger.take_from_memory(block)
         assert tokens > 0
-        self.system.l1_fill(core, block, tokens, is_write)
+        self.system.l1_fill(core, block, tokens, is_write, t_done)
         return t_done, Supplier.OFFCHIP
 
     # -- movement -----------------------------------------------------------------------
@@ -125,11 +126,14 @@ class DNuca(NucaArchitecture):
         holdings = self.ledger.l2_holdings(block)
         if not holdings:
             return None
+        if len(holdings) == 1:  # no replica: nothing to rank
+            return holdings[0]
         return min(holdings, key=lambda h: self.topology.hops(
             router, self.router_of_bank(h.bank_id)))
 
     def _migrate_toward(self, block: int, entry: CacheBlock,
-                        holding: L2Holding, requester_router: int) -> None:
+                        holding: L2Holding, requester_router: int,
+                        t: int = 0) -> None:
         """Move the entry one cluster-step toward the requester,
         swapping with the LRU block of the target set."""
         src_router = self.router_of_bank(holding.bank_id)
@@ -175,13 +179,14 @@ class DNuca(NucaArchitecture):
         assert admitted
         if evicted is not None:  # only when the set had a free way race
             etokens = self.ledger.take_from_l2(evicted.block, evicted)
-            self.on_l2_eviction(dst_bank, dst_index, evicted, etokens, False)
+            self.on_l2_eviction(dst_bank, dst_index, evicted, etokens, False,
+                                t)
         self.ledger.register_l2(block, dst_bank, dst_index, entry)
         self.migrations += 1
 
     # -- eviction routing ------------------------------------------------------------------
 
-    def route_l1_eviction(self, core: int, line: L1Line) -> None:
+    def route_l1_eviction(self, core: int, line: L1Line, t: int = 0) -> None:
         """Writebacks land in the evicting core's own cluster bank: a
         same-cluster copy is merged, otherwise a new (replicated) entry
         is created there — unrestricted L2 replication within the
@@ -200,4 +205,4 @@ class DNuca(NucaArchitecture):
             self.replications += 1  # a second bankset copy is born
         self.merge_or_allocate(own_bank, self.dnuca_index(block),
                                block, BlockClass.SHARED, -1,
-                               tokens, line.dirty)
+                               tokens, line.dirty, t=t)

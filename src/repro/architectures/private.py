@@ -36,14 +36,14 @@ class TiledPrivate(NucaArchitecture):
                                                           core_router, t2)
                 tokens += extra
                 t2 = max(t2, t_coll)
-            self.system.l1_fill(core, block, tokens, dirty or is_write)
+            self.system.l1_fill(core, block, tokens, dirty or is_write, t2)
             return t2, Supplier.L2_LOCAL
         t2 = self.bank_service(bank_id, t, hit=False)
         if is_write and self.ledger.on_chip(block):
             source = self._nearest_source(core, block)
             t_done, tokens, _ = self.collect_for_write(core, block,
                                                        core_router, t2)
-            self.system.l1_fill(core, block, tokens, True)
+            self.system.l1_fill(core, block, tokens, True, t_done)
             supplier = (Supplier.L1_REMOTE if source and source[0] == "l1"
                         else Supplier.L2_REMOTE)
             return t_done, supplier
@@ -53,7 +53,7 @@ class TiledPrivate(NucaArchitecture):
             if kind == "l1":
                 tokens, dirty = self.take_read_from_l1(block, obj)
                 t_done = self.supply_from_l1(core, obj, core_router, t2)
-                self.system.l1_fill(core, block, tokens, dirty)
+                self.system.l1_fill(core, block, tokens, dirty, t_done)
                 return t_done, Supplier.L1_REMOTE
             holding = obj
             remote_router = self.router_of_bank(holding.bank_id)
@@ -63,12 +63,12 @@ class TiledPrivate(NucaArchitecture):
                 block, holding.bank_id, holding.set_index, holding.entry,
                 want_all=False, exclusive_if_sole=False)
             t_done = self.data(remote_router, core_router, t4)
-            self.system.l1_fill(core, block, tokens, dirty)
+            self.system.l1_fill(core, block, tokens, dirty, t_done)
             return t_done, Supplier.L2_REMOTE
         t_done = self.fetch_offchip(core_router, t2, core_router)
         tokens = self.ledger.take_from_memory(block)
         assert tokens > 0
-        self.system.l1_fill(core, block, tokens, is_write)
+        self.system.l1_fill(core, block, tokens, is_write, t_done)
         return t_done, Supplier.OFFCHIP
 
     def _on_local_hit(self, core: int, entry) -> None:
@@ -94,10 +94,10 @@ class TiledPrivate(NucaArchitecture):
             return None
         return best[1], best[2]
 
-    def route_l1_eviction(self, core: int, line: L1Line) -> None:
+    def route_l1_eviction(self, core: int, line: L1Line, t: int = 0) -> None:
         block = line.block
         tokens = self.ledger.take_from_l1(block, core)
         self.merge_or_allocate(self.amap.private_bank(block, core),
                                self.amap.private_index(block),
                                block, BlockClass.PRIVATE, core,
-                               tokens, line.dirty)
+                               tokens, line.dirty, t=t)

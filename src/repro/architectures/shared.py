@@ -38,7 +38,7 @@ class SharedNuca(NucaArchitecture):
                 tokens += extra
                 dirty = True
                 t_done = max(t_done, t_coll)
-            self.system.l1_fill(core, block, tokens, dirty)
+            self.system.l1_fill(core, block, tokens, dirty, t_done)
             supplier = (Supplier.L2_LOCAL if home_router == core_router
                         else Supplier.L2_SHARED)
             return t_done, supplier
@@ -49,13 +49,13 @@ class SharedNuca(NucaArchitecture):
             if is_write:
                 t_done, tokens, _ = self.collect_for_write(core, block,
                                                            home_router, t2)
-                self.system.l1_fill(core, block, tokens, True)
+                self.system.l1_fill(core, block, tokens, True, t_done)
                 return t_done, Supplier.L1_REMOTE
             holder = min(holders, key=lambda h: self.topology.hops(
                 home_router, self.router_of_core(h)))
             tokens, dirty = self.take_read_from_l1(block, holder)
             t_done = self.supply_from_l1(core, holder, home_router, t2)
-            self.system.l1_fill(core, block, tokens, dirty)
+            self.system.l1_fill(core, block, tokens, dirty, t_done)
             return t_done, Supplier.L1_REMOTE
         holdings = self.ledger.l2_holdings(block)
         if holdings:
@@ -77,19 +77,19 @@ class SharedNuca(NucaArchitecture):
                 dirty = True
                 t4 = max(t4, t_coll)
             t_done = self.data(remote_router, core_router, t4)
-            self.system.l1_fill(core, block, tokens, dirty)
+            self.system.l1_fill(core, block, tokens, dirty, t_done)
             return t_done, Supplier.L2_REMOTE
         # Off chip: the home bank dispatches to its nearest controller.
         t_done = self.fetch_offchip(home_router, t2, core_router)
         tokens = self.ledger.take_from_memory(block)
         assert tokens > 0, "no on-chip copy implies memory holds tokens"
-        self.system.l1_fill(core, block, tokens, is_write)
+        self.system.l1_fill(core, block, tokens, is_write, t_done)
         return t_done, Supplier.OFFCHIP
 
-    def route_l1_eviction(self, core: int, line: L1Line) -> None:
+    def route_l1_eviction(self, core: int, line: L1Line, t: int = 0) -> None:
         block = line.block
         tokens = self.ledger.take_from_l1(block, core)
         self.merge_or_allocate(self.amap.shared_bank(block),
                                self.amap.shared_index(block),
                                block, BlockClass.SHARED, -1,
-                               tokens, line.dirty)
+                               tokens, line.dirty, t=t)

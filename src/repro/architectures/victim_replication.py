@@ -68,14 +68,15 @@ class VictimReplication(SharedNuca):
                         core, block, self.router_of_core(core), t_hit)
                     tokens += extra
                     t_done = max(t_done, t_coll)
-                self.system.l1_fill(core, block, tokens, dirty or is_write)
+                self.system.l1_fill(core, block, tokens, dirty or is_write,
+                                    t_done)
                 return t_done, Supplier.L2_LOCAL
             t = self.bank_service(bank_id, t, hit=False)
         return super().handle_miss(core, block, is_write, t)
 
     # -- unrestricted replication on writeback --------------------------------------
 
-    def route_l1_eviction(self, core: int, line: L1Line) -> None:
+    def route_l1_eviction(self, core: int, line: L1Line, t: int = 0) -> None:
         block = line.block
         home = self.amap.shared_bank(block)
         bank_id, index = self._local_bank(block, core)
@@ -84,7 +85,7 @@ class VictimReplication(SharedNuca):
         if bank_id == home or not other_copies:
             # Home is already local, or this is the last on-chip copy
             # (the home bank must keep the authoritative copy).
-            super().route_l1_eviction(core, line)
+            super().route_l1_eviction(core, line, t)
             return
         tokens = self.ledger.take_from_l1(block, core)
         bank = self.banks[bank_id]
@@ -97,8 +98,8 @@ class VictimReplication(SharedNuca):
             return
         entry = CacheBlock(block=block, cls=BlockClass.REPLICA, owner=core,
                            dirty=line.dirty, tokens=tokens)
-        if self.l2_allocate(bank_id, index, entry):
+        if self.l2_allocate(bank_id, index, entry, t=t):
             self._replicas_created.value += 1
             return
         self.system.send_to_memory(block, tokens, line.dirty,
-                                   self.router_of_bank(bank_id))
+                                   self.router_of_bank(bank_id), t)

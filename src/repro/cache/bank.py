@@ -47,7 +47,8 @@ class CacheBank:
         self._stamp = 0
         # ESP machinery; inert unless an architecture configures it.
         self.roles: Dict[int, SetRole] = {}
-        self.nmax: Optional[int] = None  # None => helping blocks unbounded
+        self._nmax: Optional[int] = None  # None => helping blocks unbounded
+        self._limits: Optional[List[int]] = None  # per-set helping caps
         self.monitor: Optional[Callable[["CacheBank", int, bool], None]] = None
         # Statistics: one scope per bank, mounted by the system.
         self.stats = Scope()
@@ -63,20 +64,45 @@ class CacheBank:
 
     def assign_role(self, set_index: int, role: SetRole) -> None:
         self.roles[set_index] = role
+        self._limits = None
 
     def role(self, set_index: int) -> SetRole:
         return self.roles.get(set_index, SetRole.NORMAL)
 
+    @property
+    def nmax(self) -> Optional[int]:
+        return self._nmax
+
+    @nmax.setter
+    def nmax(self, value: Optional[int]) -> None:
+        self._nmax = value
+        self._limits = None
+
     def helping_limit(self, set_index: int) -> int:
-        """Max helping blocks this set may hold (Section 3.2)."""
-        if self.nmax is None:
-            return self.ways
-        role = self.roles.get(set_index, SetRole.NORMAL)
-        if role is SetRole.REFERENCE:
-            return 0
-        if role is SetRole.EXPLORER:
-            return min(self.nmax + 1, self.ways)
-        return self.nmax
+        """Max helping blocks this set may hold (Section 3.2).
+
+        Answered from a per-set table rebuilt lazily whenever ``nmax``
+        or a set role changes: this runs once per allocation, and the
+        role-dict probe plus enum comparisons were measurable there.
+        """
+        limits = self._limits
+        if limits is None:
+            limits = self._build_limits()
+        return limits[set_index]
+
+    def _build_limits(self) -> List[int]:
+        nmax = self._nmax
+        if nmax is None:
+            limits = [self.ways] * self.num_sets
+        else:
+            limits = [nmax] * self.num_sets
+            for set_index, role in self.roles.items():
+                if role is SetRole.REFERENCE:
+                    limits[set_index] = 0
+                elif role is SetRole.EXPLORER:
+                    limits[set_index] = min(nmax + 1, self.ways)
+        self._limits = limits
+        return limits
 
     # -- lookup ------------------------------------------------------------------
 
@@ -91,9 +117,18 @@ class CacheBank:
         """Demand lookup. ``record=False`` for snooping probes that must
         not perturb LRU state or the hit-rate monitors."""
         cache_set = self.sets[set_index]
-        entry = cache_set.find(block, classes, owner)
+        if classes is None and owner is None:
+            # Inlined unfiltered find(): one scan, no call, per lookup.
+            entry = None
+            for resident in cache_set.blocks:
+                if resident is not None and resident.block == block:
+                    entry = resident
+                    break
+        else:
+            entry = cache_set.find(block, classes, owner)
         if entry is not None and touch:
-            self.touch(entry)
+            self._stamp += 1
+            entry.lru = self._stamp
         if record:
             if entry is not None:
                 self._hits[entry.cls].value += 1
@@ -101,7 +136,7 @@ class CacheBank:
                 self._misses.value += 1
             if self.monitor is not None and set_index in self.roles:
                 self.monitor(self, set_index,
-                             entry is not None and entry.is_first_class)
+                             entry is not None and entry.cls.is_first_class)
         return entry
 
     def peek(self, set_index: int, block: int,
@@ -112,12 +147,16 @@ class CacheBank:
 
     # -- allocation ---------------------------------------------------------------
 
-    def allocate(self, set_index: int, entry: CacheBlock
+    def allocate(self, set_index: int, entry: CacheBlock,
+                 dup_checked: bool = False
                  ) -> Tuple[bool, Optional[CacheBlock]]:
         """Install ``entry``; returns ``(admitted, evicted_block)``.
 
         Refusal (``admitted=False``) only happens for helping blocks
         under protected LRU (or duplicates, which are a caller bug).
+        ``dup_checked=True`` promises the caller already scanned the
+        set for a same-(block, class, owner) resident, skipping
+        install's duplicate scan.
         """
         cache_set = self.sets[set_index]
         way = self.policy.choose(cache_set, entry, self, set_index)
@@ -127,7 +166,7 @@ class CacheBank:
         evicted = cache_set.blocks[way]
         if evicted is not None:
             self._evictions.value += 1
-        cache_set.install(way, entry)
+        cache_set.install(way, entry, dup_check=not dup_checked)
         self.touch(entry)
         self._allocations.value += 1
         return True, evicted

@@ -18,17 +18,22 @@ class BlockClass(enum.Enum):
     REPLICA = "replica"   # helping: local copy of a shared block
     VICTIM = "victim"     # helping: remote private data kept in shared space
 
-    @property
-    def is_helping(self) -> bool:
-        return self in HELPING
-
-    @property
-    def is_first_class(self) -> bool:
-        return self in FIRST_CLASS
+    # ``is_helping`` / ``is_first_class`` are plain per-member attributes
+    # (stamped below, outside the class body — a property here would be a
+    # data descriptor and block the assignment). They are checked on the
+    # replacement/install path for every allocation, where an attribute
+    # load is measurably cheaper than a frozenset-membership property.
+    is_helping: bool
+    is_first_class: bool
 
 
 FIRST_CLASS = frozenset({BlockClass.PRIVATE, BlockClass.SHARED})
 HELPING = frozenset({BlockClass.REPLICA, BlockClass.VICTIM})
+
+for _member in BlockClass:
+    _member.is_helping = _member in HELPING
+    _member.is_first_class = _member in FIRST_CLASS
+del _member
 
 
 @dataclass
@@ -55,8 +60,8 @@ class CacheBlock:
 
     @property
     def is_helping(self) -> bool:
-        return self.cls in HELPING
+        return self.cls.is_helping
 
     @property
     def is_first_class(self) -> bool:
-        return self.cls in FIRST_CLASS
+        return self.cls.is_first_class

@@ -25,6 +25,11 @@ class CacheSet:
     def find(self, block: int, classes: Iterable[BlockClass] | None = None,
              owner: int | None = None) -> Optional[CacheBlock]:
         """First resident copy of ``block`` matching class/owner filters."""
+        if classes is None and owner is None:
+            for entry in self.blocks:
+                if entry is not None and entry.block == block:
+                    return entry
+            return None
         for entry in self.blocks:
             if entry is None or entry.block != block:
                 continue
@@ -57,7 +62,8 @@ class CacheSet:
 
     # -- mutation ------------------------------------------------------------
 
-    def install(self, way: int, entry: CacheBlock) -> None:
+    def install(self, way: int, entry: CacheBlock,
+                dup_check: bool = True) -> None:
         if not 0 <= way < self.ways:
             raise IndexError(f"way {way} outside [0, {self.ways})")
         old = self.blocks[way]
@@ -65,25 +71,28 @@ class CacheSet:
         # would be unfindable through find() and would double-count in
         # helping_count when removed — always a caller bug (distinct
         # classes of one block, e.g. SHARED + REPLICA, are legitimate).
-        block = entry.block
-        for resident in self.blocks:
-            if (resident is not None and resident.block == block
-                    and resident is not old
-                    and resident.cls is entry.cls
-                    and resident.owner == entry.owner):
-                raise ValueError(
-                    f"duplicate resident copy of block {block:#x} "
-                    f"({entry.cls.value}, owner {entry.owner})")
-        if old is not None and old.is_helping:
+        # ``dup_check=False`` skips the scan for callers that have just
+        # proven absence themselves (merge_or_allocate's merge probe).
+        if dup_check:
+            block = entry.block
+            for resident in self.blocks:
+                if (resident is not None and resident.block == block
+                        and resident is not old
+                        and resident.cls is entry.cls
+                        and resident.owner == entry.owner):
+                    raise ValueError(
+                        f"duplicate resident copy of block {block:#x} "
+                        f"({entry.cls.value}, owner {entry.owner})")
+        if old is not None and old.cls.is_helping:
             self.helping_count -= 1
         self.blocks[way] = entry
-        if entry.is_helping:
+        if entry.cls.is_helping:
             self.helping_count += 1
 
     def remove(self, entry: CacheBlock) -> None:
         way = self.find_way(entry)
         self.blocks[way] = None
-        if entry.is_helping:
+        if entry.cls.is_helping:
             self.helping_count -= 1
 
     def reclassify(self, entry: CacheBlock, new_cls: BlockClass) -> None:
@@ -93,10 +102,10 @@ class CacheSet:
         for a foreign entry silently corrupts ``helping_count``.
         """
         self.find_way(entry)  # raises ValueError when non-resident
-        if entry.is_helping:
+        if entry.cls.is_helping:
             self.helping_count -= 1
         entry.cls = new_cls
-        if entry.is_helping:
+        if entry.cls.is_helping:
             self.helping_count += 1
 
     # -- LRU queries ----------------------------------------------------------

@@ -49,7 +49,7 @@ class L1Cache:
         return block % self.num_sets
 
     def lookup(self, block: int, touch: bool = True) -> Optional[L1Line]:
-        line = self._sets[self._index(block)].get(block)
+        line = self._sets[block % self.num_sets].get(block)
         if line is not None and touch:
             self._stamp += 1
             line.lru = self._stamp
@@ -66,10 +66,13 @@ class L1Cache:
         return line
 
     def fill(self, block: int, tokens: int, dirty: bool
-             ) -> Tuple[L1Line, Optional[L1Line]]:
-        """Install a line, returning ``(line, evicted_line)``."""
-        index = self._index(block)
-        cache_set = self._sets[index]
+             ) -> Tuple[L1Line, Optional[L1Line], bool]:
+        """Install a line, returning ``(line, evicted_line, merged)``.
+
+        ``merged`` is True when the tokens went into an already-resident
+        (hence already-registered) line — the caller then skips ledger
+        registration."""
+        cache_set = self._sets[block % self.num_sets]
         existing = cache_set.get(block)
         if existing is not None:
             existing.tokens += tokens
@@ -77,26 +80,45 @@ class L1Cache:
             self._stamp += 1
             existing.lru = self._stamp
             if self.journal is not None:
-                self.journal.on_merge(self.core_id, block, existing.tokens)
-            return existing, None
+                # Inlined MirrorJournal.on_merge (keep in sync): a token
+                # increase only turns contention into locality — stale,
+                # never dirty.
+                self.journal._stale[self.core_id] = True
+            return existing, None, True
         evicted: Optional[L1Line] = None
         if len(cache_set) >= self.assoc:
-            victim_block = min(cache_set, key=lambda b: cache_set[b].lru)
+            # First-minimum-lru victim (same tie-break as min() over
+            # insertion order, without a lambda call per way).
+            victim_block = None
+            victim_lru = None
+            for b, ln in cache_set.items():
+                if victim_lru is None or ln.lru < victim_lru:
+                    victim_lru = ln.lru
+                    victim_block = b
             evicted = cache_set.pop(victim_block)
         line = L1Line(block, tokens, dirty)
         self._stamp += 1
         line.lru = self._stamp
         cache_set[block] = line
-        if self.journal is not None:
-            self.journal.on_install(
-                self.core_id, block, tokens,
-                evicted.block if evicted is not None else None)
-        return line, evicted
+        j = self.journal
+        if j is not None:
+            # Inlined MirrorJournal.on_install (keep in sync).
+            if evicted is not None:
+                run = j.runs[self.core_id]
+                if run is not None and evicted.block in run:
+                    j.dirty.add(self.core_id)
+            j._stale[self.core_id] = True
+        return line, evicted, False
 
     def invalidate(self, block: int) -> Optional[L1Line]:
-        line = self._sets[self._index(block)].pop(block, None)
-        if line is not None and self.journal is not None:
-            self.journal.on_invalidate(self.core_id, block)
+        line = self._sets[block % self.num_sets].pop(block, None)
+        j = self.journal
+        if line is not None and j is not None:
+            # Inlined MirrorJournal.on_invalidate (keep in sync).
+            run = j.runs[self.core_id]
+            if run is not None and block in run:
+                j.dirty.add(self.core_id)
+            j._stale[self.core_id] = True
         return line
 
     def resident_blocks(self) -> List[int]:

@@ -40,12 +40,18 @@ class ReplacementPolicy:
 class FlatLru(ReplacementPolicy):
     def choose(self, cache_set: CacheSet, incoming: CacheBlock,
                bank: "CacheBank", set_index: int) -> Optional[int]:
-        free = cache_set.free_way()
-        if free is not None:
-            return free
-        victim = cache_set.lru_block()
-        assert victim is not None
-        return cache_set.find_way(victim)
+        # One fused pass: first free way, else the first way holding
+        # the minimum-lru block (identical to free_way/lru_block/
+        # find_way chained, without the three separate scans).
+        best_way = -1
+        best_lru = None
+        for way, entry in enumerate(cache_set.blocks):
+            if entry is None:
+                return way
+            if best_lru is None or entry.lru < best_lru:
+                best_lru = entry.lru
+                best_way = way
+        return best_way
 
 
 class ProtectedLru(ReplacementPolicy):
@@ -60,7 +66,28 @@ class ProtectedLru(ReplacementPolicy):
                bank: "CacheBank", set_index: int) -> Optional[int]:
         limit = bank.helping_limit(set_index)
         n = cache_set.helping_count
-        if incoming.is_helping:
+        # One fused pass (same trick as FlatLru): the first free way,
+        # the first way holding the set-wide minimum-lru block, and the
+        # first way holding the minimum-lru *helping* block — replacing
+        # the free_way / lru_block(predicate) / find_way scan chains.
+        free = -1
+        best_way = -1
+        best_lru = None
+        help_way = -1
+        help_lru = None
+        for way, entry in enumerate(cache_set.blocks):
+            if entry is None:
+                if free < 0:
+                    free = way
+                continue
+            lru = entry.lru
+            if best_lru is None or lru < best_lru:
+                best_lru = lru
+                best_way = way
+            if entry.cls.is_helping and (help_lru is None or lru < help_lru):
+                help_lru = lru
+                help_way = way
+        if incoming.cls.is_helping:
             if limit == 0:
                 return None
             if n >= limit:
@@ -69,37 +96,26 @@ class ProtectedLru(ReplacementPolicy):
                 # Section 3.2 bounds how many ways helping blocks may
                 # occupy, not how full the set is, so a free way must
                 # stay available to first-class blocks.
-                victim = cache_set.lru_block(lambda b: b.is_helping)
-                if victim is None:  # cannot happen when n >= limit > 0
-                    return None
-                return cache_set.find_way(victim)
-            free = cache_set.free_way()
-            if free is not None:
+                return help_way if help_way >= 0 else None
+            if free >= 0:
                 return free
-            victim = cache_set.lru_block()
-            assert victim is not None
-            return cache_set.find_way(victim)
+            assert best_way >= 0
+            return best_way
         # First-class incoming: never refused. A set strictly over its
         # budget (possible after an nmax decrease) sheds the LRU helping
         # block *before* considering free ways, so every first-class
         # install converges it back toward the bound — otherwise a set
         # with free ways kept its excess helping blocks indefinitely.
-        if n > limit:
-            victim = cache_set.lru_block(lambda b: b.is_helping)
-            if victim is not None:
-                return cache_set.find_way(victim)
-        free = cache_set.free_way()
-        if free is not None:
+        if n > limit and help_way >= 0:
+            return help_way
+        if free >= 0:
             return free
         # Full set at the budget: helping blocks are evicted first;
         # under the budget, plain LRU over the whole set.
-        if n > 0 and n >= limit:
-            victim = cache_set.lru_block(lambda b: b.is_helping)
-            if victim is not None:
-                return cache_set.find_way(victim)
-        victim = cache_set.lru_block()
-        assert victim is not None
-        return cache_set.find_way(victim)
+        if n > 0 and n >= limit and help_way >= 0:
+            return help_way
+        assert best_way >= 0
+        return best_way
 
 
 class StaticPartition(ReplacementPolicy):

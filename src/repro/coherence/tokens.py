@@ -52,18 +52,43 @@ class TokenConservationError(AssertionError):
     pass
 
 
+# Shared empty result for the (dominant) no-L2-copy case; callers only
+# iterate or truth-test the returned list, never mutate it.
+_NO_HOLDINGS: List[L2Holding] = []
+
+
+class _StateMap(dict):
+    """Block-state table with inline creation: ``states[block]`` runs at
+    C dict speed for known blocks and materializes fresh all-in-memory
+    state via ``__missing__`` otherwise — the ledger's hot paths hit
+    this once or more per miss."""
+
+    __slots__ = ("total_tokens",)
+
+    def __init__(self, total_tokens: int) -> None:
+        super().__init__()
+        self.total_tokens = total_tokens
+
+    def __missing__(self, block: int) -> BlockState:
+        state = self[block] = BlockState(memory_tokens=self.total_tokens)
+        return state
+
+
 class TokenLedger:
     def __init__(self, num_cores: int, checking: bool = False) -> None:
         self.num_cores = num_cores
         self.total_tokens = 2 * num_cores
         self.checking = checking
-        # Observation hook (docs/engine.md): this method is the single
+        # Observation hook (docs/engine.md): take_from_l1 is the single
         # chokepoint through which L1 token counts ever decrease, so
-        # the vectorized engine's mirror subscribes here to learn when
-        # a line's full-token status (write locality) may have lapsed.
-        # Called as ``on_l1_tokens_taken(block, core, remaining)``.
-        self.on_l1_tokens_taken = None
-        self._states: Dict[int, BlockState] = {}
+        # the vectorized engine's mirror journal subscribes here to
+        # learn when a line's full-token status (write locality) may
+        # have lapsed. The journal object itself is installed (duck
+        # typed: ``runs``/``dirty``/``_stale``) and its field updates
+        # are inlined in take_from_l1 — the hook fires once per token
+        # withdrawal, too hot for a method call.
+        self.l1_journal = None
+        self._states: Dict[int, BlockState] = _StateMap(self.total_tokens)
         # Statistics scope, mounted at ``coherence`` by the system.
         self.stats = Scope()
         self._token_steals = self.stats.counter("token_steals")
@@ -83,11 +108,7 @@ class TokenLedger:
     # -- state access ----------------------------------------------------------
 
     def state(self, block: int) -> BlockState:
-        state = self._states.get(block)
-        if state is None:
-            state = BlockState(memory_tokens=self.total_tokens)
-            self._states[block] = state
-        return state
+        return self._states[block]  # _StateMap creates on first touch
 
     def known_blocks(self) -> Iterator[int]:
         return iter(self._states)
@@ -102,22 +123,26 @@ class TokenLedger:
 
     def l2_holdings(self, block: int) -> List[L2Holding]:
         state = self._states.get(block)
-        return list(state.l2.values()) if state else []
+        if state is None or not state.l2:
+            return _NO_HOLDINGS  # shared: callers only iterate/test it
+        return list(state.l2.values())
 
     # -- token movement primitives ----------------------------------------------
 
     def take_from_memory(self, block: int, amount: Optional[int] = None) -> int:
         """Remove tokens from memory's pool (all of them by default)."""
-        state = self.state(block)
+        state = self._states[block]
         taken = state.memory_tokens if amount is None else min(amount, state.memory_tokens)
         state.memory_tokens -= taken
-        self._check(block)
+        if self.checking:
+            self._check(block)
         return taken
 
     def give_to_memory(self, block: int, amount: int) -> None:
-        state = self.state(block)
+        state = self._states[block]
         state.memory_tokens += amount
-        self._check(block)
+        if self.checking:
+            self._check(block)
         if not state.on_chip() and state.memory_tokens == self.total_tokens:
             # Block fully off chip: forget it (classification resets too,
             # handled by the caller via `left_chip`).
@@ -127,54 +152,64 @@ class TokenLedger:
     def take_from_l1(self, block: int, core: int, amount: Optional[int] = None) -> int:
         """Take tokens from an L1 line; caller invalidates the line if
         it reaches zero tokens."""
-        state = self.state(block)
+        state = self._states[block]
         line = state.l1[core]
         taken = line.tokens if amount is None else min(amount, line.tokens)
         line.tokens -= taken
         if line.tokens == 0:
             del state.l1[core]
-        if taken and self.on_l1_tokens_taken is not None:
-            self.on_l1_tokens_taken(block, core, line.tokens)
-        self._check(block)
+        j = self.l1_journal
+        if taken and j is not None:
+            # Inlined MirrorJournal._on_tokens_taken (keep in sync).
+            run = j.runs[core]
+            if run is not None and block in run:
+                j.dirty.add(core)
+            j._stale[core] = True
+        if self.checking:
+            self._check(block)
         return taken
 
     def take_from_l2(self, block: int, entry: CacheBlock,
                      amount: Optional[int] = None) -> int:
         """Take tokens from an L2 entry; caller removes it from its bank
         if it reaches zero tokens."""
-        state = self.state(block)
-        holding = state.l2[id(entry)]
-        taken = holding.entry.tokens if amount is None else min(amount, holding.entry.tokens)
-        holding.entry.tokens -= taken
-        if holding.entry.tokens == 0:
+        state = self._states[block]
+        if id(entry) not in state.l2:  # caller bug: entry never registered
+            raise KeyError(f"L2 entry for block {block:#x} is not registered")
+        taken = entry.tokens if amount is None else min(amount, entry.tokens)
+        entry.tokens -= taken
+        if entry.tokens == 0:
             del state.l2[id(entry)]
-        self._check(block)
+        if self.checking:
+            self._check(block)
         return taken
 
     # -- registration ---------------------------------------------------------------
 
     def register_l1(self, block: int, core: int, line: L1Line) -> None:
-        state = self.state(block)
+        state = self._states[block]
         if line.tokens <= 0:
             raise TokenConservationError("an L1 copy must hold >= 1 token")
         state.l1[core] = line
-        self._check(block)
+        if self.checking:
+            self._check(block)
 
     def register_l2(self, block: int, bank_id: int, set_index: int,
                     entry: CacheBlock) -> None:
-        state = self.state(block)
+        state = self._states[block]
         if entry.tokens <= 0:
             raise TokenConservationError("an L2 copy must hold >= 1 token")
         state.l2[id(entry)] = L2Holding(bank_id, set_index, entry)
-        self._check(block)
+        if self.checking:
+            self._check(block)
 
     def forget_l1(self, block: int, core: int) -> None:
         """Drop directory knowledge of a zero-token line (already taken)."""
-        state = self.state(block)
+        state = self._states[block]
         state.l1.pop(core, None)
 
     def forget_l2(self, block: int, entry: CacheBlock) -> None:
-        state = self.state(block)
+        state = self._states[block]
         state.l2.pop(id(entry), None)
 
     # -- composite helpers -------------------------------------------------------------
@@ -188,7 +223,7 @@ class TokenLedger:
         copy dies; returns None when a copy must be sacrificed (the
         caller picks a victim copy and invalidates it).
         """
-        state = self.state(block)
+        state = self._states[block]
         for holding in state.l2.values():
             if holding.entry.tokens > 1:
                 self._token_steals.value += 1

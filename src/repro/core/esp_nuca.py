@@ -150,7 +150,7 @@ class EspNuca(SpNuca):
                 tokens, dirty, _ = self.take_from_l2_entry(
                     block, bank_id, index, entry,
                     want_all=False, exclusive_if_sole=False)
-                self.system.l1_fill(core, block, tokens, dirty)
+                self.system.l1_fill(core, block, tokens, dirty, t_hit)
                 return t_hit, Supplier.L2_LOCAL
         return super()._serve_private_hit(core, block, entry, bank_id,
                                           index, is_write, t_hit)
@@ -172,7 +172,8 @@ class EspNuca(SpNuca):
                     t_done = max(t_done, t_coll)
                 core_router = self.router_of_core(core)
                 t_done = max(t_done, self.data(sb_router, core_router, t_hit))
-                self.system.l1_fill(core, block, tokens, dirty or is_write)
+                self.system.l1_fill(core, block, tokens, dirty or is_write,
+                                    t_done)
                 supplier = (Supplier.L2_LOCAL if sb_router == core_router
                             else Supplier.L2_SHARED)
                 return t_done, supplier
@@ -192,7 +193,7 @@ class EspNuca(SpNuca):
 
     # -- helping-block creation --------------------------------------------------------
 
-    def route_l1_eviction(self, core: int, line: L1Line) -> None:
+    def route_l1_eviction(self, core: int, line: L1Line, t: int = 0) -> None:
         block = line.block
         cls = self.classifier.classify(block)
         if (cls is Classification.PRIVATE
@@ -201,7 +202,7 @@ class EspNuca(SpNuca):
             self.merge_or_allocate(self.amap.private_bank(block, core),
                                    self.amap.private_index(block),
                                    block, BlockClass.PRIVATE, core,
-                                   tokens, line.dirty)
+                                   tokens, line.dirty, t=t)
             return
         tokens = self.ledger.take_from_l1(block, core)
         dirty = line.dirty
@@ -213,26 +214,26 @@ class EspNuca(SpNuca):
             # showed no reuse while in the L1 (single-touch shared data
             # would only burn a way and evict first-class blocks).
             self.merge_or_allocate(sb, sidx, block, BlockClass.SHARED, -1,
-                                   tokens, dirty)
+                                   tokens, dirty, t=t)
             return
         if tokens >= 2:
             # Endow the replica with a few tokens so it can serve
             # several local reads before dissolving; the remainder (and
             # the dirty responsibility) goes to the shared bank.
             grant = min(tokens - 1, 4)
-            if self._try_replica(core, block, grant, dirty=False):
+            if self._try_replica(core, block, grant, dirty=False, t=t):
                 tokens -= grant
             self.merge_or_allocate(sb, sidx, block, BlockClass.SHARED, -1,
-                                   tokens, dirty)
+                                   tokens, dirty, t=t)
             return
         # Single token: the other copies (and likely a shared entry)
         # are elsewhere, so the whole writeback becomes the replica.
-        if not self._try_replica(core, block, tokens, dirty):
+        if not self._try_replica(core, block, tokens, dirty, t=t):
             self.merge_or_allocate(sb, sidx, block, BlockClass.SHARED, -1,
-                                   tokens, dirty)
+                                   tokens, dirty, t=t)
 
     def _try_replica(self, core: int, block: int, tokens: int,
-                     dirty: bool) -> bool:
+                     dirty: bool, t: int = 0) -> bool:
         bank_id = self.amap.private_bank(block, core)
         index = self.amap.private_index(block)
         bank = self.banks[bank_id]
@@ -245,7 +246,7 @@ class EspNuca(SpNuca):
             return True
         entry = CacheBlock(block=block, cls=BlockClass.REPLICA, owner=core,
                            dirty=dirty, tokens=tokens)
-        if self.l2_allocate(bank_id, index, entry, cascade=True):
+        if self.l2_allocate(bank_id, index, entry, cascade=True, t=t):
             self._replicas_created.value += 1
             tr = self.system.tracer
             if tr.enabled and tr.wants("esp"):
@@ -258,7 +259,7 @@ class EspNuca(SpNuca):
         return False
 
     def on_l2_eviction(self, bank_id: int, set_index: int, entry: CacheBlock,
-                       tokens: int, cascade: bool) -> None:
+                       tokens: int, cascade: bool, t: int = 0) -> None:
         if entry.cls is BlockClass.PRIVATE and not cascade:
             sb = self.amap.shared_bank(entry.block)
             sidx = self.amap.shared_index(entry.block)
@@ -274,7 +275,7 @@ class EspNuca(SpNuca):
             victim = CacheBlock(block=entry.block, cls=BlockClass.VICTIM,
                                 owner=entry.owner, dirty=entry.dirty,
                                 tokens=tokens)
-            if self.l2_allocate(sb, sidx, victim, cascade=True):
+            if self.l2_allocate(sb, sidx, victim, cascade=True, t=t):
                 self._victims_created.value += 1
                 tr = self.system.tracer
                 if tr.enabled and tr.wants("esp"):
@@ -285,4 +286,4 @@ class EspNuca(SpNuca):
                               "owner": entry.owner, "tokens": tokens})
                 return
         self.system.send_to_memory(entry.block, tokens, entry.dirty,
-                                   self.router_of_bank(bank_id))
+                                   self.router_of_bank(bank_id), t)

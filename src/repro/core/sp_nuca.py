@@ -79,8 +79,13 @@ class SpNuca(NucaArchitecture):
 
     def handle_miss(self, core: int, block: int, is_write: bool, t: int
                     ) -> Tuple[int, Supplier]:
-        pb = self.amap.private_bank(block, core)
-        pidx = self.amap.private_index(block)
+        # Address-map arithmetic inlined from AddressMap.private_bank /
+        # private_index / shared_bank / shared_index (Figure 1b): this
+        # runs once per L2 access, and four method calls are measurable
+        # on the contention path. The bit layout is defined there.
+        amap = self.amap
+        pb = core * amap._banks_per_core + (block & amap._private_bank_mask)
+        pidx = (block >> amap.private_bank_bits) & amap._index_mask
         core_router = self.router_of_core(core)
         # Step 1: the local private bank (same router as the core).
         entry = self.banks[pb].lookup(pidx, block,
@@ -91,11 +96,12 @@ class SpNuca(NucaArchitecture):
             return self._serve_private_hit(core, block, entry, pb, pidx,
                                            is_write, t_hit)
         t_pmiss = self.bank_service(pb, t, hit=False)
-        self._observe_shadow_miss(pb, pidx, block, BlockClass.PRIVATE)
+        if self._shadow is not None:
+            self._observe_shadow_miss(pb, pidx, block, BlockClass.PRIVATE)
         # Step 2: forward to the shared bank; dispatch memory in parallel
         # when no on-chip copy exists (TokenD-filtered speculation).
-        sb = self.amap.shared_bank(block)
-        sidx = self.amap.shared_index(block)
+        sb = block & amap._bank_mask
+        sidx = (block >> amap.bank_bits) & amap._index_mask
         sb_router = self.router_of_bank(sb)
         off_chip = not self.ledger.on_chip(block)
         t_sb = self.req(core_router, sb_router, t_pmiss)
@@ -106,14 +112,16 @@ class SpNuca(NucaArchitecture):
             return self._serve_shared_hit(core, block, sentry, sb, sidx,
                                           sb_router, is_write, t_hit)
         t_smiss = self.bank_service(sb, t_sb, hit=False)
-        self._observe_shadow_miss(sb, sidx, block, BlockClass.SHARED)
+        if self._shadow is not None:
+            self._observe_shadow_miss(sb, sidx, block, BlockClass.SHARED)
         if off_chip:
             t_mem = self.fetch_offchip(core_router, t_pmiss, core_router)
             tokens = self.ledger.take_from_memory(block)
             assert tokens > 0
             self.classifier.on_arrival(block, core)
-            self.system.l1_fill(core, block, tokens, is_write)
-            return max(t_mem, t_smiss), Supplier.OFFCHIP
+            t_done = max(t_mem, t_smiss)
+            self.system.l1_fill(core, block, tokens, is_write, t_done)
+            return t_done, Supplier.OFFCHIP
         # Step 3/3': forward to L1 holders or other private banks.
         return self._serve_remote(core, block, sb, sidx, sb_router,
                                   is_write, t_smiss)
@@ -132,7 +140,7 @@ class SpNuca(NucaArchitecture):
                 core, block, self.router_of_core(core), t_hit)
             tokens += extra
             t_done = max(t_done, t_coll)
-        self.system.l1_fill(core, block, tokens, dirty or is_write)
+        self.system.l1_fill(core, block, tokens, dirty or is_write, t_done)
         return t_done, Supplier.L2_LOCAL
 
     def _note_access(self, block: int, core: int) -> None:
@@ -159,12 +167,12 @@ class SpNuca(NucaArchitecture):
             t_coll, extra, _ = self.collect_for_write(core, block,
                                                       sb_router, t_hit)
             t_done = max(self.data(sb_router, core_router, t_hit), t_coll)
-            self.system.l1_fill(core, block, tokens + extra, True)
+            self.system.l1_fill(core, block, tokens + extra, True, t_done)
         else:
             tokens, dirty, _ = self.take_from_l2_entry(block, bank_id, index,
                                                        entry, want_all=False)
             t_done = self.data(sb_router, core_router, t_hit)
-            self.system.l1_fill(core, block, tokens, dirty)
+            self.system.l1_fill(core, block, tokens, dirty, t_done)
         supplier = (Supplier.L2_LOCAL if sb_router == core_router
                     else Supplier.L2_SHARED)
         return t_done, supplier
@@ -188,13 +196,13 @@ class SpNuca(NucaArchitecture):
         if is_write:
             t_done, tokens, _ = self.collect_for_write(core, block,
                                                        sb_router, t)
-            self.system.l1_fill(core, block, tokens, True)
+            self.system.l1_fill(core, block, tokens, True, t_done)
             return t_done, Supplier.L1_REMOTE
         holder = min(holders, key=lambda h: self.topology.hops(
             sb_router, self.router_of_core(h)))
         tokens, dirty = self.take_read_from_l1(block, holder)
         t_done = self.supply_from_l1(core, holder, sb_router, t)
-        self.system.l1_fill(core, block, tokens, dirty)
+        self.system.l1_fill(core, block, tokens, dirty, t_done)
         return t_done, Supplier.L1_REMOTE
 
     def _pick_remote_holding(self, holdings, sb_router: int
@@ -216,9 +224,9 @@ class SpNuca(NucaArchitecture):
         if is_write:
             t_coll, tokens, _ = self.collect_for_write(core, block,
                                                        sb_router, t2)
-            self.system.l1_fill(core, block, tokens, True)
-            return max(self.data(remote_router, core_router, t2), t_coll), \
-                Supplier.L2_REMOTE
+            t_done = max(self.data(remote_router, core_router, t2), t_coll)
+            self.system.l1_fill(core, block, tokens, True, t_done)
+            return t_done, Supplier.L2_REMOTE
         if entry.cls is BlockClass.REPLICA:
             # Another core's local copy of shared data: borrow a token,
             # leave the replica serving its owner.
@@ -226,7 +234,7 @@ class SpNuca(NucaArchitecture):
                 block, holding.bank_id, holding.set_index, entry,
                 want_all=False, exclusive_if_sole=False)
             t_done = self.data(remote_router, core_router, t2)
-            self.system.l1_fill(core, block, tokens, dirty)
+            self.system.l1_fill(core, block, tokens, dirty, t_done)
             return t_done, Supplier.L2_REMOTE
         # Private block in a remote private bank: reset the private bit
         # and migrate the copy to its shared bank (Section 2.3).
@@ -236,15 +244,16 @@ class SpNuca(NucaArchitecture):
         grant = 1 if tokens > 1 else tokens
         rest = tokens - grant
         t_done = self.data(remote_router, core_router, t2)
-        self.system.l1_fill(core, block, grant, dirty if rest == 0 else False)
+        self.system.l1_fill(core, block, grant, dirty if rest == 0 else False,
+                            t_done)
         if rest:
             self.merge_or_allocate(sb, sidx, block, BlockClass.SHARED, -1,
-                                   rest, dirty)
+                                   rest, dirty, t=t_done)
         return t_done, Supplier.L2_REMOTE
 
     # -- eviction routing ------------------------------------------------------------------
 
-    def route_l1_eviction(self, core: int, line: L1Line) -> None:
+    def route_l1_eviction(self, core: int, line: L1Line, t: int = 0) -> None:
         block = line.block
         tokens = self.ledger.take_from_l1(block, core)
         cls = self.classifier.classify(block)
@@ -253,12 +262,12 @@ class SpNuca(NucaArchitecture):
             self.merge_or_allocate(self.amap.private_bank(block, core),
                                    self.amap.private_index(block),
                                    block, BlockClass.PRIVATE, core,
-                                   tokens, line.dirty)
+                                   tokens, line.dirty, t=t)
         else:
             self.merge_or_allocate(self.amap.shared_bank(block),
                                    self.amap.shared_index(block),
                                    block, BlockClass.SHARED, -1,
-                                   tokens, line.dirty)
+                                   tokens, line.dirty, t=t)
 
     def on_block_left_chip(self, block: int) -> None:
         self.classifier.on_left_chip(block)

@@ -75,7 +75,7 @@ from repro.sim.results import SimResult
 #: generation, counter meaning): every key changes and old entries are
 #: never read again. Schema changes (fields added/removed/renamed on
 #: ``SimResult``) need no bump — the generation fingerprints the schema.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 

@@ -50,9 +50,17 @@ class MemoryController:
         return start + self.latency
 
     def post_writeback(self, arrive: int) -> None:
-        """Writebacks consume bandwidth but nobody waits on them."""
-        start = arrive if arrive >= self._busy_until else self._busy_until
-        self._busy_until = start + self.occupancy
+        """Writebacks consume bandwidth but nobody waits on them.
+
+        The queue charge is capped like :meth:`service`'s: reservations
+        arrive in reference order, not time order, so an uncapped wait
+        would chain writebacks onto a future-stamped frontier forever.
+        """
+        start = arrive
+        if self._busy_until > start:
+            start += min(self._busy_until - start,
+                         self.MAX_QUEUE_SERVICES * self.occupancy)
+        self._busy_until = max(self._busy_until, start + self.occupancy)
         self._writebacks.value += 1
 
     @property

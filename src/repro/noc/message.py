@@ -29,6 +29,14 @@ FLITS = {
     MessageKind.FORWARD: 1,
 }
 
+# Dense per-member fields for hot paths: ``kind.idx`` (enumeration
+# order) indexes flat arrays and ``kind.flits`` replaces a dict hash —
+# Enum.__hash__ is a Python-level call that shows up once per message
+# otherwise.
+for _i, _kind in enumerate(MessageKind):
+    _kind.idx = _i
+    _kind.flits = FLITS[_kind]
+
 
 @dataclass
 class Message:

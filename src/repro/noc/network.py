@@ -154,7 +154,7 @@ class Network:
                 for _, msg_c, _ in route:
                     msg_c.value += 1
         self._messages.value += 1
-        self._flits.value += flits * max(hops, 1)
+        self._flits.value += flits * hops
         self._hops.value += hops
         self._kind_counts[kind].value += 1
         return now

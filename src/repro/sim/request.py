@@ -17,6 +17,12 @@ class Supplier(enum.Enum):
     OFFCHIP = "off-chip"
 
 
+# Dense per-member index for hot paths (flat per-supplier arrays in
+# the vectorized engine's contention session).
+for _i, _supplier in enumerate(Supplier):
+    _supplier.idx = _i
+
+
 @dataclass(frozen=True)
 class AccessOutcome:
     """Timing result of one demand access."""

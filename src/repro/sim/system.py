@@ -216,23 +216,26 @@ class CmpSystem:
 
     # -- helpers used by architectures ---------------------------------------------
 
-    def l1_fill(self, core: int, block: int, tokens: int, dirty: bool) -> L1Line:
+    def l1_fill(self, core: int, block: int, tokens: int, dirty: bool,
+                t: int = 0) -> L1Line:
         """Install a line in ``core``'s L1, routing any displaced line
-        into the L2 per the architecture's eviction policy."""
+        into the L2 per the architecture's eviction policy. ``t`` is the
+        cycle the fill happens (the serving access's completion time);
+        eviction traffic it triggers is charged then, not at t=0."""
         if tokens <= 0:
             raise ValueError("an L1 fill needs at least one token")
-        line, evicted = self.l1s[core].fill(block, tokens, dirty)
-        if self.ledger.state(block).l1.get(core) is not line:
+        line, evicted, merged = self.l1s[core].fill(block, tokens, dirty)
+        if not merged:
             # Fresh line; fill() merges into an existing (already
             # registered) line otherwise.
             self.ledger.register_l1(block, core, line)
         if evicted is not None:
-            self.architecture.route_l1_eviction(core, evicted)
+            self.architecture.route_l1_eviction(core, evicted, t)
         return line
 
     def send_to_memory(self, block: int, tokens: int, dirty: bool,
-                       router: int) -> None:
-        """Release tokens from an evicted/refused copy.
+                       router: int, t: int = 0) -> None:
+        """Release tokens from an evicted/refused copy at cycle ``t``.
 
         Token coherence lets evicted tokens be forwarded to any current
         holder, and doing so matters: parking them in memory while L1
@@ -254,7 +257,7 @@ class CmpSystem:
             return
         if dirty:
             mc, _ = self.topology.controller_hops(router)
-            self.memory.controller(mc).post_writeback(0)
+            self.memory.controller(mc).post_writeback(t)
         self.ledger.give_to_memory(block, tokens)
         if not self.ledger.on_chip(block):
             self.architecture.on_block_left_chip(block)

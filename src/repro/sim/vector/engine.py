@@ -52,7 +52,7 @@ from repro.sim.cpu import TraceItem
 from repro.sim.engine import SimulationEngine
 from repro.sim.request import Supplier
 from repro.sim.system import CmpSystem
-from repro.sim.vector import soa
+from repro.sim.vector import contention, soa
 from repro.sim.vector.mirror import MirrorJournal
 from repro.sim.vector.soa import SoATrace
 
@@ -75,6 +75,12 @@ class VectorizedEngine(SimulationEngine):
         self._soa: List[Optional[SoATrace]] = [
             SoATrace(t) if t is not None else None for t in items]
         self._journal: Optional[MirrorJournal] = None
+        # Contention-kernel session (docs/engine.md): lazily built,
+        # installed only for the span of a fast phase. ``_session``
+        # caches the object; ``_session_active`` is non-None exactly
+        # while its kernels are installed.
+        self._session: Optional[contention.ContentionSession] = None
+        self._session_active: Optional[contention.ContentionSession] = None
         self._run_len = [0] * n
         self._park_clock = [0] * n
         self._scout: List[Optional[tuple]] = [None] * n
@@ -84,7 +90,25 @@ class VectorizedEngine(SimulationEngine):
         self._run_blocks: List[set] = [set() for _ in range(n)]
         self._run_lines: List[list] = [[] for _ in range(n)]
         self._limit = [0] * n
+        # Hot-path state hoisted into flat per-core lists: the epoch
+        # loop, classifier and serve path index these instead of
+        # chasing object attributes per reference.
+        self._blocks = [t.blocks if t is not None else None
+                        for t in self._soa]
+        self._writes = [t.writes if t is not None else None
+                        for t in self._soa]
+        self._gaps = [t.gaps if t is not None else None
+                      for t in self._soa]
+        self._deps = [t.deps if t is not None else None
+                      for t in self._soa]
+        self._l1s = system.l1s
+        self._l1_sets = [l1._sets for l1 in system.l1s]
+        self._l1_nsets = [l1.num_sets for l1 in system.l1s]
+        self._total_tokens = system.ledger.total_tokens
+        self._handle_miss = system.architecture.handle_miss
+        self._handle_upgrade = system.architecture.handle_upgrade
         self._l1_lat = system.config.l1.access_latency
+        self._l1_tag = system.config.l1.tag_latency
         core_cfg = system.config.core
         self._iw = core_cfg.issue_width
         self._win = core_cfg.window_size
@@ -93,6 +117,15 @@ class VectorizedEngine(SimulationEngine):
         self._local_count = system._access_count[Supplier.L1_LOCAL]
         self._local_cycles = system._access_cycles[Supplier.L1_LOCAL]
         self._local_hist = system._access_hist[Supplier.L1_LOCAL]
+        # Core timing state (CoreModel.clock/instructions/stall_cycles/
+        # memory_refs/_outstanding) hoisted into flat per-core lists for
+        # the span of a fast phase; loaded from and resynchronized to
+        # the live CoreModel objects at the phase boundaries.
+        self._clock_v = [0] * n
+        self._instr_v = [0] * n
+        self._stall_v = [0] * n
+        self._mem_v = [0] * n
+        self._out_v: List[deque] = [deque() for _ in range(n)]
 
     # -- reference-path integration ------------------------------------------
 
@@ -129,6 +162,30 @@ class VectorizedEngine(SimulationEngine):
             journal = MirrorJournal(ncores, system.ledger.total_tokens)
             self._journal = journal
         journal.install(system.l1s, system.ledger)
+        session: Optional[contention.ContentionSession] = None
+        if contention.kernels_enabled():
+            session = self._session
+            if session is None:
+                session = contention.ContentionSession(system)
+                self._session = session
+            session.install()
+        self._session_active = session
+        # Load core timing state into the flat per-phase lists; the
+        # ``finally`` below writes them back so the CoreModel objects
+        # are authoritative again whenever observers can look (between
+        # phases, and on any exception).
+        clocks = self._clock_v
+        instrs_v = self._instr_v
+        stalls_v = self._stall_v
+        mems_v = self._mem_v
+        outs_v = self._out_v
+        for cid in range(ncores):
+            c = cores[cid]
+            clocks[cid] = c.clock
+            instrs_v[cid] = c.instructions
+            stalls_v[cid] = c.stall_cycles
+            mems_v[cid] = c.memory_refs
+            outs_v[cid] = c._outstanding
         try:
             limits = self._limit
             pos = self._pos
@@ -146,13 +203,29 @@ class VectorizedEngine(SimulationEngine):
             vers = [0] * ncores
             park_heap: List[tuple] = []
             commit_heap: List[tuple] = []
+            # Per-phase constants hoisted out of the serve burst.
+            l1s = self._l1s
+            total = self._total_tokens
+            iw = self._iw
+            win = self._win
+            mo = self._mo
+            l1_lat = self._l1_lat
+            l1_tag = self._l1_tag
+            handle_miss = self._handle_miss
+            handle_upgrade = self._handle_upgrade
+            dirty_set = journal.dirty   # mutated in place, never rebound
+            if session is not None:
+                sup_rec = session.sup_rec
+                rec_local = session.sup_rec_local
+                hits_c = session.l1_hits
+                misses_c = session.l1_misses
             while True:
                 for cid in need:
                     self._classify_and_scout(cid)
                     v = vers[cid]
                     heappush(park_heap, (self._park_clock[cid], cid, v))
                     if run_len[cid]:
-                        heappush(commit_heap, (cores[cid].clock, cid, v))
+                        heappush(commit_heap, (clocks[cid], cid, v))
                 need = []
                 owner = -1
                 while park_heap:
@@ -175,102 +248,267 @@ class VectorizedEngine(SimulationEngine):
                     self._commit_bounded(cid, kc, owner)
                     if run_len[cid]:
                         heappush(commit_heap,
-                                 (cores[cid].clock, cid, vers[cid]))
+                                 (clocks[cid], cid, vers[cid]))
                 if run_len[owner]:
                     self._commit_full(owner)
                 vers[owner] += 1
                 if pos[owner] >= limits[owner]:
                     continue
-                self._serve(owner)
-                # Serve burst: misses cluster, so the owner usually
-                # remains the global minimum with another contention
-                # reference up next (~70% of serves on the cold grid).
-                # Keep serving it without heap churn while (a) nothing
-                # got dirtied — re-classification only ever moves park
-                # keys earlier, so it must precede owner selection —
-                # (b) the next reference probes contention (a parked
-                # core's locality cannot flip to local: membership and
-                # token increases happen only on its own serves), and
-                # (c) no valid parked core orders before the owner.
-                # Bounded commits still drain before every serve.
-                if pos[owner] < limits[owner] and not journal.dirty:
-                    trace = self._soa[owner]
-                    blocks = trace.blocks
-                    writes = trace.writes
-                    l1 = system.l1s[owner]
-                    l1_sets = l1._sets
-                    nsets = l1.num_sets
-                    total = journal.total_tokens
-                    core = cores[owner]
-                    while True:
-                        p = pos[owner]
-                        block = blocks[p]
-                        line = l1_sets[block % nsets].get(block)
-                        if line is not None and (not writes[p]
-                                                 or line.tokens == total):
-                            break  # local next: classify a run normally
-                        kc = core.clock
-                        # Owner must be confirmed the global minimum
-                        # BEFORE committing under the (kc, owner) bound:
-                        # an earlier-keyed parked core's serve may still
-                        # invalidate state these commits would bake in.
-                        while (park_heap
-                               and park_heap[0][2] != vers[park_heap[0][1]]):
-                            heappop(park_heap)
-                        if park_heap:
-                            pk = park_heap[0]
-                            if pk[0] < kc or (pk[0] == kc and pk[1] < owner):
-                                break  # another core orders first: park
+                if session is None:
+                    # Reference-granularity serve, one per pop
+                    # (REPRO_CONTENTION_KERNELS=0).
+                    self._serve(owner)
+                    if pos[owner] < limits[owner]:
+                        need.append(owner)
+                    dirty = journal.dirty
+                    if dirty:
+                        self._requeue_dirty(dirty, owner, vers, need)
+                    continue
+                parked = False
+                # Serve burst: the freshly popped owner is the global
+                # minimum, and misses cluster, so it usually stays the
+                # minimum across several serves. Keep serving it
+                # without heap churn while (a) nothing got dirtied —
+                # re-classification only ever moves park keys earlier,
+                # so it must precede owner selection — and (b) no valid
+                # parked core orders before the owner. Short local
+                # stretches are served eagerly too (their effects stay
+                # on the owner's own L1, so they commute with
+                # everything the heaps defer); runs longer than a small
+                # streak fall back to the classifier so the bulk numpy
+                # path keeps owning high-hit phases. Core timing state
+                # lives in locals across the whole burst and is stored
+                # back once at the end.
+                blocks = self._blocks[owner]
+                writes = self._writes[owner]
+                gaps = self._gaps[owner]
+                deps = self._deps[owner]
+                l1_sets = self._l1_sets[owner]
+                nsets = self._l1_nsets[owner]
+                l1 = l1s[owner]
+                clock = clocks[owner]
+                instr = instrs_v[owner]
+                stalls = stalls_v[owner]
+                mem = mems_v[owner]
+                out = outs_v[owner]
+                p = pos[owner]
+                limit = limits[owner]
+                streak = 0
+                while True:
+                    block = blocks[p]
+                    line = l1_sets[block % nsets].get(block)
+                    local = line is not None and (not writes[p]
+                                                  or line.tokens == total)
+                    if local and streak >= 16:
+                        # Long local run: hand off to the classifier,
+                        # whose bulk numpy path owns high-hit stretches.
+                        break
+                    # Owner must be confirmed the global minimum BEFORE
+                    # each serve: an earlier-keyed parked core's serve
+                    # may steal tokens from (or invalidate) the very
+                    # line this probe saw. (On the first iteration the
+                    # check trivially passes — the owner was just
+                    # popped as the minimum.)
+                    while (park_heap
+                           and park_heap[0][2] != vers[park_heap[0][1]]):
+                        heappop(park_heap)
+                    if park_heap:
+                        pk = park_heap[0]
+                        if pk[0] < clock or (pk[0] == clock
+                                             and pk[1] < owner):
+                            if local:
+                                # Classify instead: a scout run lets
+                                # other cores commit around us.
+                                break
+                            # Another core orders first. The probe
+                            # above already said the next reference is
+                            # contention — exactly what a fresh
+                            # classification's first-probe would
+                            # conclude — so park directly on
+                            # (clock, owner) without the
+                            # _classify_and_scout round trip.
+                            self._run_len[owner] = 0
+                            self._park_clock[owner] = clock
+                            self._scout[owner] = None
+                            heappush(park_heap, (clock, owner,
+                                                 vers[owner]))
+                            parked = True
+                            break
+                    # Bounded commits drain before contention serves
+                    # only: a local serve touches nothing but the
+                    # owner's own L1 lines and deferred sums, so it
+                    # commutes with other cores' local-run commits.
+                    if not local:
                         while commit_heap:
                             ck, ccid, cv = commit_heap[0]
                             if cv != vers[ccid]:
                                 heappop(commit_heap)
                                 continue
-                            if not (ck < kc or (ck == kc and ccid < owner)):
+                            if not (ck < clock
+                                    or (ck == clock and ccid < owner)):
                                 break
                             heappop(commit_heap)
-                            self._commit_bounded(ccid, kc, owner)
+                            self._commit_bounded(ccid, clock, owner)
                             if run_len[ccid]:
                                 heappush(commit_heap,
-                                         (cores[ccid].clock, ccid,
+                                         (clocks[ccid], ccid,
                                           vers[ccid]))
-                        self._serve(owner)
-                        if pos[owner] >= limits[owner] or journal.dirty:
+                    # --- timing step: exact CoreModel port (keep in
+                    # sync with repro/sim/cpu.py; also mirrored in
+                    # _classify_and_scout) ---
+                    gap = gaps[p]
+                    if gap:
+                        instr += gap
+                        clock += -(-gap // iw)
+                        while out and out[0][0] <= clock:
+                            out.popleft()
+                        while out and instr - out[0][1] >= win:
+                            when = out[0][0]
+                            if when > clock:
+                                stalls += when - clock
+                                clock = when
+                            while out and out[0][0] <= clock:
+                                out.popleft()
+                            if out and out[0][0] <= clock:  # pragma: no cover - guard
+                                out.popleft()
+                    # --- serve: exact port of the reference access
+                    # path — L1 hit effects from L1Cache.access,
+                    # miss/upgrade policy through the live architecture
+                    # methods, statistics deferred (keep in sync with
+                    # repro/sim/system.py access/_serve_access and
+                    # repro/cache/l1.py access). ---
+                    if line is not None:
+                        stamp = l1._stamp + 1
+                        l1._stamp = stamp
+                        line.lru = stamp
+                        line.reused = True
+                        hits_c[owner] += 1
+                        t_done = clock + l1_lat
+                        if writes[p]:
+                            if line.tokens < total:
+                                t_up = handle_upgrade(owner, block, line,
+                                                      clock + l1_tag)
+                                if t_up > t_done:
+                                    t_done = t_up
+                            line.dirty = True
+                        rec = rec_local
+                    else:
+                        misses_c[owner] += 1
+                        t_done, supplier = handle_miss(owner, block,
+                                                       writes[p],
+                                                       clock + l1_tag)
+                        rec = sup_rec[supplier.idx]
+                    latency = t_done - clock
+                    rec[0] += 1
+                    rec[1] += latency
+                    bucket = latency.bit_length() + 2
+                    if bucket >= len(rec):
+                        bucket = len(rec) - 1
+                    rec[bucket] += 1
+                    # --- completion step: exact CoreModel port
+                    # (continued) ---
+                    instr += 1
+                    mem += 1
+                    while out and out[0][0] <= clock:
+                        out.popleft()
+                    while len(out) >= mo:
+                        earliest = min(out)[0]
+                        if earliest > clock:
+                            stalls += earliest - clock
+                            clock = earliest
+                        while out and out[0][0] <= clock:
+                            out.popleft()
+                        before = len(out)
+                        out = deque(q for q in out if q[0] > clock)
+                        if len(out) == before:  # pragma: no cover - guard
                             break
-                if pos[owner] < limits[owner]:
+                    if deps[p]:
+                        if t_done > clock:
+                            stalls += t_done - clock
+                            clock = t_done
+                        while out and out[0][0] <= clock:
+                            out.popleft()
+                    else:
+                        out.append((t_done, instr))
+                        while out and instr - out[0][1] >= win:
+                            when = out[0][0]
+                            if when > clock:
+                                stalls += when - clock
+                                clock = when
+                            while out and out[0][0] <= clock:
+                                out.popleft()
+                            if out and out[0][0] <= clock:  # pragma: no cover - guard
+                                out.popleft()
+                    # --- end timing step ---
+                    p += 1
+                    if p >= limit:
+                        break
+                    if local:
+                        # A hit cannot change membership or tokens
+                        # anywhere, so no dirty check is needed.
+                        streak += 1
+                    else:
+                        streak = 0
+                        if dirty_set:
+                            break
+                clocks[owner] = clock
+                instrs_v[owner] = instr
+                stalls_v[owner] = stalls
+                mems_v[owner] = mem
+                outs_v[owner] = out
+                pos[owner] = p
+                if not parked and p < limit:
                     need.append(owner)
-                dirty = journal.dirty
-                if dirty:
-                    for cid in dirty:
-                        if (cid == owner or self.traces[cid] is None
-                                or run_len[cid] == 0
-                                or pos[cid] >= limits[cid]):
-                            # Parked-at-contention cores keep an exact
-                            # park key (timing of committed refs only);
-                            # their contention is re-examined at serve
-                            # time through the full reference path.
-                            continue
-                        vers[cid] += 1
-                        journal.runs[cid] = None
-                        need.append(cid)
-                    dirty.clear()
+                if dirty_set:
+                    self._requeue_dirty(dirty_set, owner, vers, need)
         finally:
+            self._session_active = None
+            if session is not None:
+                session.uninstall()  # flushes deferred stats first
             journal.uninstall(system.l1s, system.ledger)
+            for cid in range(ncores):
+                c = cores[cid]
+                c.clock = clocks[cid]
+                c.instructions = instrs_v[cid]
+                c.stall_cycles = stalls_v[cid]
+                c.memory_refs = mems_v[cid]
+                c._outstanding = outs_v[cid]
+            # Per-serve progress bookkeeping is deferred to here:
+            # ``_refs``/``_processed`` are only read between phases.
+            refs = self._refs
+            for cid in range(ncores):
+                if pos[cid] != refs[cid]:
+                    self._processed += pos[cid] - refs[cid]
+                    refs[cid] = pos[cid]
+
+    def _requeue_dirty(self, dirty: set, owner: int, vers: List[int],
+                       need: List[int]) -> None:
+        """Invalidate and requeue classified runs touched by the
+        owner's serves. Parked-at-contention cores keep an exact park
+        key (timing of committed refs only); their contention is
+        re-examined at serve time through the full reference path."""
+        run_len = self._run_len
+        pos = self._pos
+        limits = self._limit
+        journal = self._journal
+        for cid in dirty:
+            if (cid == owner or self.traces[cid] is None
+                    or run_len[cid] == 0 or pos[cid] >= limits[cid]):
+                continue
+            vers[cid] += 1
+            journal.runs[cid] = None
+            need.append(cid)
+        dirty.clear()
 
     # -- classification + scout timing walk ----------------------------------
 
     def _classify_and_scout(self, cid: int) -> None:
-        core = self.cores[cid]
-        trace = self._soa[cid]
         pos = self._pos[cid]
-        limit = self._limit[cid]
-        blocks = trace.blocks
-        writes = trace.writes
-        l1 = self.system.l1s[cid]
-        sets = l1._sets
-        nsets = l1.num_sets
-        total = self.system.ledger.total_tokens
-        journal = self._journal
+        blocks = self._blocks[cid]
+        writes = self._writes[cid]
+        sets = self._l1_sets[cid]
+        nsets = self._l1_nsets[cid]
+        total = self._total_tokens
         # Cheap first-reference probe: contention-parked cores (the
         # common case on miss-heavy phases) never pay the scratch-state
         # copy below.
@@ -278,21 +516,24 @@ class VectorizedEngine(SimulationEngine):
         line = sets[block % nsets].get(block)
         if line is None or (writes[pos] and line.tokens != total):
             self._run_len[cid] = 0
-            self._park_clock[cid] = core.clock
+            self._park_clock[cid] = self._clock_v[cid]
             self._scout[cid] = None
-            journal.runs[cid] = None
+            self._journal.runs[cid] = None
             return
+        trace = self._soa[cid]
+        limit = self._limit[cid]
+        journal = self._journal
         gaps = trace.gaps
         deps = trace.deps
         iw = self._iw
         win = self._win
         mo = self._mo
         l1_lat = self._l1_lat
-        clock = core.clock
-        instr = core.instructions
-        stalls = core.stall_cycles
-        mem = core.memory_refs
-        out = deque(core._outstanding)
+        clock = self._clock_v[cid]
+        instr = self._instr_v[cid]
+        stalls = self._stall_v[cid]
+        mem = self._mem_v[cid]
+        out = deque(self._out_v[cid])
         run_blocks = self._run_blocks[cid]
         run_blocks.clear()
         add_block = run_blocks.add
@@ -355,7 +596,7 @@ class VectorizedEngine(SimulationEngine):
             while out and out[0][0] <= clock:
                 out.popleft()
             while len(out) >= mo:
-                earliest = min(t for t, _ in out)
+                earliest = min(out)[0]
                 if earliest > clock:
                     stalls += earliest - clock
                     clock = earliest
@@ -397,7 +638,6 @@ class VectorizedEngine(SimulationEngine):
         n = self._run_len[cid]
         if n == 0:
             return
-        core = self.cores[cid]
         pos = self._pos[cid]
         trace = self._soa[cid]
         blocks = trace.blocks
@@ -418,12 +658,8 @@ class VectorizedEngine(SimulationEngine):
             if writes[i]:
                 line.dirty = True
         l1._stamp = stamp
-        clock, instr, stalls, mem, out = self._scout[cid]
-        core.clock = clock
-        core.instructions = instr
-        core.stall_cycles = stalls
-        core.memory_refs = mem
-        core._outstanding = out
+        (self._clock_v[cid], self._instr_v[cid], self._stall_v[cid],
+         self._mem_v[cid], self._out_v[cid]) = self._scout[cid]
         self._scout[cid] = None
         self._run_len[cid] = 0
         self._journal.runs[cid] = None
@@ -435,7 +671,6 @@ class VectorizedEngine(SimulationEngine):
         (the walk is deterministic, so a later full commit of the
         remainder still lands exactly on the scout state)."""
         n = self._run_len[cid]
-        core = self.cores[cid]
         trace = self._soa[cid]
         gaps = trace.gaps
         blocks = trace.blocks
@@ -446,16 +681,15 @@ class VectorizedEngine(SimulationEngine):
         nsets = l1.num_sets
         stamp = l1._stamp
         run_lines = self._run_lines[cid]
-        cfg = core.config
-        iw = cfg.issue_width
-        win = cfg.window_size
-        mo = cfg.max_outstanding
+        iw = self._iw
+        win = self._win
+        mo = self._mo
         l1_lat = self._l1_lat
-        clock = core.clock
-        instr = core.instructions
-        stalls = core.stall_cycles
-        mem = core.memory_refs
-        out = core._outstanding
+        clock = self._clock_v[cid]
+        instr = self._instr_v[cid]
+        stalls = self._stall_v[cid]
+        mem = self._mem_v[cid]
+        out = self._out_v[cid]
         pos = self._pos[cid]
         end = pos + n
         i = pos
@@ -483,7 +717,7 @@ class VectorizedEngine(SimulationEngine):
             while out and out[0][0] <= clock:
                 out.popleft()
             while len(out) >= mo:
-                earliest = min(t for t, _ in out)
+                earliest = min(out)[0]
                 if earliest > clock:
                     stalls += earliest - clock
                     clock = earliest
@@ -525,11 +759,11 @@ class VectorizedEngine(SimulationEngine):
         if not committed:
             return
         l1._stamp = stamp
-        core.clock = clock
-        core.instructions = instr
-        core.stall_cycles = stalls
-        core.memory_refs = mem
-        core._outstanding = out
+        self._clock_v[cid] = clock
+        self._instr_v[cid] = instr
+        self._stall_v[cid] = stalls
+        self._mem_v[cid] = mem
+        self._out_v[cid] = out
         self._run_len[cid] = n - committed
         if self._run_len[cid] == 0:
             self._scout[cid] = None
@@ -548,25 +782,42 @@ class VectorizedEngine(SimulationEngine):
         counters* the reference path uses, so warm-up resets and
         finalize snapshots need no special handling.
         """
-        l1._hits.value += n
         lat = self._l1_lat
-        self._local_count.value += n
-        self._local_cycles.value += n * lat
-        hist = self._local_hist
-        hist.buckets[self._l1_bucket] += n
-        hist.count += n
-        hist.total += n * lat
+        session = self._session_active
+        if session is not None:
+            session.l1_hits[cid] += n
+            rec = session.sup_rec_local
+            rec[0] += n
+            rec[1] += n * lat
+            rec[2 + self._l1_bucket] += n
+        else:
+            l1._hits.value += n
+            self._local_count.value += n
+            self._local_cycles.value += n * lat
+            hist = self._local_hist
+            hist.buckets[self._l1_bucket] += n
+            hist.count += n
+            hist.total += n * lat
         self._pos[cid] = new_pos
-        self._refs[cid] = new_pos
-        self._processed += n
 
     # -- serving contention points -------------------------------------------
 
     def _serve(self, cid: int) -> None:
-        """One contention reference through the unmodified reference
-        path — placement, search, replacement, coherence, NoC and
-        statistics behave exactly as under the reference engine."""
+        """One reference at reference granularity: ``CoreModel``
+        methods and the unmodified ``CmpSystem.access``, exactly as
+        under the reference engine. Used when contention kernels are
+        disabled (``REPRO_CONTENTION_KERNELS=0``); with kernels on,
+        serves happen inline in the epoch loop's burst."""
         core = self.cores[cid]
+        # Rehydrate the live CoreModel from the phase-flat lists around
+        # the reference-granularity call (the fast phase keeps core
+        # timing state in the lists; CoreModel methods read/write the
+        # object attributes).
+        core.clock = self._clock_v[cid]
+        core.instructions = self._instr_v[cid]
+        core.stall_cycles = self._stall_v[cid]
+        core.memory_refs = self._mem_v[cid]
+        core._outstanding = self._out_v[cid]
         i = self._pos[cid]
         trace = self._soa[cid]
         core.advance_gap(trace.gaps[i])
@@ -574,5 +825,8 @@ class VectorizedEngine(SimulationEngine):
                                      core.issue_time())
         core.complete_memory(trace.items[i].kind, outcome.complete)
         self._pos[cid] = i + 1
-        self._refs[cid] = i + 1
-        self._processed += 1
+        self._clock_v[cid] = core.clock
+        self._instr_v[cid] = core.instructions
+        self._stall_v[cid] = core.stall_cycles
+        self._mem_v[cid] = core.memory_refs
+        self._out_v[cid] = core._outstanding

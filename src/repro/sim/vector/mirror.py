@@ -19,6 +19,15 @@ Token *increases* outside these hooks (``send_to_memory`` merges,
 ``handle_upgrade`` collection) leave the mirror's ``full`` set stale
 low, which is safe: a full-token write misclassified as contention is
 served through the unmodified reference path with identical results.
+
+The hooks fire on every L1 fill — i.e. once per miss, the dominant
+event on the cold grid — so they are kept to the minimum eager work:
+run-invalidation checks (which must happen at the transition) plus one
+staleness flag. The ``resident``/``full`` block sets exist only to
+feed the *bulk* classification path, which miss-heavy phases never
+reach, so they are rebuilt lazily from live L1 contents on the next
+:meth:`resident_array`/:meth:`full_array` request instead of being
+maintained per event.
 """
 
 from __future__ import annotations
@@ -33,8 +42,9 @@ from repro.sim.vector import soa
 class MirrorJournal:
     """Per-core resident/full-token block sets plus a dirty-core set.
 
-    ``resident[c]`` is exact; ``full[c]`` (resident with all tokens) is
-    conservative (never stale high). ``dirty`` collects cores whose
+    ``resident[c]`` is exact and ``full[c]`` (resident with all tokens)
+    is conservative (never stale high) — *after* :meth:`refresh`, which
+    the array accessors call on demand. ``dirty`` collects cores whose
     classified run may have been invalidated since the last drain.
     """
 
@@ -50,84 +60,88 @@ class MirrorJournal:
         # references behave, so the core stays parked undisturbed.
         # ``None`` = no classified run (nothing to invalidate).
         self.runs: List[Optional[Set[int]]] = [None] * num_cores
+        self._stale: List[bool] = [True] * num_cores
+        self._l1s: List[L1Cache] = []
         self._resident_np: List[Optional[object]] = [None] * num_cores
         self._full_np: List[Optional[object]] = [None] * num_cores
 
     # -- lifecycle -----------------------------------------------------------
 
     def rebuild(self, l1s: List[L1Cache]) -> None:
-        """Resynchronize from live L1 contents (phase start)."""
-        total = self.total_tokens
-        for core, l1 in enumerate(l1s):
-            resident = self.resident[core]
-            full = self.full[core]
-            resident.clear()
-            full.clear()
-            for cache_set in l1._sets:
-                for block, line in cache_set.items():
-                    resident.add(block)
-                    if line.tokens == total:
-                        full.add(block)
-            self._resident_np[core] = None
-            self._full_np[core] = None
+        """Drop every snapshot; sets resynchronize lazily (phase start)."""
+        self._l1s = l1s
+        for core in range(len(self.runs)):
+            self._stale[core] = True
             self.runs[core] = None
         self.dirty.clear()
+
+    def refresh(self, core: int) -> None:
+        """Resynchronize one core's sets from live L1 contents."""
+        l1 = self._l1s[core]
+        resident = self.resident[core]
+        full = self.full[core]
+        resident.clear()
+        full.clear()
+        total = self.total_tokens
+        for cache_set in l1._sets:
+            for block, line in cache_set.items():
+                resident.add(block)
+                if line.tokens == total:
+                    full.add(block)
+        self._stale[core] = False
+        self._resident_np[core] = None
+        self._full_np[core] = None
 
     def install(self, l1s: List[L1Cache], ledger) -> None:
         self.rebuild(l1s)
         for l1 in l1s:
             l1.journal = self
-        ledger.on_l1_tokens_taken = self._on_tokens_taken
+        ledger.l1_journal = self
 
     def uninstall(self, l1s: List[L1Cache], ledger) -> None:
         for l1 in l1s:
             l1.journal = None
-        ledger.on_l1_tokens_taken = None
+        ledger.l1_journal = None
 
     # -- L1Cache hooks -------------------------------------------------------
+    # NOTE: L1Cache.fill/invalidate inline these hook bodies (they fire
+    # once per miss on the cold grid); the methods remain the canonical
+    # definition — keep both in sync.
 
     def on_install(self, core: int, block: int, tokens: int,
                    evicted: Optional[int]) -> None:
-        self.resident[core].add(block)
-        if tokens == self.total_tokens:
-            self.full[core].add(block)
         if evicted is not None:
-            self.resident[core].discard(evicted)
-            self.full[core].discard(evicted)
             run = self.runs[core]
             if run is not None and evicted in run:
                 self.dirty.add(core)
-        self._resident_np[core] = None
-        self._full_np[core] = None
+        self._stale[core] = True
 
     def on_merge(self, core: int, block: int, tokens: int) -> None:
         # Token increase: can only turn contention into locality, which
         # is re-discovered at the next classification — never dirty.
-        if tokens == self.total_tokens:
-            self.full[core].add(block)
-            self._full_np[core] = None
+        self._stale[core] = True
 
     def on_invalidate(self, core: int, block: int) -> None:
-        self.resident[core].discard(block)
-        self.full[core].discard(block)
         run = self.runs[core]
         if run is not None and block in run:
             self.dirty.add(core)
-        self._resident_np[core] = None
-        self._full_np[core] = None
+        self._stale[core] = True
 
     # -- TokenLedger hook ----------------------------------------------------
+    # Canonical definition; TokenLedger.take_from_l1 inlines this body
+    # against the installed ``ledger.l1_journal`` — keep both in sync.
 
     def _on_tokens_taken(self, block: int, core: int, remaining: int) -> None:
-        self.full[core].discard(block)
         run = self.runs[core]
         if run is not None and block in run:
             self.dirty.add(core)
-        self._full_np[core] = None
+        self._stale[core] = True
 
     # -- numpy views (bulk classification) -----------------------------------
 
     def resident_array(self, core: int):
+        if self._stale[core]:
+            self.refresh(core)
         arr = self._resident_np[core]
         if arr is None:
             arr = soa.as_block_array(self.resident[core])
@@ -135,6 +149,8 @@ class MirrorJournal:
         return arr
 
     def full_array(self, core: int):
+        if self._stale[core]:
+            self.refresh(core)
         arr = self._full_np[core]
         if arr is None:
             arr = soa.as_block_array(self.full[core])

@@ -31,21 +31,22 @@ class TestEviction:
         l1.fill(1, 1, False)
         l1.fill(2, 1, False)
         l1.lookup(1)  # 2 becomes LRU
-        _, evicted = l1.fill(3, 1, False)
+        _, evicted, _ = l1.fill(3, 1, False)
         assert evicted is not None and evicted.block == 2
 
     def test_no_eviction_when_room(self):
         l1 = L1Cache(0, num_sets=1, assoc=2)
-        _, evicted = l1.fill(1, 1, False)
+        _, evicted, merged = l1.fill(1, 1, False)
+        assert not merged
         assert evicted is None
 
 
 class TestMergeAndInvalidate:
     def test_refill_merges_tokens_and_dirty(self):
         l1 = L1Cache(0, num_sets=1, assoc=2)
-        line, _ = l1.fill(1, tokens=2, dirty=False)
-        merged, evicted = l1.fill(1, tokens=3, dirty=True)
-        assert merged is line and evicted is None
+        line, _, _ = l1.fill(1, tokens=2, dirty=False)
+        merged, evicted, was_merge = l1.fill(1, tokens=3, dirty=True)
+        assert merged is line and evicted is None and was_merge
         assert line.tokens == 5 and line.dirty
 
     def test_invalidate(self):
@@ -60,11 +61,11 @@ class TestMergeAndInvalidate:
 class TestReuseBit:
     def test_fresh_line_not_reused(self):
         l1 = L1Cache(0, num_sets=1, assoc=2)
-        line, _ = l1.fill(1, 1, False)
+        line, _, _ = l1.fill(1, 1, False)
         assert not line.reused
 
     def test_hit_sets_reused(self):
         l1 = L1Cache(0, num_sets=1, assoc=2)
-        line, _ = l1.fill(1, 1, False)
+        line, _, _ = l1.fill(1, 1, False)
         l1.access(1)
         assert line.reused

@@ -21,6 +21,32 @@ class TestController:
         early = mc.service(0)
         assert early <= 100 + mc.MAX_QUEUE_SERVICES * 20
 
+    def test_demand_queue_charge_exact_at_cap(self):
+        # Out-of-time-order reservations: a future-stamped demand must
+        # charge an earlier-stamped one exactly MAX_QUEUE_SERVICES
+        # occupancies, and the later reservation must survive.
+        mc = MemoryController(latency=100, occupancy=20)
+        mc.service(100_000)
+        assert mc.service(0) == mc.MAX_QUEUE_SERVICES * 20 + 100
+        assert mc.total_queueing == mc.MAX_QUEUE_SERVICES * 20
+        assert mc.service(100_020) == 100_120  # queue frontier intact
+
+    def test_writeback_queue_charge_is_capped(self):
+        # A writeback behind a future-stamped reservation is charged at
+        # most MAX_QUEUE_SERVICES services past its arrival (like
+        # demand), and the later reservation survives it.
+        mc = MemoryController(latency=100, occupancy=20)
+        mc.service(100_000)
+        mc.post_writeback(0)
+        assert mc.service(100_000) == 100_000 + 20 + 100
+
+    def test_writeback_reserved_at_arrival_time(self):
+        mc = MemoryController(latency=350, occupancy=20)
+        mc.post_writeback(5_000)
+        # The bandwidth is consumed at 5_000: demand arriving then
+        # queues behind one writeback occupancy.
+        assert mc.service(5_000) == 5_020 + 350
+
     def test_writebacks_consume_bandwidth_without_reply(self):
         mc = MemoryController(latency=350, occupancy=20)
         mc.post_writeback(0)

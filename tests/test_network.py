@@ -53,6 +53,19 @@ class TestContention:
         net.arrival(MessageKind.RESPONSE_DATA, 0, 1, 0)
         assert net.total_queueing > 0
 
+    def test_out_of_order_wait_charged_exactly_at_cap(self):
+        # Reservations are stamped in reference order, not time order: a
+        # future-stamped message must charge an earlier-stamped one at
+        # most ``cap = 4 * flits``, and its own reservation must survive.
+        net = fresh_network()
+        net.arrival(MessageKind.RESPONSE_DATA, 0, 1, 100_000)
+        cap = 4 * FLITS[MessageKind.REQUEST]
+        assert net.arrival(MessageKind.REQUEST, 0, 1, 0) == cap + 5
+        assert net.total_queueing == cap
+        # The 100_005 reservation was kept, not overwritten by the
+        # early message: traffic near it still queues behind it.
+        assert net.arrival(MessageKind.REQUEST, 0, 1, 100_004) == 100_010
+
 
 class TestStatistics:
     def test_message_and_flit_counters(self):
@@ -61,6 +74,15 @@ class TestStatistics:
         assert net.messages_sent == 1
         assert net.total_hops == 2
         assert net.flits_sent == 2  # 1 flit x 2 hops
+
+    def test_zero_hop_message_costs_no_flits(self):
+        # src == dst traverses no links: the message is counted but no
+        # link flits are charged (regression: flits * max(hops, 1)).
+        net = fresh_network()
+        net.arrival(MessageKind.RESPONSE_DATA, 2, 2, 50)
+        assert net.messages_sent == 1
+        assert net.total_hops == 0
+        assert net.flits_sent == 0
 
     def test_reset(self):
         net = fresh_network()

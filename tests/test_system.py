@@ -53,6 +53,20 @@ class TestWritebackAccounting:
         assert system.memory.writebacks >= 2  # overflow was dirty
         system.check_invariants()
 
+    def test_offchip_writeback_reserved_at_eviction_time(self):
+        # Regression: the dirty branch used to call post_writeback(0)
+        # regardless of the sim clock, piling every writeback onto the
+        # controller's t=0 frontier.
+        system = build("shared")
+        access(system, 0, 0x999, write=True)
+        system.l1s[0].invalidate(0x999)
+        tokens = system.ledger.take_from_l1(0x999, 0)
+        system.send_to_memory(0x999, tokens, dirty=True, router=0, t=50_000)
+        assert system.memory.writebacks == 1
+        mc, _ = system.topology.controller_hops(0)
+        controller = system.memory.controller(mc)
+        assert controller._busy_until >= 50_000
+
     def test_clean_tokens_return_silently(self):
         system = build("shared")
         access(system, 0, 0x999)
